@@ -1,0 +1,117 @@
+// Reproduces the paper's illustrative figures as concrete measurements:
+// each figure/listing circuit is built exactly as drawn, pushed through the
+// baseline and through smaRTLy, and the resulting structures are reported.
+//
+//   Fig. 1   Y = S ? (S ? A : B) : C          -> Y = S ? A : C   (baseline too)
+//   Fig. 2   Y = S ? (A ? S : B) : C          -> Y = S ? (A ? 1 : B) : C
+//   Fig. 3   Y = S ? ((S|R) ? A : B) : C      -> Y = S ? A : C   (smaRTLy only)
+//   Fig. 5-7 Listing 1 case chain             -> 3-mux tree, eq cells removed
+//   Listing 2 casez priority                  -> 3-mux tree (good assignment)
+#include "aig/aigmap.hpp"
+#include "cec/cec.hpp"
+#include "core/smartly_pass.hpp"
+#include "opt/pipeline.hpp"
+#include "rtlil/module.hpp"
+#include "verilog/elaborate.hpp"
+
+#include <cstdio>
+#include <string>
+
+using namespace smartly;
+
+namespace {
+
+struct Measured {
+  size_t area_yosys = 0;
+  size_t area_smartly = 0;
+  size_t mux_yosys = 0;
+  size_t mux_smartly = 0;
+  size_t eq_smartly = 0;
+  bool equivalent = false;
+};
+
+Measured measure(const std::string& src) {
+  Measured m;
+  {
+    auto d = verilog::read_verilog(src);
+    opt::yosys_flow(*d->top());
+    m.area_yosys = aig::aig_area(*d->top());
+    m.mux_yosys = d->top()->count_cells(rtlil::CellType::Mux);
+  }
+  {
+    auto d = verilog::read_verilog(src);
+    auto golden = rtlil::clone_design(*d);
+    core::smartly_flow(*d->top());
+    m.area_smartly = aig::aig_area(*d->top());
+    m.mux_smartly = d->top()->count_cells(rtlil::CellType::Mux);
+    m.eq_smartly = d->top()->count_cells(rtlil::CellType::Eq);
+    m.equivalent = cec::check_equivalence(*golden->top(), *d->top()).equivalent;
+  }
+  return m;
+}
+
+void report(const char* tag, const char* expectation, const Measured& m) {
+  std::printf("%-10s yosys: area %4zu / %2zu mux | smartly: area %4zu / %2zu mux, %zu eq"
+              " | CEC %s\n           expected: %s\n",
+              tag, m.area_yosys, m.mux_yosys, m.area_smartly, m.mux_smartly, m.eq_smartly,
+              m.equivalent ? "PASS" : "FAIL", expectation);
+}
+
+} // namespace
+
+int main() {
+  std::printf("Figure-by-figure reproduction (8-bit data ports)\n\n");
+
+  report("Fig. 1", "both flows collapse the inner mux (identical controls)", measure(R"(
+    module f1(s, a, b, c, y);
+      input s; input [7:0] a, b, c; output [7:0] y;
+      assign y = s ? (s ? a : b) : c;
+    endmodule
+  )"));
+
+  report("Fig. 2", "both flows substitute the data-port use of S with 1", measure(R"(
+    module f2(s, b, c, y);
+      input s; input [7:0] b, c; output [7:0] y;
+      wire [7:0] inner;
+      input [7:0] a;
+      assign inner = a[0] ? {7'b0, s} : b;
+      assign y = s ? inner : c;
+    endmodule
+  )"));
+
+  report("Fig. 3", "only smaRTLy sees S=1 forces S|R=1 (area drops vs yosys)",
+         measure(R"(
+    module f3(s, r, a, b, c, y);
+      input s, r; input [7:0] a, b, c; output [7:0] y;
+      assign y = s ? ((s | r) ? a : b) : c;
+    endmodule
+  )"));
+
+  report("Listing1", "smaRTLy rebuilds to 3 muxes and removes all 3 eq cells",
+         measure(R"(
+    module l1(s, p0, p1, p2, p3, y);
+      input [1:0] s; input [7:0] p0, p1, p2, p3; output reg [7:0] y;
+      always @(*) case (s)
+        2'b00: y = p0;
+        2'b01: y = p1;
+        2'b10: y = p2;
+        default: y = p3;
+      endcase
+    endmodule
+  )"));
+
+  report("Listing2", "casez priority tree rebuilds to 3 muxes (good assignment)",
+         measure(R"(
+    module l2(s, p0, p1, p2, p3, y);
+      input [2:0] s; input [7:0] p0, p1, p2, p3; output reg [7:0] y;
+      always @(*) casez (s)
+        3'b1zz: y = p0;
+        3'b01z: y = p1;
+        3'b001: y = p2;
+        default: y = p3;
+      endcase
+    endmodule
+  )"));
+
+  return 0;
+}

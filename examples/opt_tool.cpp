@@ -1,0 +1,174 @@
+// opt_tool — a small command-line optimizer around the library, in the
+// spirit of `yosys -p "...; opt_muxtree; aigmap"`.
+//
+//   usage: opt_tool [options] [file.v]
+//     --flow yosys|smartly|original   optimization flow (default smartly)
+//     --no-sat                        disable §II SAT-based elimination
+//     --no-rebuild                    disable §III muxtree restructuring
+//     --reduce                        also run opt_reduce (pmux/reduction merging)
+//     --check                         equivalence-check the result
+//     --stats                         print pass statistics
+//     -o out.v                        write the optimized netlist as Verilog
+//     --write-aiger out.aag           write the bit-blasted AIG (ASCII AIGER)
+//     --dump-rtlil                    dump the optimized netlist IR to stdout
+//     (reads stdin when no file is given)
+#include "aig/aigmap.hpp"
+#include "backend/aiger.hpp"
+#include "backend/write_rtlil.hpp"
+#include "backend/write_verilog.hpp"
+#include "cec/cec.hpp"
+#include "core/smartly_pass.hpp"
+#include "opt/opt_clean.hpp"
+#include "opt/opt_reduce.hpp"
+#include "opt/pipeline.hpp"
+#include "verilog/elaborate.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+using namespace smartly;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: opt_tool [--flow yosys|smartly|original] [--no-sat] "
+               "[--no-rebuild] [--reduce] [--check] [--stats] [-o out.v] "
+               "[--write-aiger out.aag] [--dump-rtlil] [file.v]\n");
+  std::exit(2);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::string flow = "smartly";
+  std::string path, out_verilog, out_aiger;
+  bool check = false, stats = false, reduce = false, dump = false;
+  core::SmartlyOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--flow") {
+      if (++i >= argc)
+        usage();
+      flow = argv[i];
+    } else if (arg == "--no-sat") {
+      options.enable_sat = false;
+    } else if (arg == "--no-rebuild") {
+      options.enable_rebuild = false;
+    } else if (arg == "--reduce") {
+      reduce = true;
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--dump-rtlil") {
+      dump = true;
+    } else if (arg == "-o") {
+      if (++i >= argc)
+        usage();
+      out_verilog = argv[i];
+    } else if (arg == "--write-aiger") {
+      if (++i >= argc)
+        usage();
+      out_aiger = argv[i];
+    } else if (arg.rfind("--", 0) == 0 || arg.rfind("-", 0) == 0) {
+      usage();
+    } else {
+      path = arg;
+    }
+  }
+
+  std::string source;
+  if (path.empty()) {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    source = ss.str();
+  } else {
+    std::ifstream f(path);
+    if (!f) {
+      std::fprintf(stderr, "opt_tool: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    source = ss.str();
+  }
+
+  try {
+    auto design = verilog::read_verilog(source);
+    if (!design->top()) {
+      std::fprintf(stderr, "opt_tool: no module found\n");
+      return 1;
+    }
+    rtlil::Module& top = *design->top();
+    const size_t original = aig::aig_area(top);
+    auto golden = check ? rtlil::clone_design(*design) : nullptr;
+
+    core::SmartlyStats st;
+    if (flow == "original") {
+      opt::original_flow(top);
+    } else if (flow == "yosys") {
+      opt::yosys_flow(top);
+    } else if (flow == "smartly") {
+      st = core::smartly_flow(top, options);
+    } else {
+      usage();
+    }
+    if (reduce) {
+      opt::opt_reduce(top);
+      opt::opt_clean(top);
+    }
+
+    std::printf("module %s: AIG area %zu -> %zu (%.2f%% reduction)\n", top.name().c_str(),
+                original, aig::aig_area(top),
+                original ? 100.0 * (double(original) - double(aig::aig_area(top))) /
+                               double(original)
+                         : 0.0);
+
+    if (stats && flow == "smartly") {
+      std::printf("  rebuild: %zu/%zu trees rebuilt, %zu muxes removed, %zu added, "
+                  "%zu eq freed\n",
+                  st.rebuild.trees_rebuilt, st.rebuild.trees_seen, st.rebuild.mux_removed,
+                  st.rebuild.mux_added, st.rebuild.eq_disconnected);
+      std::printf("  sat: %zu queries (syntactic %zu, inference %zu, sim %zu, sat %zu), "
+                  "%zu muxes collapsed\n",
+                  st.sat.queries, st.sat.decided_syntactic, st.sat.decided_inference,
+                  st.sat.decided_sim, st.sat.decided_sat, st.sat.walker.mux_collapsed);
+      std::printf("  subgraphs: %zu gates seen, %zu kept (%.0f%% dismissed)\n",
+                  st.sat.gates_seen, st.sat.gates_kept,
+                  st.sat.gates_seen
+                      ? 100.0 * (1.0 - double(st.sat.gates_kept) / double(st.sat.gates_seen))
+                      : 0.0);
+    }
+
+    if (!out_verilog.empty()) {
+      std::ofstream f(out_verilog);
+      f << backend::write_verilog(top);
+      std::printf("  wrote %s\n", out_verilog.c_str());
+    }
+    if (!out_aiger.empty()) {
+      std::ofstream f(out_aiger);
+      f << backend::write_aiger_ascii(aig::aigmap(top).aig);
+      std::printf("  wrote %s\n", out_aiger.c_str());
+    }
+    if (dump)
+      std::fputs(backend::write_rtlil(top).c_str(), stdout);
+
+    if (check && golden) {
+      const auto cec = cec::check_equivalence(*golden->top(), top);
+      std::printf("  equivalence: %s%s\n", cec.equivalent ? "PASS" : "FAIL",
+                  cec.equivalent ? "" : (" at " + cec.failing_output).c_str());
+      if (!cec.equivalent)
+        return 1;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "opt_tool: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

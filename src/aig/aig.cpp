@@ -1,0 +1,121 @@
+#include "aig/aig.hpp"
+
+#include <algorithm>
+
+namespace smartly::aig {
+
+Aig::Aig() {
+  nodes_.push_back(Node{0, 0}); // node 0: constant false (fanins unused)
+}
+
+Lit Aig::add_input(std::string name) {
+  const uint32_t node = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back(Node{}); // kInputMark fanins
+  inputs_.push_back(node);
+  input_names_.push_back(name.empty() ? "i" + std::to_string(inputs_.size() - 1)
+                                      : std::move(name));
+  return mk_lit(node);
+}
+
+int Aig::add_output(Lit l, std::string name) {
+  outputs_.push_back({l, name.empty() ? "o" + std::to_string(outputs_.size()) : std::move(name)});
+  return static_cast<int>(outputs_.size()) - 1;
+}
+
+Lit Aig::and_(Lit a, Lit b) {
+  // Constant folding and trivial cases.
+  if (a > b)
+    std::swap(a, b);
+  if (a == kFalse)
+    return kFalse;
+  if (a == kTrue)
+    return b;
+  if (a == b)
+    return a;
+  if (a == lit_not(b))
+    return kFalse;
+
+  const uint64_t key = hash_combine(a, b);
+  auto& bucket = strash_[key];
+  for (uint32_t node : bucket) {
+    if (nodes_[node].fanin0 == a && nodes_[node].fanin1 == b)
+      return mk_lit(node);
+  }
+  const uint32_t node = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back(Node{a, b});
+  ++num_ands_;
+  bucket.push_back(node);
+  return mk_lit(node);
+}
+
+Lit Aig::xor_(Lit a, Lit b) {
+  if (a == kFalse)
+    return b;
+  if (a == kTrue)
+    return lit_not(b);
+  if (b == kFalse)
+    return a;
+  if (b == kTrue)
+    return lit_not(a);
+  if (a == b)
+    return kFalse;
+  if (a == lit_not(b))
+    return kTrue;
+  return lit_not(and_(lit_not(and_(a, lit_not(b))), lit_not(and_(lit_not(a), b))));
+}
+
+Lit Aig::mux_(Lit s, Lit t, Lit e) {
+  if (s == kTrue)
+    return t;
+  if (s == kFalse)
+    return e;
+  if (t == e)
+    return t;
+  if (t == kTrue && e == kFalse)
+    return s;
+  if (t == kFalse && e == kTrue)
+    return lit_not(s);
+  return lit_not(and_(lit_not(and_(s, t)), lit_not(and_(lit_not(s), e))));
+}
+
+size_t Aig::num_ands_reachable() const {
+  std::vector<uint8_t> mark(nodes_.size(), 0);
+  std::vector<uint32_t> stack;
+  for (const Output& o : outputs_) {
+    const uint32_t n = lit_node(o.lit);
+    if (!mark[n]) {
+      mark[n] = 1;
+      stack.push_back(n);
+    }
+  }
+  size_t count = 0;
+  while (!stack.empty()) {
+    const uint32_t n = stack.back();
+    stack.pop_back();
+    if (!is_and(n))
+      continue;
+    ++count;
+    for (Lit f : {nodes_[n].fanin0, nodes_[n].fanin1}) {
+      const uint32_t m = lit_node(f);
+      if (!mark[m]) {
+        mark[m] = 1;
+        stack.push_back(m);
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<uint64_t> Aig::simulate(const std::vector<uint64_t>& input_words) const {
+  std::vector<uint64_t> words(nodes_.size(), 0);
+  for (size_t i = 0; i < inputs_.size(); ++i)
+    words[inputs_[i]] = i < input_words.size() ? input_words[i] : 0;
+  for (uint32_t n = 1; n < nodes_.size(); ++n) {
+    if (is_input(n))
+      continue;
+    words[n] = sim_lit(words, nodes_[n].fanin0) & sim_lit(words, nodes_[n].fanin1);
+  }
+  return words;
+}
+
+} // namespace smartly::aig

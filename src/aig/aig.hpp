@@ -1,0 +1,108 @@
+// And-Inverter Graph with structural hashing.
+//
+// The paper measures quality as "AIG area, specifically the number of AND
+// gates in the optimized circuit" after Yosys `aigmap`; this package provides
+// that graph plus 64-way packed simulation (used for exhaustive sub-graph
+// evaluation in §II) and is the substrate for CNF encoding / CEC.
+#pragma once
+
+#include "util/hashing.hpp"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace smartly::aig {
+
+/// AIG literal: 2*node + complement. Node 0 is constant false, so literal 0
+/// is FALSE and literal 1 is TRUE.
+using Lit = uint32_t;
+
+constexpr Lit kFalse = 0;
+constexpr Lit kTrue = 1;
+
+inline Lit mk_lit(uint32_t node, bool complement = false) { return node * 2 + (complement ? 1 : 0); }
+inline uint32_t lit_node(Lit l) noexcept { return l >> 1; }
+inline bool lit_compl(Lit l) noexcept { return l & 1; }
+inline Lit lit_not(Lit l) noexcept { return l ^ 1; }
+
+class Aig {
+public:
+  Aig();
+
+  /// Create a new primary input; returns its (positive) literal.
+  Lit add_input(std::string name = "");
+
+  /// Register an output. Returns the output index.
+  int add_output(Lit l, std::string name = "");
+
+  // --- construction (with constant folding + structural hashing) ----------
+  Lit and_(Lit a, Lit b);
+  Lit or_(Lit a, Lit b) { return lit_not(and_(lit_not(a), lit_not(b))); }
+  Lit xor_(Lit a, Lit b);
+  Lit xnor_(Lit a, Lit b) { return lit_not(xor_(a, b)); }
+  /// s ? t : e
+  Lit mux_(Lit s, Lit t, Lit e);
+
+  // --- inspection ----------------------------------------------------------
+  size_t num_nodes() const noexcept { return nodes_.size(); } ///< incl. const + inputs
+  size_t num_inputs() const noexcept { return inputs_.size(); }
+  size_t num_outputs() const noexcept { return outputs_.size(); }
+  /// Number of AND nodes — the paper's "AIG area".
+  size_t num_ands() const noexcept { return num_ands_; }
+
+  bool is_input(uint32_t node) const noexcept {
+    return nodes_[node].fanin0 == kInputMark;
+  }
+  bool is_and(uint32_t node) const noexcept {
+    return node != 0 && nodes_[node].fanin0 != kInputMark;
+  }
+  Lit fanin0(uint32_t node) const noexcept { return nodes_[node].fanin0; }
+  Lit fanin1(uint32_t node) const noexcept { return nodes_[node].fanin1; }
+
+  const std::vector<uint32_t>& inputs() const noexcept { return inputs_; }
+  Lit output(int i) const { return outputs_.at(static_cast<size_t>(i)).lit; }
+  const std::string& output_name(int i) const {
+    return outputs_.at(static_cast<size_t>(i)).name;
+  }
+  const std::string& input_name(int i) const {
+    return input_names_.at(static_cast<size_t>(i));
+  }
+
+  /// Count of AND nodes reachable from the outputs (area after dead-node
+  /// removal; strash can leave unreachable nodes behind).
+  size_t num_ands_reachable() const;
+
+  // --- packed simulation ---------------------------------------------------
+  /// Evaluate all nodes over 64 parallel patterns. `input_words[i]` holds the
+  /// patterns for input i (order of add_input). Returns one word per node;
+  /// evaluate a literal with `sim_lit`.
+  std::vector<uint64_t> simulate(const std::vector<uint64_t>& input_words) const;
+
+  static uint64_t sim_lit(const std::vector<uint64_t>& node_words, Lit l) {
+    const uint64_t w = node_words[lit_node(l)];
+    return lit_compl(l) ? ~w : w;
+  }
+
+private:
+  static constexpr Lit kInputMark = 0xffffffffu;
+
+  struct Node {
+    Lit fanin0 = kInputMark;
+    Lit fanin1 = kInputMark;
+  };
+  struct Output {
+    Lit lit;
+    std::string name;
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> inputs_;
+  std::vector<std::string> input_names_;
+  std::vector<Output> outputs_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> strash_;
+  size_t num_ands_ = 0;
+};
+
+} // namespace smartly::aig

@@ -1,0 +1,474 @@
+#include "aig/aigmap.hpp"
+
+#include "rtlil/topo.hpp"
+#include "util/log.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace smartly::aig {
+
+namespace {
+
+using rtlil::Cell;
+using rtlil::CellType;
+using rtlil::Module;
+using rtlil::Port;
+using rtlil::SigBit;
+using rtlil::SigSpec;
+using rtlil::State;
+
+class Mapper {
+public:
+  explicit Mapper(const Module& module)
+      : module_(module), owned_index_(std::make_unique<rtlil::NetlistIndex>(module)),
+        index_(*owned_index_) {}
+
+  /// Reuse a caller-maintained index (the §II oracle issues thousands of
+  /// small cone queries; rebuilding the whole-module index per query would
+  /// dominate the pass runtime).
+  Mapper(const Module& module, const rtlil::NetlistIndex& index)
+      : module_(module), index_(index) {}
+
+  /// Shared-graph mode: node construction goes into `graph`, and input
+  /// creation consults/extends `shared` so same-named inputs unify across
+  /// modules mapped into the same graph.
+  Mapper(const Module& module, Aig& graph, SharedInputs& shared)
+      : module_(module), owned_index_(std::make_unique<rtlil::NetlistIndex>(module)),
+        index_(*owned_index_), shared_graph_(&graph), shared_inputs_(&shared) {}
+
+  std::vector<std::pair<std::string, Lit>> run_shared() {
+    for (const rtlil::Wire* w : module_.ports()) {
+      if (!w->port_input)
+        continue;
+      for (int i = 0; i < w->width(); ++i) {
+        const SigBit raw(const_cast<rtlil::Wire*>(w), i);
+        const SigBit bit = index_.sigmap()(raw);
+        if (bit.is_wire() && !result_.bits.count(bit))
+          result_.bits.emplace(bit, shared_input(bit_name(raw)));
+      }
+    }
+    for (Cell* cell : index_.topo_order()) {
+      if (cell->type() == CellType::Dff)
+        continue;
+      map_cell(*cell);
+    }
+    std::vector<std::pair<std::string, Lit>> outs;
+    for (const rtlil::Wire* w : module_.ports()) {
+      if (!w->port_output)
+        continue;
+      for (int i = 0; i < w->width(); ++i) {
+        const SigBit raw(const_cast<rtlil::Wire*>(w), i);
+        outs.emplace_back(bit_name(raw), lit_of(raw));
+      }
+    }
+    for (const auto& cptr : module_.cells()) {
+      if (cptr->type() != CellType::Dff)
+        continue;
+      const SigSpec& d = cptr->port(Port::D);
+      const SigSpec& q = cptr->port(Port::Q);
+      for (int i = 0; i < d.size(); ++i)
+        outs.emplace_back(bit_name(q[i]) + ".D", lit_of(d[i]));
+    }
+    return outs;
+  }
+
+  /// Map only `cells` with AIG outputs `roots` (sub-graph mode).
+  AigMap run_cone(const std::vector<Cell*>& cells, const std::vector<SigBit>& roots) {
+    // Sort the cone cells into evaluation order locally — O(|cone| log) per
+    // query instead of rescanning the whole module.
+    std::vector<Cell*> ordered(cells.begin(), cells.end());
+    std::sort(ordered.begin(), ordered.end(), [&](const Cell* a, const Cell* b) {
+      return index_.topo_position(a) < index_.topo_position(b);
+    });
+    for (Cell* cell : ordered) {
+      if (cell->type() == CellType::Dff)
+        continue;
+      map_cell(*cell);
+    }
+    for (const SigBit& r : roots)
+      result_.aig.add_output(lit_of(r), bit_name(index_.sigmap()(r)));
+    return std::move(result_);
+  }
+
+  AigMap run() {
+    // Create inputs in port order first so the AIG interface is stable.
+    for (const rtlil::Wire* w : module_.ports()) {
+      if (!w->port_input)
+        continue;
+      for (int i = 0; i < w->width(); ++i) {
+        const SigBit raw(const_cast<rtlil::Wire*>(w), i);
+        const SigBit bit = index_.sigmap()(raw);
+        // Name after the port bit (stable across optimization), map by the
+        // canonical bit.
+        if (bit.is_wire() && !result_.bits.count(bit))
+          result_.bits.emplace(bit, result_.aig.add_input(bit_name(raw)));
+      }
+    }
+
+    for (Cell* cell : index_.topo_order()) {
+      if (cell->type() == CellType::Dff)
+        continue; // Q bits appear as free inputs; D handled at the end
+      map_cell(*cell);
+    }
+
+    // Outputs: module output ports, then dff D cones.
+    for (const rtlil::Wire* w : module_.ports()) {
+      if (!w->port_output)
+        continue;
+      for (int i = 0; i < w->width(); ++i) {
+        const SigBit raw(const_cast<rtlil::Wire*>(w), i);
+        result_.aig.add_output(lit_of(raw), bit_name(raw));
+      }
+    }
+    for (const auto& cptr : module_.cells()) {
+      if (cptr->type() != CellType::Dff)
+        continue;
+      // Name next-state outputs after the *Q* bit they feed: Q wires are the
+      // user-visible registers and survive optimization unchanged, while cell
+      // names are generated and shift between designs — CEC matches outputs
+      // by name, so D-cones must be keyed on something stable.
+      const SigSpec& d = cptr->port(Port::D);
+      const SigSpec& q = cptr->port(Port::Q);
+      for (int i = 0; i < d.size(); ++i)
+        result_.aig.add_output(lit_of(d[i]), bit_name(q[i]) + ".D");
+    }
+    return std::move(result_);
+  }
+
+private:
+  Aig& graph() { return shared_graph_ ? *shared_graph_ : result_.aig; }
+
+  Lit shared_input(const std::string& name) {
+    auto it = shared_inputs_->by_name.find(name);
+    if (it != shared_inputs_->by_name.end())
+      return it->second;
+    const Lit l = graph().add_input(name);
+    shared_inputs_->by_name.emplace(name, l);
+    return l;
+  }
+
+  std::string bit_name(const SigBit& bit) const {
+    if (bit.is_const())
+      return "const";
+    return bit.wire->name() + "[" + std::to_string(bit.offset) + "]";
+  }
+
+  /// Literal for a bit; creates an AIG input on first use of an unmapped
+  /// wire bit (primary input, undriven wire, or dff Q).
+  Lit lit_of(const SigBit& raw) {
+    const SigBit bit = index_.sigmap()(raw);
+    if (bit.is_const())
+      return bit.data == State::S1 ? kTrue : kFalse;
+    auto it = result_.bits.find(bit);
+    if (it != result_.bits.end())
+      return it->second;
+    const Lit l = shared_inputs_ ? shared_input(bit_name(bit))
+                                 : result_.aig.add_input(bit_name(bit));
+    result_.bits.emplace(bit, l);
+    return l;
+  }
+
+  std::vector<Lit> sig_lits(const SigSpec& sig) {
+    std::vector<Lit> out;
+    out.reserve(static_cast<size_t>(sig.size()));
+    for (const SigBit& b : sig)
+      out.push_back(lit_of(b));
+    return out;
+  }
+
+  static std::vector<Lit> extend(std::vector<Lit> v, size_t width, bool is_signed) {
+    const Lit fill = (is_signed && !v.empty()) ? v.back() : kFalse;
+    v.resize(width, fill);
+    return v;
+  }
+
+  void set_output(const SigSpec& y, const std::vector<Lit>& lits) {
+    for (int i = 0; i < y.size(); ++i) {
+      const SigBit bit = index_.sigmap()(y[i]);
+      if (!bit.is_wire())
+        continue;
+      const Lit l = i < static_cast<int>(lits.size()) ? lits[static_cast<size_t>(i)] : kFalse;
+      result_.bits[bit] = l;
+    }
+  }
+
+  std::vector<Lit> ripple_add(const std::vector<Lit>& a, const std::vector<Lit>& b, Lit cin) {
+    std::vector<Lit> sum(a.size());
+    Lit carry = cin;
+    for (size_t i = 0; i < a.size(); ++i) {
+      const Lit axb = graph().xor_(a[i], b[i]);
+      sum[i] = graph().xor_(axb, carry);
+      // carry = a&b | carry&(a^b)
+      carry = graph().or_(graph().and_(a[i], b[i]), graph().and_(carry, axb));
+    }
+    return sum;
+  }
+
+  Lit reduce_and(const std::vector<Lit>& v) {
+    Lit acc = kTrue;
+    for (Lit l : v)
+      acc = graph().and_(acc, l);
+    return acc;
+  }
+  Lit reduce_or(const std::vector<Lit>& v) {
+    Lit acc = kFalse;
+    for (Lit l : v)
+      acc = graph().or_(acc, l);
+    return acc;
+  }
+  Lit reduce_xor(const std::vector<Lit>& v) {
+    Lit acc = kFalse;
+    for (Lit l : v)
+      acc = graph().xor_(acc, l);
+    return acc;
+  }
+
+  /// Unsigned a < b over equal-width vectors (ripple from LSB).
+  Lit less_unsigned(const std::vector<Lit>& a, const std::vector<Lit>& b) {
+    Lit lt = kFalse;
+    for (size_t i = 0; i < a.size(); ++i) {
+      const Lit eq = graph().xnor_(a[i], b[i]);
+      const Lit here = graph().and_(lit_not(a[i]), b[i]);
+      lt = graph().or_(here, graph().and_(eq, lt));
+    }
+    return lt;
+  }
+
+  void map_cell(Cell& cell) {
+    const auto& p = cell.params();
+    Aig& g = graph();
+
+    if (rtlil::cell_is_unary(cell.type())) {
+      std::vector<Lit> a = sig_lits(cell.port(Port::A));
+      std::vector<Lit> y;
+      switch (cell.type()) {
+      case CellType::Not: {
+        a = extend(std::move(a), static_cast<size_t>(p.y_width), p.a_signed);
+        for (Lit l : a)
+          y.push_back(lit_not(l));
+        break;
+      }
+      case CellType::Pos:
+        y = extend(std::move(a), static_cast<size_t>(p.y_width), p.a_signed);
+        break;
+      case CellType::Neg: {
+        a = extend(std::move(a), static_cast<size_t>(p.y_width), p.a_signed);
+        std::vector<Lit> na;
+        for (Lit l : a)
+          na.push_back(lit_not(l));
+        y = ripple_add(na, std::vector<Lit>(na.size(), kFalse), kTrue);
+        break;
+      }
+      case CellType::ReduceAnd: y.push_back(reduce_and(a)); break;
+      case CellType::ReduceOr:
+      case CellType::ReduceBool: y.push_back(reduce_or(a)); break;
+      case CellType::ReduceXor: y.push_back(reduce_xor(a)); break;
+      case CellType::ReduceXnor: y.push_back(lit_not(reduce_xor(a))); break;
+      case CellType::LogicNot: y.push_back(lit_not(reduce_or(a))); break;
+      default: throw std::logic_error("aigmap: unhandled unary");
+      }
+      set_output(cell.port(Port::Y), extend(std::move(y), static_cast<size_t>(p.y_width), false));
+      return;
+    }
+
+    if (rtlil::cell_is_binary(cell.type())) {
+      std::vector<Lit> a = sig_lits(cell.port(Port::A));
+      std::vector<Lit> b = sig_lits(cell.port(Port::B));
+      const bool sign = p.a_signed && p.b_signed;
+      std::vector<Lit> y;
+      switch (cell.type()) {
+      case CellType::And:
+      case CellType::Or:
+      case CellType::Xor:
+      case CellType::Xnor: {
+        a = extend(std::move(a), static_cast<size_t>(p.y_width), p.a_signed);
+        b = extend(std::move(b), static_cast<size_t>(p.y_width), p.b_signed);
+        for (size_t i = 0; i < a.size(); ++i) {
+          switch (cell.type()) {
+          case CellType::And: y.push_back(g.and_(a[i], b[i])); break;
+          case CellType::Or: y.push_back(g.or_(a[i], b[i])); break;
+          case CellType::Xor: y.push_back(g.xor_(a[i], b[i])); break;
+          default: y.push_back(g.xnor_(a[i], b[i])); break;
+          }
+        }
+        break;
+      }
+      case CellType::Add:
+      case CellType::Sub: {
+        const size_t w = static_cast<size_t>(p.y_width);
+        a = extend(std::move(a), w, p.a_signed);
+        b = extend(std::move(b), w, p.b_signed);
+        if (cell.type() == CellType::Sub) {
+          for (Lit& l : b)
+            l = lit_not(l);
+          y = ripple_add(a, b, kTrue);
+        } else {
+          y = ripple_add(a, b, kFalse);
+        }
+        break;
+      }
+      case CellType::Mul: {
+        const size_t w = static_cast<size_t>(p.y_width);
+        a = extend(std::move(a), w, p.a_signed);
+        b = extend(std::move(b), w, p.b_signed);
+        std::vector<Lit> acc(w, kFalse);
+        for (size_t i = 0; i < w; ++i) {
+          std::vector<Lit> pp(w, kFalse);
+          for (size_t j = i; j < w; ++j)
+            pp[j] = g.and_(a[j - i], b[i]);
+          acc = ripple_add(acc, pp, kFalse);
+        }
+        y = acc;
+        break;
+      }
+      case CellType::Shl:
+      case CellType::Shr:
+      case CellType::Sshr: {
+        const size_t w = std::max({a.size(), static_cast<size_t>(p.y_width)});
+        a = extend(std::move(a), w, p.a_signed);
+        const Lit fill =
+            (cell.type() == CellType::Sshr && p.a_signed && !a.empty()) ? a.back() : kFalse;
+        // Barrel shifter over the low bits of B; any higher set bit of B
+        // shifts everything out.
+        size_t stages = 0;
+        while ((size_t(1) << stages) < w)
+          ++stages;
+        ++stages; // allow shifting fully out
+        std::vector<Lit> cur = a;
+        for (size_t s = 0; s < std::min(stages, b.size()); ++s) {
+          const size_t dist = size_t(1) << s;
+          std::vector<Lit> shifted(cur.size(), fill);
+          for (size_t i = 0; i < cur.size(); ++i) {
+            if (cell.type() == CellType::Shl) {
+              shifted[i] = (i >= dist) ? cur[i - dist] : kFalse;
+            } else {
+              shifted[i] = (i + dist < cur.size()) ? cur[i + dist] : fill;
+            }
+          }
+          std::vector<Lit> next(cur.size());
+          for (size_t i = 0; i < cur.size(); ++i)
+            next[i] = g.mux_(b[s], shifted[i], cur[i]);
+          cur = next;
+        }
+        if (b.size() > stages) {
+          std::vector<Lit> high(b.begin() + static_cast<long>(stages), b.end());
+          const Lit any_high = reduce_or(high);
+          for (Lit& l : cur)
+            l = g.mux_(any_high, fill, l);
+        }
+        y = cur;
+        break;
+      }
+      case CellType::Lt:
+      case CellType::Le:
+      case CellType::Ge:
+      case CellType::Gt: {
+        const size_t w = std::max(a.size(), b.size());
+        a = extend(std::move(a), w, p.a_signed);
+        b = extend(std::move(b), w, p.b_signed);
+        if (sign && w > 0) {
+          // Signed compare == unsigned compare with inverted sign bits.
+          a.back() = lit_not(a.back());
+          b.back() = lit_not(b.back());
+        }
+        const Lit lt = less_unsigned(a, b);
+        Lit r = kFalse;
+        switch (cell.type()) {
+        case CellType::Lt: r = lt; break;
+        case CellType::Ge: r = lit_not(lt); break;
+        case CellType::Le: r = lit_not(less_unsigned(b, a)); break;
+        default: r = less_unsigned(b, a); break;
+        }
+        y.push_back(r);
+        break;
+      }
+      case CellType::Eq:
+      case CellType::Ne: {
+        const size_t w = std::max(a.size(), b.size());
+        a = extend(std::move(a), w, p.a_signed);
+        b = extend(std::move(b), w, p.b_signed);
+        Lit eq = kTrue;
+        for (size_t i = 0; i < w; ++i)
+          eq = g.and_(eq, g.xnor_(a[i], b[i]));
+        y.push_back(cell.type() == CellType::Eq ? eq : lit_not(eq));
+        break;
+      }
+      case CellType::LogicAnd:
+      case CellType::LogicOr: {
+        const Lit la = reduce_or(a);
+        const Lit lb = reduce_or(b);
+        y.push_back(cell.type() == CellType::LogicAnd ? g.and_(la, lb) : g.or_(la, lb));
+        break;
+      }
+      default:
+        throw std::logic_error("aigmap: unhandled binary");
+      }
+      set_output(cell.port(Port::Y), extend(std::move(y), static_cast<size_t>(p.y_width), false));
+      return;
+    }
+
+    if (cell.type() == CellType::Mux) {
+      const std::vector<Lit> a = sig_lits(cell.port(Port::A));
+      const std::vector<Lit> b = sig_lits(cell.port(Port::B));
+      const Lit s = lit_of(cell.port(Port::S)[0]);
+      std::vector<Lit> y(a.size());
+      for (size_t i = 0; i < a.size(); ++i)
+        y[i] = graph().mux_(s, b[i], a[i]);
+      set_output(cell.port(Port::Y), y);
+      return;
+    }
+
+    if (cell.type() == CellType::Pmux) {
+      const std::vector<Lit> a = sig_lits(cell.port(Port::A));
+      const std::vector<Lit> b = sig_lits(cell.port(Port::B));
+      const std::vector<Lit> s = sig_lits(cell.port(Port::S));
+      const size_t w = static_cast<size_t>(p.width);
+      std::vector<Lit> y = a;
+      // Priority: lowest set S bit wins, so fold from the last case inward.
+      for (size_t i = s.size(); i-- > 0;) {
+        for (size_t j = 0; j < w; ++j)
+          y[j] = graph().mux_(s[i], b[i * w + j], y[j]);
+      }
+      set_output(cell.port(Port::Y), y);
+      return;
+    }
+
+    throw std::logic_error(std::string("aigmap: unhandled cell type ") +
+                           rtlil::cell_type_name(cell.type()));
+  }
+
+  const Module& module_;
+  std::unique_ptr<rtlil::NetlistIndex> owned_index_;
+  const rtlil::NetlistIndex& index_;
+  AigMap result_;
+  Aig* shared_graph_ = nullptr;
+  SharedInputs* shared_inputs_ = nullptr;
+};
+
+} // namespace
+
+AigMap aigmap(const rtlil::Module& module) { return Mapper(module).run(); }
+
+AigMap aigmap_cone(const rtlil::Module& module, const std::vector<rtlil::Cell*>& cells,
+                   const std::vector<rtlil::SigBit>& roots) {
+  return Mapper(module).run_cone(cells, roots);
+}
+
+AigMap aigmap_cone(const rtlil::Module& module, const rtlil::NetlistIndex& index,
+                   const std::vector<rtlil::Cell*>& cells,
+                   const std::vector<rtlil::SigBit>& roots) {
+  return Mapper(module, index).run_cone(cells, roots);
+}
+
+std::vector<std::pair<std::string, Lit>> aigmap_shared(Aig& graph, SharedInputs& inputs,
+                                                       const rtlil::Module& module) {
+  return Mapper(module, graph, inputs).run_shared();
+}
+
+size_t aig_area(const rtlil::Module& module) {
+  return aigmap(module).aig.num_ands_reachable();
+}
+
+} // namespace smartly::aig

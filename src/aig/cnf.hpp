@@ -1,0 +1,33 @@
+// Tseitin encoding of an AIG into the CDCL solver.
+#pragma once
+
+#include "aig/aig.hpp"
+#include "sat/solver.hpp"
+
+#include <vector>
+
+namespace smartly::aig {
+
+/// Encodes every node of an AIG as one SAT variable with the standard
+/// three-clause AND encoding. Reusable for incremental queries: encode once,
+/// then solve under assumptions on `lit(...)`.
+class CnfEncoder {
+public:
+  explicit CnfEncoder(sat::Solver& solver) : solver_(solver) {}
+
+  /// Encode the whole graph (idempotent per encoder instance).
+  void encode(const Aig& aig);
+
+  /// SAT literal corresponding to an AIG literal.
+  sat::Lit lit(Lit aig_lit) const {
+    return sat::mk_lit(vars_.at(lit_node(aig_lit)), lit_compl(aig_lit));
+  }
+
+  sat::Solver& solver() noexcept { return solver_; }
+
+private:
+  sat::Solver& solver_;
+  std::vector<sat::Var> vars_;
+};
+
+} // namespace smartly::aig

@@ -1,0 +1,26 @@
+// AIGER format I/O (http://fmv.jku.at/aiger/) for the AIG package.
+//
+// Supports the combinational subset (no latches): ASCII ("aag") and binary
+// ("aig") variants, with the symbol table for input/output names. This is the
+// standard interchange format for AIG-based tools (ABC, aigsim, ...), which
+// makes the paper's area metric externally auditable.
+#pragma once
+
+#include "aig/aig.hpp"
+
+#include <string>
+
+namespace smartly::backend {
+
+/// Serialize to ASCII AIGER ("aag"). Includes a symbol table.
+std::string write_aiger_ascii(const aig::Aig& aig);
+
+/// Serialize to binary AIGER ("aig"). Nodes are renumbered topologically as
+/// the format requires; includes a symbol table.
+std::string write_aiger_binary(const aig::Aig& aig);
+
+/// Parse either variant (auto-detected from the header). Throws
+/// std::runtime_error on malformed input or unsupported features (latches).
+aig::Aig read_aiger(const std::string& text);
+
+} // namespace smartly::backend

@@ -1,0 +1,17 @@
+// Human-readable RTLIL text dump (Yosys `write_rtlil`/`dump` analogue).
+//
+// Purely diagnostic: a stable, greppable rendering of a module's wires,
+// cells, and connections for debugging passes and inspecting optimizer
+// output. Not meant to be parsed back (use write_verilog for round trips).
+#pragma once
+
+#include "rtlil/module.hpp"
+
+#include <string>
+
+namespace smartly::backend {
+
+std::string write_rtlil(const rtlil::Module& module);
+std::string write_rtlil(const rtlil::Design& design);
+
+} // namespace smartly::backend

@@ -1,0 +1,22 @@
+// Verilog backend — emit an RTLIL module as synthesizable Verilog.
+//
+// The emitted text uses only constructs our own frontend accepts, so a
+// write -> read round trip is a well-defined operation; the property tests
+// prove `read(write(m))` combinationally equivalent to `m`. This is also how
+// `opt_tool -o out.v` exports optimized netlists.
+#pragma once
+
+#include "rtlil/module.hpp"
+
+#include <string>
+
+namespace smartly::backend {
+
+/// Render one module. Cells become `assign`/`always` statements; $mux and
+/// $pmux become ternary chains; $dff becomes an `always @(posedge ...)`.
+std::string write_verilog(const rtlil::Module& module);
+
+/// Render every module in the design.
+std::string write_verilog(const rtlil::Design& design);
+
+} // namespace smartly::backend

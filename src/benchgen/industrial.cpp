@@ -1,0 +1,40 @@
+#include "benchgen/industrial.hpp"
+
+#include "benchgen/verilog_gen.hpp"
+#include "util/log.hpp"
+
+namespace smartly::benchgen {
+
+BenchCircuit generate_industrial(int test_point, int scale, uint64_t seed) {
+  // Selection-logic dominated: almost everything is a muxtree, and the
+  // control logic is interdependent (grant/mask/valid chains), which is
+  // exactly where the syntactic baseline "has almost no optimization effect".
+  Profile p;
+  p.case_chains = 24 * scale;
+  p.case_sel_min = 4;
+  p.case_sel_max = 6;
+  p.case_items_scale = 1; // dense, heavily shared case tables
+  p.dependent = 80 * scale;
+  p.dependent_depth = 7;
+  p.same_ctrl = 1; // almost no baseline-visible redundancy (paper: "almost
+                   // no optimization effect" for Yosys on this suite)
+  p.decoders = 2 * scale;
+  p.decoder_sel = 5;
+  p.datapath = 3; // thin datapath: selection logic dominates
+  p.width = 24;
+  p.registered_outputs = 8 * scale;
+  return generate_circuit("industrial_tp" + std::to_string(test_point), p, seed);
+}
+
+std::vector<BenchCircuit> industrial_suite(int base_scale) {
+  std::vector<BenchCircuit> out;
+  uint64_t seed = 0x1d057a1;
+  // 8 test points; 3 (37.5%) at 3x the base scale ("more than one million
+  // AIG nodes" in the paper's units).
+  const int scales[8] = {1, 1, 3, 1, 3, 1, 1, 3};
+  for (int i = 0; i < 8; ++i)
+    out.push_back(generate_industrial(i, scales[i] * base_scale, seed += 0x777));
+  return out;
+}
+
+} // namespace smartly::benchgen

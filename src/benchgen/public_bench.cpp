@@ -1,0 +1,128 @@
+#include "benchgen/public_bench.hpp"
+
+#include "benchgen/verilog_gen.hpp"
+#include "util/log.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace smartly::benchgen {
+
+BenchCircuit generate_circuit(const std::string& name, const Profile& p, uint64_t seed) {
+  VerilogGen g(name, seed);
+  Rng& rng = g.rng();
+
+  int reg_budget = p.registered_outputs;
+  auto maybe_register = [&](const std::string& sig, int width) {
+    if (reg_budget > 0 && rng.chance(0.5)) {
+      --reg_budget;
+      g.expose(g.pipeline_reg(sig, width), width);
+    } else {
+      g.expose(sig, width);
+    }
+  };
+
+  for (int i = 0; i < p.case_chains; ++i) {
+    const int sel = static_cast<int>(rng.range(p.case_sel_min, p.case_sel_max));
+    const int max_items = 1 << sel;
+    // case_items_scale controls label density: scale 1 -> near-exhaustive
+    // cases (the last branch becomes inferable), larger scales -> sparse
+    // cases where no control value is implied by the others.
+    const int hi = std::max(2, max_items / p.case_items_scale);
+    const int items = std::max<int>(2, static_cast<int>(rng.range(std::max(2, hi / 2), hi)));
+    const bool casez = rng.chance(p.casez_chance);
+    const std::string y = g.case_chain(sel, items, p.width, casez);
+    maybe_register(y, p.width);
+  }
+  for (int i = 0; i < p.dependent; ++i) {
+    const int depth = std::max<int>(1, static_cast<int>(rng.range(p.dependent_depth - 1,
+                                                                  p.dependent_depth + 1)));
+    maybe_register(g.dependent_select(p.width, depth), p.width);
+  }
+  for (int i = 0; i < p.same_ctrl; ++i)
+    maybe_register(g.same_ctrl_redundant(p.width), p.width);
+  for (int i = 0; i < p.decoders; ++i) {
+    const int arms = std::max<int>(2, (1 << p.decoder_sel) * 3 / 4);
+    maybe_register(g.priority_decoder(p.decoder_sel, arms, p.width), p.width);
+  }
+  for (int i = 0; i < p.datapath; ++i)
+    maybe_register(g.datapath(p.width, 3), p.width);
+
+  return {name, g.finish()};
+}
+
+Profile profile_for(const std::string& name) {
+  // Mixes follow Table III: the dominant engine per circuit and the overall
+  // headroom left by the baseline.
+  static const std::map<std::string, Profile> profiles = {
+      // Rebuild-dominant, very large, wide case trees; essentially nothing
+      // for the SAT engine (paper: Rebuild 24.91% / SAT 0.01%).
+      {"top_cache_axi",
+       {.case_chains = 26, .case_sel_min = 5, .case_sel_max = 6, .case_items_scale = 1,
+        .casez_chance = 0.0, .dependent = 0, .dependent_depth = 2, .same_ctrl = 6, .decoders = 0,
+        .decoder_sel = 5, .datapath = 24, .width = 32, .registered_outputs = 10}},
+      // Balanced, small gains (0.71% / 2.01%).
+      {"pci_bridge32",
+       {.case_chains = 3, .case_sel_min = 3, .case_sel_max = 4, .case_items_scale = 2,
+        .dependent = 2, .dependent_depth = 3, .same_ctrl = 14, .decoders = 1,
+        .decoder_sel = 4, .datapath = 34, .width = 32, .registered_outputs = 8}},
+      // SAT-dominant crossbar arbitration (19.05% / 4.65%).
+      {"wb_conmax",
+       {.case_chains = 3, .case_sel_min = 3, .case_sel_max = 3, .case_items_scale = 4,
+        .dependent = 14, .dependent_depth = 4, .same_ctrl = 10, .decoders = 2,
+        .decoder_sel = 4, .datapath = 24, .width = 16, .registered_outputs = 6}},
+      // Already near-optimal for the baseline (0.12% / 0.47%).
+      {"mem_ctrl",
+       {.case_chains = 1, .case_sel_min = 3, .case_sel_max = 3, .case_items_scale = 1,
+        .dependent = 0, .dependent_depth = 2, .same_ctrl = 42, .decoders = 0,
+        .decoder_sel = 4, .datapath = 40, .width = 16, .registered_outputs = 8}},
+      // SAT-leaning DMA channel arbitration, Rebuild nearly idle
+      // (11.52% / 0.80%).
+      {"wb_dma",
+       {.case_chains = 0, .case_sel_min = 3, .case_sel_max = 3, .case_items_scale = 2,
+        .dependent = 8, .dependent_depth = 4, .same_ctrl = 12, .decoders = 1,
+        .decoder_sel = 4, .datapath = 30, .width = 16, .registered_outputs = 6}},
+      // CPU core, modest gains (0.71% / 1.61%).
+      {"tv80",
+       {.case_chains = 4, .case_sel_min = 3, .case_sel_max = 4, .case_items_scale = 3,
+        .dependent = 2, .dependent_depth = 2, .same_ctrl = 18, .decoders = 2,
+        .decoder_sel = 4, .datapath = 34, .width = 8, .registered_outputs = 10}},
+      // (1.60% / 1.69%).
+      {"usb_funct",
+       {.case_chains = 4, .case_sel_min = 3, .case_sel_max = 4, .case_items_scale = 3,
+        .dependent = 5, .dependent_depth = 3, .same_ctrl = 14, .decoders = 2,
+        .decoder_sel = 4, .datapath = 26, .width = 16, .registered_outputs = 8}},
+      // Datapath-heavy MAC, tiny gains (0.49% / 0.48%).
+      {"ethernet",
+       {.case_chains = 1, .case_sel_min = 3, .case_sel_max = 3, .case_items_scale = 4,
+        .dependent = 1, .dependent_depth = 2, .same_ctrl = 8, .decoders = 1,
+        .decoder_sel = 4, .datapath = 60, .width = 32, .registered_outputs = 12}},
+      // Decoder-flavored core, Rebuild-leaning (0.17% / 1.97%).
+      {"riscv",
+       {.case_chains = 6, .case_sel_min = 4, .case_sel_max = 5, .case_items_scale = 3,
+        .casez_chance = 0.0, .dependent = 0, .dependent_depth = 2, .same_ctrl = 6, .decoders = 2,
+        .decoder_sel = 5, .datapath = 36, .width = 32, .registered_outputs = 10}},
+      // Small, config-register case trees (1.34% / 5.36%).
+      {"ac97_ctrl",
+       {.case_chains = 6, .case_sel_min = 4, .case_sel_max = 4, .case_items_scale = 2,
+        .casez_chance = 0.1, .dependent = 2, .dependent_depth = 3, .same_ctrl = 8, .decoders = 1,
+        .decoder_sel = 4, .datapath = 14, .width = 16, .registered_outputs = 4}},
+  };
+  auto it = profiles.find(name);
+  if (it == profiles.end())
+    throw std::invalid_argument("unknown benchmark circuit: " + name);
+  return it->second;
+}
+
+std::vector<BenchCircuit> public_suite() {
+  const char* order[] = {"top_cache_axi", "pci_bridge32", "wb_conmax", "mem_ctrl",
+                         "wb_dma",        "tv80",         "usb_funct", "ethernet",
+                         "riscv",         "ac97_ctrl"};
+  std::vector<BenchCircuit> out;
+  uint64_t seed = 0x5eed2005;
+  for (const char* name : order)
+    out.push_back(generate_circuit(name, profile_for(name), seed += 0x9e37));
+  return out;
+}
+
+} // namespace smartly::benchgen

@@ -1,0 +1,125 @@
+#include "benchgen/random_circuit.hpp"
+
+#include "benchgen/verilog_gen.hpp"
+#include "util/hashing.hpp"
+
+#include <vector>
+
+namespace smartly::benchgen {
+
+using rtlil::CellType;
+using rtlil::Design;
+using rtlil::Module;
+using rtlil::SigSpec;
+using rtlil::Wire;
+
+std::string random_verilog(uint64_t seed, int size) {
+  VerilogGen g("rand_top", seed);
+  Rng& rng = g.rng();
+  for (int i = 0; i < size; ++i) {
+    const int width = static_cast<int>(rng.range(1, 12));
+    switch (rng.below(5)) {
+    case 0: {
+      const int sel = static_cast<int>(rng.range(2, 4));
+      g.expose(g.case_chain(sel, static_cast<int>(rng.range(2, 1 << sel)), width,
+                            rng.chance(0.5)),
+               width);
+      break;
+    }
+    case 1:
+      g.expose(g.dependent_select(width, static_cast<int>(rng.range(1, 4))), width);
+      break;
+    case 2:
+      g.expose(g.same_ctrl_redundant(width), width);
+      break;
+    case 3:
+      g.expose(g.priority_decoder(static_cast<int>(rng.range(2, 4)),
+                                  static_cast<int>(rng.range(2, 6)), width),
+               width);
+      break;
+    default:
+      g.expose(g.datapath(width, static_cast<int>(rng.range(1, 4))), width);
+      break;
+    }
+  }
+  return g.finish();
+}
+
+Module* random_netlist(Design& design, const std::string& name, uint64_t seed, int n_cells) {
+  Rng rng(seed);
+  Module* m = design.add_module(name);
+
+  // Signal pool seeded with primary inputs.
+  std::vector<SigSpec> pool;
+  const int n_inputs = 4 + static_cast<int>(rng.below(4));
+  for (int i = 0; i < n_inputs; ++i) {
+    Wire* w = m->add_wire("pi" + std::to_string(i), static_cast<int>(rng.range(1, 8)));
+    m->set_port_input(w);
+    pool.emplace_back(w);
+  }
+  auto pick = [&]() -> const SigSpec& { return pool[rng.below(pool.size())]; };
+
+  static const CellType kTypes[] = {
+      CellType::Not,      CellType::Neg,       CellType::ReduceAnd, CellType::ReduceOr,
+      CellType::ReduceXor, CellType::LogicNot, CellType::And,       CellType::Or,
+      CellType::Xor,      CellType::Xnor,      CellType::Shl,       CellType::Shr,
+      CellType::Add,      CellType::Sub,       CellType::Mul,       CellType::Lt,
+      CellType::Le,       CellType::Eq,        CellType::Ne,        CellType::Ge,
+      CellType::Gt,       CellType::LogicAnd,  CellType::LogicOr,   CellType::Mux,
+      CellType::Pmux,
+  };
+
+  for (int i = 0; i < n_cells; ++i) {
+    const CellType t = kTypes[rng.below(sizeof(kTypes) / sizeof(kTypes[0]))];
+    if (rtlil::cell_is_unary(t)) {
+      const SigSpec a = pick();
+      const int yw = rtlil::cell_is_compare(t) || t == CellType::LogicNot ||
+                             t == CellType::ReduceAnd || t == CellType::ReduceOr ||
+                             t == CellType::ReduceXor
+                         ? 1
+                         : static_cast<int>(rng.range(1, 8));
+      pool.push_back(m->add_unary(t, a, yw, rng.chance(0.3)));
+    } else if (rtlil::cell_is_binary(t)) {
+      const SigSpec a = pick();
+      const SigSpec b = pick();
+      int yw;
+      if (rtlil::cell_is_compare(t) || t == CellType::LogicAnd || t == CellType::LogicOr)
+        yw = 1;
+      else
+        yw = static_cast<int>(rng.range(1, 8));
+      const bool sgn = rng.chance(0.25);
+      pool.push_back(m->add_binary(t, a, b, yw, sgn, sgn));
+    } else if (t == CellType::Mux) {
+      SigSpec a = pick();
+      SigSpec b = pick();
+      const int w = std::max(a.size(), b.size());
+      a = a.extended(w, false);
+      b = b.extended(w, false);
+      SigSpec s = pick();
+      pool.push_back(m->Mux(a, b, s.extract(0, 1)));
+    } else { // Pmux
+      const int w = static_cast<int>(rng.range(1, 6));
+      const int n = static_cast<int>(rng.range(2, 4));
+      SigSpec a = pick().extended(w, false);
+      SigSpec b, s;
+      for (int j = 0; j < n; ++j) {
+        b.append(pick().extended(w, false));
+        s.append(pick().extract(0, 1));
+      }
+      pool.push_back(m->Pmux(a, b, s));
+    }
+  }
+
+  // Expose the last few results as outputs.
+  const int n_out = std::min<size_t>(4, pool.size());
+  for (int i = 0; i < n_out; ++i) {
+    const SigSpec& sig = pool[pool.size() - 1 - static_cast<size_t>(i)];
+    Wire* w = m->add_wire("po" + std::to_string(i), sig.size());
+    m->set_port_output(w);
+    m->connect(SigSpec(w), sig);
+  }
+  m->check();
+  return m;
+}
+
+} // namespace smartly::benchgen

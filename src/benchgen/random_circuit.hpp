@@ -1,0 +1,26 @@
+// Random circuit generation for property-based testing.
+//
+// Two flavors:
+//  * random_verilog     — random mixes of the structural motifs, run through
+//    the full frontend; used for end-to-end "optimize then prove equivalent"
+//    properties.
+//  * random_netlist     — random word-level cell DAGs built directly on the
+//    IR (all cell types, random widths); used to cross-validate the
+//    word-level evaluator against AIG bit-blasting and the SAT encoding.
+#pragma once
+
+#include "rtlil/module.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace smartly::benchgen {
+
+std::string random_verilog(uint64_t seed, int size = 6);
+
+/// Build a random combinational module named `name` into `design`.
+/// Returns the module. Widths are kept <= 8 so exhaustive checks stay cheap.
+rtlil::Module* random_netlist(rtlil::Design& design, const std::string& name, uint64_t seed,
+                              int n_cells);
+
+} // namespace smartly::benchgen

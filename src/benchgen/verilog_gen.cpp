@@ -1,0 +1,254 @@
+#include "benchgen/verilog_gen.hpp"
+
+#include "util/log.hpp"
+
+#include <algorithm>
+
+namespace smartly::benchgen {
+
+namespace {
+
+std::string range(int width) {
+  return width == 1 ? std::string() : str_format("[%d:0] ", width - 1);
+}
+
+/// Verilog sized binary literal for `value` (width bits).
+std::string bin_literal(uint64_t value, int width) {
+  std::string bits;
+  for (int i = width - 1; i >= 0; --i)
+    bits.push_back(((value >> i) & 1) ? '1' : '0');
+  return str_format("%d'b%s", width, bits.c_str());
+}
+
+} // namespace
+
+VerilogGen::VerilogGen(std::string module_name, uint64_t seed)
+    : name_(std::move(module_name)), rng_(seed) {}
+
+std::string VerilogGen::fresh(const char* prefix) {
+  return str_format("%s_%llu", prefix, static_cast<unsigned long long>(counter_++));
+}
+
+std::string VerilogGen::input(int width) {
+  const std::string n = fresh("in");
+  decls_ += str_format("  input %s%s;\n", range(width).c_str(), n.c_str());
+  ports_.push_back(n);
+  return n;
+}
+
+std::string VerilogGen::wire(int width) {
+  const std::string n = fresh("w");
+  decls_ += str_format("  wire %s%s;\n", range(width).c_str(), n.c_str());
+  return n;
+}
+
+void VerilogGen::expose(const std::string& signal, int width) {
+  const std::string n = fresh("out");
+  decls_ += str_format("  output %s%s;\n", range(width).c_str(), n.c_str());
+  body_ += str_format("  assign %s = %s;\n", n.c_str(), signal.c_str());
+  ports_.push_back(n);
+}
+
+void VerilogGen::raw(const std::string& text) { body_ += text; }
+
+std::string VerilogGen::case_chain(int sel_width, int n_items, int width, bool casez) {
+  const std::string sel = input(sel_width);
+  const std::string y = fresh("y");
+  decls_ += str_format("  reg %s%s;\n", range(width).c_str(), y.c_str());
+
+  // Data leaves: a mix of fresh inputs and constants, some shared between
+  // items so the ADD has repeated terminals (that is what makes a good
+  // variable order pay off, §III).
+  // Heavy sharing (few distinct values across many labels) is what makes the
+  // rebuilt ADD much smaller than the original chain — config/status muxes in
+  // real RTL typically select among a handful of registers.
+  std::vector<std::string> leaves;
+  const int n_leaves = std::max(2, n_items / 4 + 1);
+  for (int i = 0; i < n_leaves; ++i) {
+    if (rng_.chance(0.25))
+      leaves.push_back(bin_literal(rng_.next() & ((width >= 64 ? ~0ull : (1ull << width) - 1)),
+                                   width));
+    else
+      leaves.push_back(input(width));
+  }
+
+  body_ += str_format("  always @(*) begin\n    %s(%s)\n", casez ? "casez" : "case",
+                      sel.c_str());
+  const uint64_t space = uint64_t(1) << sel_width;
+  for (int i = 0; i < n_items && static_cast<uint64_t>(i) < space; ++i) {
+    std::string label;
+    if (casez && i > 0 && rng_.chance(0.4)) {
+      // One-hot-with-wildcards label (paper Listing 2 style: 1zz / 01z / 001).
+      const int hot = static_cast<int>(rng_.below(static_cast<uint64_t>(sel_width)));
+      std::string bits;
+      for (int j = sel_width - 1; j >= 0; --j)
+        bits.push_back(j > hot ? '0' : (j == hot ? '1' : 'z'));
+      label = str_format("%d'b%s", sel_width, bits.c_str());
+    } else {
+      label = bin_literal(static_cast<uint64_t>(i), sel_width);
+    }
+    const std::string& leaf = leaves[rng_.below(leaves.size())];
+    body_ += str_format("      %s: %s = %s;\n", label.c_str(), y.c_str(), leaf.c_str());
+  }
+  body_ += str_format("      default: %s = %s;\n    endcase\n  end\n", y.c_str(),
+                      leaves[rng_.below(leaves.size())].c_str());
+  return y;
+}
+
+std::string VerilogGen::dependent_chain(int width, int length) {
+  const std::string s = input(1);
+  std::vector<std::string> k;
+  std::string prev = s;
+  for (int i = 0; i < length; ++i) {
+    const std::string r = input(1);
+    const std::string ki = wire(1);
+    body_ += str_format("  assign %s = %s | %s;\n", ki.c_str(), prev.c_str(), r.c_str());
+    k.push_back(ki);
+    prev = ki;
+  }
+  std::vector<std::string> data;
+  for (int i = 0; i <= length + 1; ++i)
+    data.push_back(input(width));
+
+  // Outermost inner control is the far end of the chain (k_{n-1}), so the
+  // first oracle query under the s=1 path condition must pull the whole
+  // or-chain into the sub-graph to prove it forced.
+  std::string expr = data[0];
+  for (int i = 0; i < length; ++i)
+    expr = str_format("(%s ? %s : %s)", k[static_cast<size_t>(i)].c_str(),
+                      data[static_cast<size_t>(i + 1)].c_str(), expr.c_str());
+  expr = str_format("%s ? %s : %s", s.c_str(), expr.c_str(), data.back().c_str());
+
+  const std::string y = wire(width);
+  body_ += str_format("  assign %s = %s;\n", y.c_str(), expr.c_str());
+  return y;
+}
+
+std::string VerilogGen::dependent_select(int width, int depth) {
+  // Controls: s0..s_{depth-1} plus r; inner conditions are disjunctions /
+  // conjunctions of outer ones, so their value is implied on the active path.
+  std::vector<std::string> s;
+  for (int i = 0; i < depth; ++i)
+    s.push_back(input(1));
+  const std::string r = input(1);
+
+  std::vector<std::string> data;
+  for (int i = 0; i <= depth + 1; ++i)
+    data.push_back(input(width));
+
+  // Shape (depth 2 example):
+  //   y = s0 ? ((s0 | r) ? ((s1 & s0) | s1 ? ... ) : d_k) : d_last
+  // Every second level uses a dependent condition.
+  std::string expr = data.back();
+  for (int i = depth - 1; i >= 0; --i) {
+    std::string cond;
+    switch (rng_.below(3)) {
+    case 0: // implied-true on the s_i branch: (s_i | x)
+      cond = str_format("(%s | %s)", s[static_cast<size_t>(i)].c_str(), r.c_str());
+      break;
+    case 1: // implied-false under !s_j ... use conjunction with ancestor
+      cond = str_format("(%s & %s)", s[static_cast<size_t>(i)].c_str(),
+                        s[static_cast<size_t>((i + 1) % depth)].c_str());
+      break;
+    default:
+      cond = s[static_cast<size_t>(i)];
+      break;
+    }
+    const std::string inner =
+        str_format("(%s ? %s : %s)", cond.c_str(), data[static_cast<size_t>(i)].c_str(),
+                   expr.c_str());
+    // Outer guard on the *plain* signal makes the inner condition dependent.
+    expr = str_format("(%s ? %s : %s)", s[static_cast<size_t>(i)].c_str(), inner.c_str(),
+                      data[static_cast<size_t>(i + 1)].c_str());
+  }
+  const std::string y = wire(width);
+  body_ += str_format("  assign %s = %s;\n", y.c_str(), expr.c_str());
+  return y;
+}
+
+std::string VerilogGen::same_ctrl_redundant(int width) {
+  const std::string s = input(1);
+  const std::string a = input(width);
+  const std::string b = input(width);
+  const std::string c = input(width);
+  const std::string y = wire(width);
+  if (rng_.chance(0.5)) {
+    // Fig. 1: control repeated in a descendant mux.
+    body_ += str_format("  assign %s = %s ? (%s ? %s : %s) : %s;\n", y.c_str(), s.c_str(),
+                        s.c_str(), a.c_str(), b.c_str(), c.c_str());
+  } else {
+    // Fig. 2: control reappears as a data operand (1-bit flavor widened).
+    const std::string g = input(1);
+    body_ += str_format("  assign %s = %s ? (%s ? {%d{%s}} : %s) : %s;\n", y.c_str(),
+                        s.c_str(), g.c_str(), width, s.c_str(), b.c_str(), c.c_str());
+  }
+  return y;
+}
+
+std::string VerilogGen::priority_decoder(int sel_width, int n_arms, int width) {
+  const std::string sel = input(sel_width);
+  std::vector<std::string> data;
+  for (int i = 0; i < n_arms + 1; ++i)
+    data.push_back(input(width));
+  const std::string y = fresh("y");
+  decls_ += str_format("  reg %s%s;\n", range(width).c_str(), y.c_str());
+  body_ += "  always @(*) begin\n";
+  for (int i = 0; i < n_arms; ++i) {
+    body_ += str_format("    %s (%s == %s) %s = %s;\n", i == 0 ? "if" : "else if",
+                        sel.c_str(), bin_literal(static_cast<uint64_t>(i), sel_width).c_str(),
+                        y.c_str(), data[static_cast<size_t>(i)].c_str());
+  }
+  body_ += str_format("    else %s = %s;\n  end\n", y.c_str(), data.back().c_str());
+  return y;
+}
+
+std::string VerilogGen::datapath(int width, int ops) {
+  std::string cur = input(width);
+  for (int i = 0; i < ops; ++i) {
+    const std::string other = rng_.chance(0.5) ? input(width) : cur;
+    const std::string next = wire(width);
+    switch (rng_.below(4)) {
+    case 0:
+      body_ += str_format("  assign %s = %s + %s;\n", next.c_str(), cur.c_str(), other.c_str());
+      break;
+    case 1:
+      body_ += str_format("  assign %s = %s ^ (%s >> 1);\n", next.c_str(), cur.c_str(),
+                          other.c_str());
+      break;
+    case 2:
+      body_ += str_format("  assign %s = %s & ~%s;\n", next.c_str(), cur.c_str(), other.c_str());
+      break;
+    default:
+      body_ += str_format("  assign %s = (%s < %s) ? %s : %s;\n", next.c_str(), cur.c_str(),
+                          other.c_str(), cur.c_str(), other.c_str());
+      break;
+    }
+    cur = next;
+  }
+  return cur;
+}
+
+std::string VerilogGen::pipeline_reg(const std::string& d, int width) {
+  if (!has_clock_) {
+    decls_ += "  input clk;\n";
+    ports_.insert(ports_.begin(), "clk");
+    has_clock_ = true;
+  }
+  const std::string q = fresh("q");
+  decls_ += str_format("  reg %s%s;\n", range(width).c_str(), q.c_str());
+  body_ += str_format("  always @(posedge clk) %s <= %s;\n", q.c_str(), d.c_str());
+  return q;
+}
+
+std::string VerilogGen::finish() {
+  std::string out = "module " + name_ + "(";
+  for (size_t i = 0; i < ports_.size(); ++i) {
+    if (i)
+      out += ", ";
+    out += ports_[i];
+  }
+  out += ");\n" + decls_ + body_ + "endmodule\n";
+  return out;
+}
+
+} // namespace smartly::benchgen

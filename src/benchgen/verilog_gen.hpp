@@ -1,0 +1,85 @@
+// Building blocks for synthetic Verilog benchmark generation.
+//
+// The IWLS-2005 / RISC-V sources the paper evaluates on are not
+// redistributable here, so each benchmark circuit is synthesized from
+// parameterized structural motifs chosen to match the paper's per-circuit
+// narrative (Table III): chain-style `case` muxtrees (Rebuild-sensitive),
+// logically-dependent nested selection (SAT-sensitive), identical-control
+// redundancy (already caught by the Yosys baseline), and plain datapath
+// logic (optimization-neutral filler). See DESIGN.md, "Substitutions".
+#pragma once
+
+#include "util/hashing.hpp"
+
+#include <string>
+#include <vector>
+
+namespace smartly::benchgen {
+
+/// Accumulates the body of one Verilog module and tracks declared signals.
+class VerilogGen {
+public:
+  VerilogGen(std::string module_name, uint64_t seed);
+
+  /// Fresh input (returns its name).
+  std::string input(int width);
+  /// Fresh internal wire driven later by `assign name = ...`.
+  std::string wire(int width);
+  /// Mark an existing signal as (part of) a module output by assigning it to
+  /// a fresh output port.
+  void expose(const std::string& signal, int width);
+
+  void raw(const std::string& text); ///< verbatim body line(s)
+
+  // --- structural motifs ---------------------------------------------------
+
+  /// Chain-style `case (sel) ...` muxtree over a fresh selector; data inputs
+  /// are fresh. Exactly the paper's Listing 1 / Fig. 5 shape. The selector is
+  /// used nowhere else, so restructuring can disconnect all eq cells.
+  /// Returns the result wire. `n_items` <= 2^sel_width.
+  std::string case_chain(int sel_width, int n_items, int width, bool casez);
+
+  /// Nested selection with logically dependent controls, e.g.
+  ///   y = s ? ((s|r) ? a : b) : c          (paper Fig. 3)
+  /// plus deeper and/or variants. Invisible to the syntactic baseline.
+  std::string dependent_select(int width, int depth);
+
+  /// Deep dependence *chain*: k1 = s|r1, k2 = k1|r2, ..., k_n = k_{n-1}|r_n,
+  /// nested as  y = s ? (k1 ? (k2 ? ... : d) : d') : d''.  On the s=1 path
+  /// every k_i is forced, but proving k_i needs the whole or-chain in the
+  /// sub-graph — the workload for the distance-k ablation (bench_ablation A1).
+  std::string dependent_chain(int width, int length);
+
+  /// Identical-control redundancy the baseline already removes
+  ///   y = s ? (s ? a : b) : c              (paper Fig. 1)
+  ///   y = s ? (a ? s : b) : c              (paper Fig. 2)
+  std::string same_ctrl_redundant(int width);
+
+  /// Priority if/else-if decoder comparing one selector against constants
+  /// (case-equivalent but written as ifs; feeds both engines).
+  std::string priority_decoder(int sel_width, int n_arms, int width);
+
+  /// Plain datapath block (add/xor/compare mix) — neutral filler.
+  std::string datapath(int width, int ops);
+
+  /// Registered pipeline stage: q <= d on the shared clock.
+  std::string pipeline_reg(const std::string& d, int width);
+
+  /// Finish: returns the complete module text.
+  std::string finish();
+
+  Rng& rng() noexcept { return rng_; }
+
+private:
+  std::string fresh(const char* prefix);
+
+  std::string name_;
+  Rng rng_;
+  std::string decls_;
+  std::string body_;
+  std::vector<std::string> ports_;
+  bool has_clock_ = false;
+  uint64_t counter_ = 0;
+};
+
+} // namespace smartly::benchgen

@@ -1,0 +1,126 @@
+#include "cec/cec.hpp"
+
+#include "aig/aigmap.hpp"
+#include "aig/cnf.hpp"
+#include "sat/solver.hpp"
+#include "util/log.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace smartly::cec {
+
+using aig::AigMap;
+
+namespace {
+
+/// The two designs must expose the same ports with the same widths and
+/// directions — otherwise "equivalence" is not even well-posed.
+void check_interfaces(const rtlil::Module& gold, const rtlil::Module& gate) {
+  auto describe = [](const rtlil::Wire* w) {
+    return w->name() + "[" + std::to_string(w->width()) + "]" +
+           (w->port_input ? ":in" : ":out");
+  };
+  std::unordered_map<std::string, const rtlil::Wire*> gate_ports;
+  for (const rtlil::Wire* w : gate.ports())
+    gate_ports.emplace(w->name(), w);
+  size_t matched = 0;
+  for (const rtlil::Wire* w : gold.ports()) {
+    auto it = gate_ports.find(w->name());
+    if (it == gate_ports.end())
+      throw std::invalid_argument("CEC: gate design is missing port " + describe(w));
+    const rtlil::Wire* g = it->second;
+    if (g->width() != w->width() || g->port_input != w->port_input ||
+        g->port_output != w->port_output)
+      throw std::invalid_argument("CEC: port mismatch: gold " + describe(w) + " vs gate " +
+                                  describe(g));
+    ++matched;
+  }
+  if (matched != gate_ports.size()) {
+    for (const auto& [name, w] : gate_ports)
+      if (!gold.wire(name) || (!gold.wire(name)->port_input && !gold.wire(name)->port_output))
+        throw std::invalid_argument("CEC: gold design is missing port " + describe(w));
+  }
+}
+
+} // namespace
+
+CecResult check_equivalence(const rtlil::Module& gold, const rtlil::Module& gate) {
+  check_interfaces(gold, gate);
+
+  // Both designs are blasted into ONE structurally hashed graph with inputs
+  // unified by name. Identical cones therefore strash to the same literal,
+  // and the corresponding miter legs vanish before any SAT work — which is
+  // what makes checking a design against a lightly-optimized copy of itself
+  // cheap even when it contains multipliers.
+  aig::Aig graph;
+  aig::SharedInputs inputs;
+  const auto outs0 = aig::aigmap_shared(graph, inputs, gold);
+  const auto outs1 = aig::aigmap_shared(graph, inputs, gate);
+
+  std::unordered_map<std::string, aig::Lit> out1;
+  for (const auto& [name, lit] : outs1)
+    out1.emplace(name, lit);
+
+  struct Pair {
+    std::string name;
+    aig::Lit diff;
+  };
+  std::vector<Pair> pairs;
+  for (const auto& [name, lit] : outs0) {
+    auto it = out1.find(name);
+    if (it == out1.end()) {
+      // Missing dff D-cones belong to registers proven dead and removed by
+      // opt_clean; anything else is an interface violation.
+      if (name.find(".D") == std::string::npos)
+        throw std::invalid_argument("CEC: gate design lost output " + name);
+      continue;
+    }
+    const aig::Lit diff = graph.xor_(lit, it->second);
+    if (diff == aig::kFalse)
+      continue; // structurally identical: proven without SAT
+    pairs.push_back({name, diff});
+  }
+
+  CecResult result;
+  if (pairs.empty()) {
+    result.equivalent = true;
+    return result;
+  }
+
+  sat::Solver solver;
+  aig::CnfEncoder enc(solver);
+  enc.encode(graph);
+  std::vector<sat::Lit> any_diff;
+  for (const Pair& p : pairs)
+    any_diff.push_back(enc.lit(p.diff));
+  if (!solver.add_clause(std::move(any_diff))) {
+    result.equivalent = true;
+    return result;
+  }
+
+  const sat::Result r = solver.solve();
+  if (r == sat::Result::Unsat) {
+    result.equivalent = true;
+    return result;
+  }
+  if (r == sat::Result::Unknown)
+    throw std::runtime_error("CEC: solver budget exhausted");
+
+  result.equivalent = false;
+  for (const Pair& p : pairs) {
+    const sat::Lit l = enc.lit(p.diff);
+    if (solver.model_value(sat::var(l)) != sat::sign(l)) {
+      result.failing_output = p.name;
+      break;
+    }
+  }
+  for (const auto& [name, lit] : inputs.by_name) {
+    const sat::Lit l = enc.lit(lit);
+    result.counterexample.emplace_back(name,
+                                       solver.model_value(sat::var(l)) != sat::sign(l));
+  }
+  return result;
+}
+
+} // namespace smartly::cec

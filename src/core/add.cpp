@@ -1,0 +1,177 @@
+#include "core/add.hpp"
+
+#include "util/hashing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace smartly::core {
+
+namespace {
+
+struct TableHash {
+  size_t operator()(const std::vector<int>& t) const noexcept {
+    uint64_t h = 0x1234;
+    for (int v : t)
+      h = hash_combine(h, static_cast<uint64_t>(static_cast<uint32_t>(v)));
+    return h;
+  }
+};
+
+class Builder {
+public:
+  Builder(int num_bits, bool greedy) : num_bits_(num_bits), greedy_(greedy) {}
+
+  int build(const std::vector<int>& table, std::vector<int> free_bits) {
+    // Constant sub-function -> terminal.
+    if (std::all_of(table.begin(), table.end(), [&](int v) { return v == table[0]; }))
+      return ~table[0];
+    if (free_bits.empty())
+      throw std::logic_error("ADD: non-constant table with no free bits");
+
+    // Memo key includes the bit labels: identical tables reached with
+    // different residual bit orders denote different functions of the
+    // original selector.
+    std::vector<int> memo_key = free_bits;
+    memo_key.push_back(-1);
+    memo_key.insert(memo_key.end(), table.begin(), table.end());
+    auto memo_it = memo_.find(memo_key);
+    if (memo_it != memo_.end())
+      return memo_it->second;
+
+    // Pick the split bit. `free_bits[i]` corresponds to stride 2^i in the
+    // current table (bits are renumbered as the table shrinks).
+    size_t pick = 0;
+    if (greedy_) {
+      size_t best_score = SIZE_MAX;
+      for (size_t i = 0; i < free_bits.size(); ++i) {
+        const auto [lo, hi] = cofactors(table, i);
+        const size_t score = distinct(lo) + distinct(hi);
+        if (score < best_score) {
+          best_score = score;
+          pick = i;
+        }
+      }
+    }
+
+    const auto [lo_t, hi_t] = cofactors(table, pick);
+    const int var = free_bits[pick];
+    std::vector<int> rest = free_bits;
+    rest.erase(rest.begin() + static_cast<long>(pick));
+
+    const int lo = build(lo_t, rest);
+    const int hi = build(hi_t, rest);
+    if (lo == hi) {
+      memo_.emplace(std::move(memo_key), lo);
+      return lo;
+    }
+    // Node-level sharing: identical (var, lo, hi) collapses.
+    const uint64_t key = hash_combine(hash_combine(static_cast<uint64_t>(var),
+                                                   static_cast<uint64_t>(static_cast<uint32_t>(lo))),
+                                      static_cast<uint64_t>(static_cast<uint32_t>(hi)));
+    auto node_it = unique_.find(key);
+    if (node_it != unique_.end()) {
+      memo_.emplace(std::move(memo_key), node_it->second);
+      return node_it->second;
+    }
+    const int id = static_cast<int>(nodes_.size());
+    nodes_.push_back({var, lo, hi});
+    unique_.emplace(key, id);
+    memo_.emplace(std::move(memo_key), id);
+    return id;
+  }
+
+  AddResult finish(int root) {
+    AddResult r;
+    r.root = root;
+    r.nodes = std::move(nodes_);
+    return r;
+  }
+
+  int num_bits() const noexcept { return num_bits_; }
+
+private:
+  /// Split on the bit with stride 2^i: even/odd blocks of that stride.
+  static std::pair<std::vector<int>, std::vector<int>> cofactors(const std::vector<int>& t,
+                                                                 size_t i) {
+    const size_t stride = size_t(1) << i;
+    std::vector<int> lo, hi;
+    lo.reserve(t.size() / 2);
+    hi.reserve(t.size() / 2);
+    for (size_t base = 0; base < t.size(); base += 2 * stride) {
+      for (size_t k = 0; k < stride; ++k) {
+        lo.push_back(t[base + k]);
+        hi.push_back(t[base + stride + k]);
+      }
+    }
+    return {std::move(lo), std::move(hi)};
+  }
+
+  static size_t distinct(const std::vector<int>& t) {
+    std::unordered_set<int> s(t.begin(), t.end());
+    return s.size();
+  }
+
+  int num_bits_;
+  bool greedy_;
+  std::vector<AddNode> nodes_;
+  std::unordered_map<std::vector<int>, int, TableHash> memo_;
+  std::unordered_map<uint64_t, int> unique_;
+};
+
+AddResult build_impl(const std::vector<int>& table, int num_bits, bool greedy) {
+  if (table.size() != (size_t(1) << num_bits))
+    throw std::invalid_argument("ADD: table size must be 2^num_bits");
+  for (int v : table)
+    if (v < 0)
+      throw std::invalid_argument("ADD: terminal ids must be non-negative");
+  Builder b(num_bits, greedy);
+  std::vector<int> free_bits(static_cast<size_t>(num_bits));
+  for (int i = 0; i < num_bits; ++i)
+    free_bits[static_cast<size_t>(i)] = i;
+  const int root = b.build(table, std::move(free_bits));
+  return b.finish(root);
+}
+
+} // namespace
+
+int AddResult::height() const {
+  // Heights via memoized DFS (the DAG is small; recompute on demand).
+  std::vector<int> h(nodes.size(), -1);
+  struct Rec {
+    const AddResult& add;
+    std::vector<int>& h;
+    int operator()(int ref) const {
+      if (add_is_terminal(ref))
+        return 0;
+      if (h[static_cast<size_t>(ref)] >= 0)
+        return h[static_cast<size_t>(ref)];
+      const AddNode& n = add.nodes[static_cast<size_t>(ref)];
+      const int v = 1 + std::max((*this)(n.lo), (*this)(n.hi));
+      h[static_cast<size_t>(ref)] = v;
+      return v;
+    }
+  };
+  return Rec{*this, h}(root);
+}
+
+AddResult build_add(const std::vector<int>& table, int num_bits) {
+  return build_impl(table, num_bits, /*greedy=*/true);
+}
+
+AddResult build_add_fixed_order(const std::vector<int>& table, int num_bits) {
+  return build_impl(table, num_bits, /*greedy=*/false);
+}
+
+int add_eval(const AddResult& add, uint64_t sel_value) {
+  int ref = add.root;
+  while (!add_is_terminal(ref)) {
+    const AddNode& n = add.nodes[static_cast<size_t>(ref)];
+    ref = ((sel_value >> n.var) & 1) ? n.hi : n.lo;
+  }
+  return add_terminal_id(ref);
+}
+
+} // namespace smartly::core

@@ -1,0 +1,53 @@
+// Algebraic Decision Diagram (ADD) over selector bits (paper §III).
+//
+// "smaRTLy collects all the inputs of control ports and corresponding
+// outputs, representing them as an Algebraic Decision Diagram. ADD is a
+// generalization of BDD from {0,1} output sets to arbitrary finite output
+// sets. … we use a simple heuristic algorithm: for each MUX, smaRTLy selects
+// the signal that minimizes the total types of terminal nodes of the left
+// and right children."
+//
+// The function is given extensionally: a table of 2^h terminal ids indexed
+// by the selector value. Nodes are memoized on their cofactor table so equal
+// sub-functions share one node (and later one rebuilt MUX).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace smartly::core {
+
+struct AddNode {
+  int var;  ///< selector bit index this node tests
+  int lo;   ///< child when bit = 0 (node id, or ~terminal_id when negative)
+  int hi;   ///< child when bit = 1
+};
+
+/// `lo`/`hi`/`root` encoding: value >= 0 is an index into `nodes`;
+/// value < 0 encodes terminal id `~value`.
+struct AddResult {
+  int root = ~0;
+  std::vector<AddNode> nodes;
+  /// Number of distinct internal nodes == number of MUXes after rebuild.
+  size_t internal_nodes() const noexcept { return nodes.size(); }
+  /// Longest root-to-terminal path (rebuild height criterion in Check()).
+  int height() const;
+};
+
+inline bool add_is_terminal(int ref) noexcept { return ref < 0; }
+inline int add_terminal_id(int ref) noexcept { return ~ref; }
+
+/// Build a reduced, memoized ADD for `table` (size must be 2^num_bits) with
+/// the paper's greedy bit-selection heuristic. Terminal ids are arbitrary
+/// non-negative ints.
+AddResult build_add(const std::vector<int>& table, int num_bits);
+
+/// Reference ordering (bit 0 first) — used by tests/ablation to show the
+/// value of the heuristic (paper: good assignment 3 MUXes, poor one 7).
+AddResult build_add_fixed_order(const std::vector<int>& table, int num_bits);
+
+/// Evaluate an ADD for a selector value (terminal id). Used by tests.
+int add_eval(const AddResult& add, uint64_t sel_value);
+
+} // namespace smartly::core

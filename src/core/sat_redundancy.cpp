@@ -1,0 +1,153 @@
+#include "core/sat_redundancy.hpp"
+
+#include "aig/aigmap.hpp"
+#include "aig/cnf.hpp"
+#include "core/inference.hpp"
+#include "sim/packed_sim.hpp"
+#include "util/log.hpp"
+
+namespace smartly::core {
+
+using opt::CtrlDecision;
+using opt::KnownMap;
+using rtlil::SigBit;
+
+void InferenceOracle::begin_module(rtlil::Module& module) {
+  module_ = &module;
+  index_ = std::make_unique<rtlil::NetlistIndex>(module);
+}
+
+CtrlDecision InferenceOracle::decide(SigBit ctrl, const KnownMap& known) {
+  ++stats_.queries;
+
+  // Stage 1: syntactic (what the baseline does).
+  if (auto it = known.find(ctrl); it != known.end()) {
+    ++stats_.decided_syntactic;
+    return it->second ? CtrlDecision::One : CtrlDecision::Zero;
+  }
+  if (known.empty())
+    return CtrlDecision::Unknown; // no path condition: nothing to infer from
+
+  // Stage 2: bounded sub-graph around the control port and known signals.
+  std::vector<SigBit> known_bits;
+  known_bits.reserve(known.size());
+  for (const auto& [bit, value] : known) {
+    (void)value;
+    known_bits.push_back(bit);
+  }
+  const Subgraph sg = extract_subgraph(*module_, *index_, ctrl, known_bits, options_.subgraph);
+  stats_.gates_seen += sg.gates_before_filter;
+  stats_.gates_kept += sg.cells.size();
+  if (sg.cells.empty())
+    return CtrlDecision::Unknown;
+
+  // Stage 3: Table I inference rules.
+  if (options_.use_inference) {
+    InferenceEngine engine(sg.cells, index_->sigmap());
+    bool ok = true;
+    for (const auto& [bit, value] : known)
+      ok = ok && engine.assume(bit, value);
+    ok = ok && engine.propagate();
+    if (!ok) {
+      ++stats_.dead_paths;
+      return CtrlDecision::DeadPath;
+    }
+    if (auto v = engine.value(ctrl)) {
+      ++stats_.decided_inference;
+      return *v ? CtrlDecision::One : CtrlDecision::Zero;
+    }
+  }
+  if (!options_.use_sat)
+    return CtrlDecision::Unknown;
+
+  // Stage 4: bit-blast the sub-graph; roots = ctrl + all known bits so the
+  // path condition can be asserted even on sub-graph-internal signals.
+  std::vector<SigBit> roots;
+  roots.push_back(ctrl);
+  for (const SigBit& kb : known_bits)
+    roots.push_back(kb);
+  const aig::AigMap cone = aig::aigmap_cone(*module_, *index_, sg.cells, roots);
+
+  auto aig_lit_of = [&](const SigBit& bit) -> std::optional<aig::Lit> {
+    auto it = cone.bits.find(bit);
+    if (it == cone.bits.end())
+      return std::nullopt;
+    return it->second;
+  };
+  const auto target_lit = aig_lit_of(ctrl);
+  if (!target_lit)
+    return CtrlDecision::Unknown;
+
+  std::vector<std::pair<aig::Lit, bool>> constraints;
+  for (const auto& [bit, value] : known) {
+    if (auto l = aig_lit_of(bit))
+      constraints.emplace_back(*l, value);
+    // Known bits outside the sub-graph cannot be asserted; dropping them is
+    // sound (fewer constraints can only weaken deductions, never falsify).
+  }
+
+  const int n_inputs = static_cast<int>(cone.aig.num_inputs());
+
+  // Stage 4a: exhaustive simulation ("for a smaller number of inputs,
+  // simulation is more efficient").
+  if (n_inputs <= options_.sim_max_inputs) {
+    const sim::Forced f =
+        sim::exhaustive_forced(cone.aig, constraints, *target_lit, options_.sim_max_inputs);
+    switch (f) {
+    case sim::Forced::Zero: ++stats_.decided_sim; return CtrlDecision::Zero;
+    case sim::Forced::One: ++stats_.decided_sim; return CtrlDecision::One;
+    case sim::Forced::Contradiction: ++stats_.dead_paths; return CtrlDecision::DeadPath;
+    case sim::Forced::None: return CtrlDecision::Unknown;
+    }
+  }
+
+  // Stage 4b: SAT. Skip if the sub-graph is too large ("threshold for the
+  // number of inputs … to prevent the optimization process from becoming a
+  // bottleneck").
+  if (n_inputs > options_.sat_max_inputs) {
+    ++stats_.skipped_too_large;
+    return CtrlDecision::Unknown;
+  }
+
+  sat::Solver solver;
+  solver.set_conflict_budget(options_.sat_conflict_budget);
+  aig::CnfEncoder enc(solver);
+  enc.encode(cone.aig);
+
+  std::vector<sat::Lit> assumptions;
+  for (const auto& [l, v] : constraints)
+    assumptions.push_back(v ? enc.lit(l) : ~enc.lit(l));
+
+  auto solve_with = [&](bool target_value) {
+    std::vector<sat::Lit> a = assumptions;
+    a.push_back(target_value ? enc.lit(*target_lit) : ~enc.lit(*target_lit));
+    return solver.solve(a);
+  };
+
+  const sat::Result r1 = solve_with(true);
+  if (r1 == sat::Result::Unsat) {
+    const sat::Result r0 = solve_with(false);
+    if (r0 == sat::Result::Unsat) {
+      ++stats_.dead_paths;
+      return CtrlDecision::DeadPath;
+    }
+    ++stats_.decided_sat;
+    return CtrlDecision::Zero; // s=1 impossible
+  }
+  const sat::Result r0 = solve_with(false);
+  if (r0 == sat::Result::Unsat) {
+    ++stats_.decided_sat;
+    return CtrlDecision::One; // s=0 impossible
+  }
+  return CtrlDecision::Unknown;
+}
+
+SatRedundancyStats sat_redundancy(rtlil::Module& module, const SatRedundancyOptions& options) {
+  InferenceOracle oracle(options);
+  const opt::MuxtreeStats walker_stats = opt::optimize_muxtrees(module, oracle);
+  SatRedundancyStats stats = oracle.stats();
+  stats.walker = walker_stats;
+  return stats;
+}
+
+} // namespace smartly::core

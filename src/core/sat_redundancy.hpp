@@ -1,0 +1,62 @@
+// SAT-based redundancy elimination (paper §II) — smaRTLy's first engine.
+//
+// Plugs into the shared muxtree walker as an oracle: for each descendant
+// control bit it (1) looks the bit up among the path-known signals,
+// (2) extracts a distance-k sub-graph reduced by the Theorem II.1 relevance
+// filter, (3) runs the Table I inference rules, and (4) if still undecided,
+// asks exhaustive simulation (few free inputs) or the CDCL solver
+// (SAT(s=0) / SAT(s=1)) whether the bit is forced.
+#pragma once
+
+#include "core/subgraph.hpp"
+#include "opt/muxtree_walker.hpp"
+
+#include <memory>
+
+namespace smartly::core {
+
+struct SatRedundancyOptions {
+  SubgraphOptions subgraph;     ///< distance k and relevance filter toggle
+  int sim_max_inputs = 14;      ///< exhaustive simulation up to 2^14 patterns
+  int sat_max_inputs = 4096;    ///< "threshold for the number of inputs": skip SAT above
+  int64_t sat_conflict_budget = 20000; ///< per-query conflict cap (Unknown above)
+  bool use_inference = true;    ///< Table I rules (ablatable)
+  bool use_sat = true;          ///< sim/SAT stage (ablatable; inference-only otherwise)
+};
+
+struct SatRedundancyStats {
+  size_t queries = 0;
+  size_t decided_syntactic = 0; ///< bit was literally a known signal
+  size_t decided_inference = 0;
+  size_t decided_sim = 0;
+  size_t decided_sat = 0;
+  size_t dead_paths = 0;
+  size_t skipped_too_large = 0;
+  size_t gates_seen = 0;     ///< sub-graph gates before the relevance filter
+  size_t gates_kept = 0;     ///< after the filter (paper: ~20% kept)
+  opt::MuxtreeStats walker;  ///< removal statistics from the shared walker
+};
+
+/// The oracle itself (exposed for unit tests and micro-benchmarks).
+class InferenceOracle final : public opt::MuxtreeOracle {
+public:
+  explicit InferenceOracle(const SatRedundancyOptions& options) : options_(options) {}
+
+  void begin_module(rtlil::Module& module) override;
+  opt::CtrlDecision decide(rtlil::SigBit ctrl, const opt::KnownMap& known) override;
+
+  const SatRedundancyStats& stats() const noexcept { return stats_; }
+
+private:
+  SatRedundancyOptions options_;
+  SatRedundancyStats stats_;
+  rtlil::Module* module_ = nullptr;
+  std::unique_ptr<rtlil::NetlistIndex> index_;
+};
+
+/// Run the full §II pass on a module (walker + oracle). Pair with
+/// opt_expr/opt_clean afterwards to sweep the disconnected logic.
+SatRedundancyStats sat_redundancy(rtlil::Module& module,
+                                  const SatRedundancyOptions& options = {});
+
+} // namespace smartly::core

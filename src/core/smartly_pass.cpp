@@ -1,0 +1,42 @@
+#include "core/smartly_pass.hpp"
+
+#include "opt/opt_clean.hpp"
+#include "opt/opt_expr.hpp"
+#include "opt/opt_muxtree.hpp"
+#include "opt/pipeline.hpp"
+
+namespace smartly::core {
+
+SmartlyStats smartly_pass(rtlil::Module& module, const SmartlyOptions& options) {
+  SmartlyStats stats;
+  if (options.enable_rebuild) {
+    stats.rebuild = mux_restructure(module, options.rebuild);
+    // Rebuilding disconnects eq cells and can expose constants.
+    opt::opt_expr(module);
+    opt::opt_clean(module);
+  }
+  if (options.enable_sat) {
+    stats.sat = sat_redundancy(module, options.sat);
+    opt::opt_expr(module);
+    opt::opt_clean(module);
+  } else {
+    // smaRTLy *replaces* opt_muxtree, and its SAT engine strictly subsumes
+    // the baseline's syntactic traversal (stage 1 of the oracle). When the
+    // SAT engine is disabled (Table III's "Rebuild" arm) the baseline
+    // traversal must still run, or the comparison against Yosys would
+    // penalize the Rebuild engine for work it never claimed to do.
+    stats.sat.walker = opt::opt_muxtree(module);
+    opt::opt_expr(module);
+    opt::opt_clean(module);
+  }
+  return stats;
+}
+
+SmartlyStats smartly_flow(rtlil::Module& module, const SmartlyOptions& options) {
+  opt::coarse_opt(module);
+  SmartlyStats stats = smartly_pass(module, options);
+  opt::coarse_opt(module);
+  return stats;
+}
+
+} // namespace smartly::core

@@ -1,0 +1,36 @@
+// The combined smaRTLy pass and the experiment flows.
+//
+// Paper §IV: the experiment replaces Yosys's opt_muxtree with smaRTLy inside
+// an otherwise identical pipeline, then converts to AIG and counts AND gates.
+// Table III additionally reports each engine in isolation (SAT / Rebuild).
+#pragma once
+
+#include "core/mux_restructure.hpp"
+#include "core/sat_redundancy.hpp"
+#include "rtlil/module.hpp"
+
+namespace smartly::core {
+
+struct SmartlyOptions {
+  bool enable_sat = true;      ///< §II SAT-based redundancy elimination
+  bool enable_rebuild = true;  ///< §III muxtree restructuring
+  SatRedundancyOptions sat;
+  MuxRestructureOptions rebuild;
+};
+
+struct SmartlyStats {
+  SatRedundancyStats sat;
+  MuxRestructureStats rebuild;
+};
+
+/// Run smaRTLy on an already-coarse-optimized module (the pass itself, the
+/// analogue of `opt_muxtree`). Restructuring runs first: "Rebuild
+/// optimization can reduce the height of muxtrees and simplify the control
+/// port, which will make the sub-graph smaller in SAT optimization."
+SmartlyStats smartly_pass(rtlil::Module& module, const SmartlyOptions& options = {});
+
+/// Full experiment flow: coarse opts, smartly_pass, post cleanup — the
+/// drop-in counterpart of opt::yosys_flow.
+SmartlyStats smartly_flow(rtlil::Module& module, const SmartlyOptions& options = {});
+
+} // namespace smartly::core

@@ -1,0 +1,131 @@
+#include "core/subgraph.hpp"
+
+#include "util/log.hpp"
+
+#include <deque>
+#include <unordered_map>
+
+namespace smartly::core {
+
+using rtlil::Cell;
+using rtlil::CellType;
+using rtlil::NetlistIndex;
+using rtlil::Port;
+using rtlil::SigBit;
+
+namespace {
+
+/// Cells adjacent to a bit in the undirected netlist graph: its driver plus
+/// all its readers (sequential cells excluded — they cut the sub-graph).
+void adjacent_cells(const NetlistIndex& index, const SigBit& bit, std::vector<Cell*>& out) {
+  if (Cell* d = index.driver(bit); d && d->type() != CellType::Dff)
+    out.push_back(d);
+  for (Cell* r : index.readers(bit))
+    if (r->type() != CellType::Dff)
+      out.push_back(r);
+}
+
+} // namespace
+
+Subgraph extract_subgraph(const rtlil::Module& module, const NetlistIndex& index,
+                          SigBit target, const std::vector<SigBit>& known,
+                          const SubgraphOptions& options) {
+  (void)module;
+  Subgraph out;
+
+  // --- stage 1: undirected ball of radius k around target + known ---------
+  // ("all logical gates within a specified distance k from the control port")
+  std::unordered_map<Cell*, int> depth;
+  std::deque<Cell*> queue;
+  std::vector<Cell*> seed_cells;
+  adjacent_cells(index, target, seed_cells);
+  for (const SigBit& kb : known)
+    adjacent_cells(index, kb, seed_cells);
+  for (Cell* c : seed_cells) {
+    if (depth.emplace(c, 0).second)
+      queue.push_back(c);
+  }
+  while (!queue.empty()) {
+    Cell* c = queue.front();
+    queue.pop_front();
+    const int d = depth[c];
+    if (d >= options.depth)
+      continue;
+    std::vector<Cell*> next;
+    for (int pi = 0; pi < rtlil::kPortCount; ++pi) {
+      const Port p = static_cast<Port>(pi);
+      if (!c->has_port(p))
+        continue;
+      for (const SigBit& raw : c->port(p)) {
+        const SigBit bit = index.sigmap()(raw);
+        if (bit.is_wire())
+          adjacent_cells(index, bit, next);
+      }
+    }
+    for (Cell* n : next) {
+      if (depth.emplace(n, d + 1).second)
+        queue.push_back(n);
+    }
+  }
+  out.gates_before_filter = depth.size();
+
+  // --- stage 2: Theorem II.1 relevance filter ------------------------------
+  // A signal can constrain or be constrained by {target} ∪ known only through
+  // common ancestors (Theorems II.1/II.2), so for encoding the question
+  // "is target forced?" the gates that matter are exactly those whose output
+  // is an ancestor of the target or of a known signal. Everything else in the
+  // ball is dismissed (paper: "the method can dismiss about 80% gates").
+  std::unordered_set<Cell*> kept;
+  if (options.relevance_filter) {
+    std::deque<SigBit> bitq;
+    std::unordered_set<SigBit> seen_bits;
+    auto push_bit = [&](const SigBit& b) {
+      if (b.is_wire() && seen_bits.insert(b).second)
+        bitq.push_back(b);
+    };
+    push_bit(target);
+    for (const SigBit& kb : known)
+      push_bit(kb);
+    while (!bitq.empty()) {
+      const SigBit bit = bitq.front();
+      bitq.pop_front();
+      Cell* d = index.driver(bit);
+      if (!d || d->type() == CellType::Dff)
+        continue;
+      if (!depth.count(d))
+        continue; // outside the ball: becomes a boundary input
+      if (!kept.insert(d).second)
+        continue;
+      for (Port p : d->input_ports())
+        for (const SigBit& raw : d->port(p))
+          push_bit(index.sigmap()(raw));
+    }
+  } else {
+    for (const auto& [cell, d] : depth) {
+      (void)d;
+      kept.insert(cell);
+    }
+  }
+
+  out.cells.assign(kept.begin(), kept.end());
+
+  // --- boundary: bits read inside but not driven inside --------------------
+  std::unordered_set<SigBit> driven;
+  for (Cell* c : out.cells)
+    for (const SigBit& raw : c->port(c->output_port())) {
+      const SigBit bit = index.sigmap()(raw);
+      if (bit.is_wire())
+        driven.insert(bit);
+    }
+  std::unordered_set<SigBit> boundary;
+  for (Cell* c : out.cells)
+    for (Port p : c->input_ports())
+      for (const SigBit& raw : c->port(p)) {
+        const SigBit bit = index.sigmap()(raw);
+        if (bit.is_wire() && !driven.count(bit) && boundary.insert(bit).second)
+          out.boundary.push_back(bit);
+      }
+  return out;
+}
+
+} // namespace smartly::core

@@ -1,0 +1,312 @@
+#include "opt/muxtree_walker.hpp"
+
+#include "rtlil/topo.hpp"
+#include "util/log.hpp"
+
+#include <unordered_set>
+
+namespace smartly::opt {
+
+using rtlil::Cell;
+using rtlil::CellType;
+using rtlil::Module;
+using rtlil::NetlistIndex;
+using rtlil::Port;
+using rtlil::SigBit;
+using rtlil::SigSpec;
+using rtlil::State;
+
+namespace {
+
+class Walker {
+public:
+  Walker(Module& module, MuxtreeOracle& oracle, MuxtreeStats& stats)
+      : module_(module), oracle_(oracle), stats_(stats), index_(module) {}
+
+  /// One full sweep over all muxtree roots. Returns true if anything changed.
+  bool sweep() {
+    changed_ = false;
+
+    // `internal[c] = p` when every output bit of mux/pmux `c` is read only by
+    // mux/pmux `p`, through its A or B port. Such cells are tree-internal and
+    // safe to rewrite under the path condition of the unique path to them.
+    std::unordered_map<Cell*, Cell*> parent;
+    for (const auto& cptr : module_.cells()) {
+      Cell* c = cptr.get();
+      if (c->type() != CellType::Mux && c->type() != CellType::Pmux)
+        continue;
+      Cell* p = unique_mux_parent(c);
+      if (p)
+        parent.emplace(c, p);
+    }
+
+    // Snapshot roots first: visit() may add cells (pmux narrowing) and must
+    // not invalidate this iteration.
+    std::vector<Cell*> roots;
+    for (const auto& cptr : module_.cells()) {
+      Cell* c = cptr.get();
+      if (c->type() != CellType::Mux && c->type() != CellType::Pmux)
+        continue;
+      if (parent.count(c))
+        continue; // internal: reached from its root
+      roots.push_back(c);
+    }
+    for (Cell* c : roots) {
+      if (removed_.count(c))
+        continue;
+      KnownMap known;
+      visit(c, known);
+    }
+
+    // Apply structural edits only now: mid-sweep the module must stay
+    // internally consistent (the oracle bit-blasts sub-graphs of it, and a
+    // collapsed-but-not-removed mux whose Y is already aliased to one of its
+    // inputs would look like a combinational cycle).
+    for (auto& [lhs, rhs] : pending_connects_)
+      module_.connect(lhs, rhs);
+    pending_connects_.clear();
+    module_.remove_cells(std::vector<Cell*>(removed_.begin(), removed_.end()));
+    removed_.clear();
+    return changed_;
+  }
+
+private:
+  /// The unique mux/pmux cell reading all of c's output bits via A/B, or
+  /// nullptr. Output-port bits and non-mux readers disqualify.
+  Cell* unique_mux_parent(Cell* c) {
+    Cell* parent = nullptr;
+    for (const SigBit& raw : c->port(c->output_port())) {
+      const SigBit bit = index_.sigmap()(raw);
+      if (!bit.is_wire())
+        return nullptr;
+      if (index_.drives_output_port(bit))
+        return nullptr;
+      const auto& readers = index_.readers(bit);
+      if (readers.size() != 1)
+        return nullptr;
+      Cell* r = readers[0];
+      if (r->type() != CellType::Mux && r->type() != CellType::Pmux)
+        return nullptr;
+      // Must be read through a data port (A or B), not S.
+      for (const SigBit& sraw : r->port(Port::S))
+        if (index_.sigmap()(sraw) == bit)
+          return nullptr;
+      if (parent && parent != r)
+        return nullptr;
+      parent = r;
+    }
+    return parent;
+  }
+
+  CtrlDecision decide(SigBit ctrl_raw, const KnownMap& known) {
+    const SigBit ctrl = index_.sigmap()(ctrl_raw);
+    if (ctrl.is_const())
+      return ctrl.data == State::S1 ? CtrlDecision::One : CtrlDecision::Zero;
+    ++stats_.oracle_queries;
+    return oracle_.decide(ctrl, known);
+  }
+
+  /// Replace known data-port bits with their constants (paper Fig. 2).
+  void substitute_data_bits(Cell* c, const KnownMap& known) {
+    if (known.empty())
+      return;
+    for (Port p : {Port::A, Port::B}) {
+      SigSpec sig = c->port(p);
+      bool mutated = false;
+      for (int i = 0; i < sig.size(); ++i) {
+        const SigBit bit = index_.sigmap()(sig[i]);
+        if (!bit.is_wire())
+          continue;
+        auto it = known.find(bit);
+        if (it == known.end())
+          continue;
+        sig[i] = SigBit(it->second ? State::S1 : State::S0);
+        mutated = true;
+        ++stats_.data_bits_replaced;
+      }
+      if (mutated) {
+        c->set_port(p, sig);
+        changed_ = true;
+      }
+    }
+  }
+
+  /// Mux/pmux cells driving bits of `data` that are exclusively read by
+  /// `reader` (single fanout, no output-port escape). Only such cells may be
+  /// rewritten under the path condition of the edge reader->child.
+  std::unordered_set<Cell*> branch_children(Cell* reader, const SigSpec& data) {
+    std::unordered_set<Cell*> children;
+    for (const SigBit& raw : data) {
+      const SigBit bit = index_.sigmap()(raw);
+      if (!bit.is_wire())
+        continue;
+      Cell* d = index_.driver(bit);
+      if (!d || (d->type() != CellType::Mux && d->type() != CellType::Pmux))
+        continue;
+      if (removed_.count(d))
+        continue;
+      bool exclusive = true;
+      for (const SigBit& oraw : d->port(d->output_port())) {
+        const SigBit obit = index_.sigmap()(oraw);
+        if (!obit.is_wire() || index_.drives_output_port(obit)) {
+          exclusive = false;
+          break;
+        }
+        const auto& readers = index_.readers(obit);
+        if (readers.size() != 1 || readers[0] != reader) {
+          exclusive = false;
+          break;
+        }
+      }
+      if (exclusive)
+        children.insert(d);
+    }
+    return children;
+  }
+
+  /// Visit the children of several branches. A child reachable from more
+  /// than one branch is visited under the intersection of the branch
+  /// conditions — i.e. the parent's own `known` — since each branch's extra
+  /// constraint only holds on its own path.
+  void descend_branches(Cell* reader, const KnownMap& parent_known,
+                        const std::vector<std::pair<SigSpec, KnownMap>>& branches) {
+    std::unordered_map<Cell*, int> hits; // child -> first branch index or -2 (multi)
+    for (size_t i = 0; i < branches.size(); ++i) {
+      for (Cell* child : branch_children(reader, branches[i].first)) {
+        auto [it, inserted] = hits.emplace(child, static_cast<int>(i));
+        if (!inserted && it->second != static_cast<int>(i))
+          it->second = -2;
+      }
+    }
+    for (const auto& [child, idx] : hits)
+      visit(child, idx == -2 ? parent_known : branches[static_cast<size_t>(idx)].second);
+  }
+
+  void visit(Cell* c, const KnownMap& known) {
+    if (removed_.count(c))
+      return;
+    substitute_data_bits(c, known);
+
+    if (c->type() == CellType::Mux) {
+      const CtrlDecision d = decide(c->port(Port::S)[0], known);
+      if (d == CtrlDecision::One || d == CtrlDecision::Zero ||
+          d == CtrlDecision::DeadPath) {
+        // DeadPath: the cell's output is never observed on this (sole) path;
+        // either input is acceptable — pick A.
+        const Port pick = (d == CtrlDecision::One) ? Port::B : Port::A;
+        const SigSpec kept = c->port(pick);
+        pending_connects_.emplace_back(c->port(Port::Y), kept);
+        removed_.insert(c);
+        ++stats_.mux_collapsed;
+        changed_ = true;
+        descend_branches(c, known, {{kept, known}}); // no new constraint
+        return;
+      }
+      const SigBit s = index_.sigmap()(c->port(Port::S)[0]);
+      KnownMap k0 = known;
+      if (s.is_wire())
+        k0[s] = false;
+      KnownMap k1 = known;
+      if (s.is_wire())
+        k1[s] = true;
+      descend_branches(c, known,
+                       {{c->port(Port::A), k0}, {c->port(Port::B), k1}});
+      return;
+    }
+
+    // Pmux. Priority semantics: branch i active iff S[i]=1 and S[j]=0 ∀ j<i.
+    const SigSpec s = c->port(Port::S);
+    const SigSpec b = c->port(Port::B);
+    const int width = c->params().width;
+
+    SigSpec new_s, new_b;
+    SigSpec new_a = c->port(Port::A);
+    std::vector<SigBit> kept_sel; // canonical select bits kept so far
+    bool truncated = false;
+    bool mutated = false;
+    for (int i = 0; i < s.size() && !truncated; ++i) {
+      const CtrlDecision d = decide(s[i], known);
+      if (d == CtrlDecision::Zero || d == CtrlDecision::DeadPath) {
+        mutated = true; // never-active branch: drop it
+        ++stats_.pmux_branches_removed;
+        continue;
+      }
+      if (d == CtrlDecision::One) {
+        // Selected unless an earlier kept branch fires; later branches and
+        // the default are dead.
+        new_a = b.extract(i * width, width);
+        truncated = true;
+        mutated = true;
+        ++stats_.pmux_branches_removed;
+        continue;
+      }
+      new_s.append(s[i]);
+      new_b.append(b.extract(i * width, width));
+      kept_sel.push_back(index_.sigmap()(s[i]));
+    }
+
+    if (mutated)
+      changed_ = true;
+
+    // Recurse into surviving branches with their path conditions.
+    std::vector<std::pair<SigSpec, KnownMap>> branches;
+    for (int i = 0; i < new_s.size(); ++i) {
+      KnownMap k = known;
+      for (int j = 0; j < i; ++j)
+        if (kept_sel[static_cast<size_t>(j)].is_wire())
+          k[kept_sel[static_cast<size_t>(j)]] = false;
+      const SigBit si = index_.sigmap()(new_s[i]);
+      if (si.is_wire())
+        k[si] = true;
+      branches.emplace_back(new_b.extract(i * width, width), std::move(k));
+    }
+    {
+      KnownMap k = known;
+      for (const SigBit& sb : kept_sel)
+        if (sb.is_wire())
+          k[sb] = false;
+      branches.emplace_back(new_a, std::move(k));
+    }
+    descend_branches(c, known, branches);
+
+    if (!mutated)
+      return;
+    // Rewrite the cell with the surviving branches. A one-branch pmux stays
+    // a pmux here (opt_expr converts it to $mux later): adding replacement
+    // cells mid-sweep would leave the Y bits double-driven until removal.
+    if (new_s.empty()) {
+      pending_connects_.emplace_back(c->port(Port::Y), new_a);
+      removed_.insert(c);
+    } else {
+      c->set_port(Port::A, new_a);
+      c->set_port(Port::B, new_b);
+      c->set_port(Port::S, new_s);
+      c->infer_widths();
+    }
+  }
+
+  Module& module_;
+  MuxtreeOracle& oracle_;
+  MuxtreeStats& stats_;
+  NetlistIndex index_;
+  std::unordered_set<Cell*> removed_;
+  std::vector<std::pair<SigSpec, SigSpec>> pending_connects_;
+  bool changed_ = false;
+};
+
+} // namespace
+
+MuxtreeStats optimize_muxtrees(Module& module, MuxtreeOracle& oracle) {
+  MuxtreeStats stats;
+  constexpr size_t kMaxIterations = 16;
+  for (size_t i = 0; i < kMaxIterations; ++i) {
+    ++stats.iterations;
+    oracle.begin_module(module);
+    Walker walker(module, oracle, stats);
+    if (!walker.sweep())
+      break;
+  }
+  return stats;
+}
+
+} // namespace smartly::opt

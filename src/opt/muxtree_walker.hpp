@@ -1,0 +1,68 @@
+// Muxtree traversal engine shared by the baseline `opt_muxtree` pass and
+// smaRTLy's SAT-based redundancy elimination (§II of the paper).
+//
+// Both passes do the same walk: start at every muxtree root, descend through
+// single-fanout $mux/$pmux data edges, and carry the set of control-signal
+// values implied by the path taken ("known value signals"). They differ only
+// in how a descendant's control port is decided:
+//   * baseline (Yosys):  syntactic lookup — the control bit must literally be
+//     one of the known bits (paper Figs. 1 & 2);
+//   * smaRTLy:           logic inferencing — inference rules + simulation/SAT
+//     over a sub-graph (paper Fig. 3, §II).
+// The oracle interface below is that single point of variation.
+#pragma once
+
+#include "rtlil/module.hpp"
+#include "rtlil/sigmap.hpp"
+
+#include <unordered_map>
+
+namespace smartly::opt {
+
+using KnownMap = std::unordered_map<rtlil::SigBit, bool>;
+
+enum class CtrlDecision {
+  Unknown, ///< the control bit can still be 0 or 1
+  Zero,    ///< forced 0 on this path
+  One,     ///< forced 1 on this path
+  DeadPath ///< the path condition itself is unsatisfiable
+};
+
+class MuxtreeOracle {
+public:
+  virtual ~MuxtreeOracle() = default;
+
+  /// Called once before a walk so the oracle can (re)build indices.
+  virtual void begin_module(rtlil::Module& module) { (void)module; }
+
+  /// Decide the value of `ctrl` (a canonical SigBit) given the path
+  /// conditions in `known` (canonical bits -> value).
+  virtual CtrlDecision decide(rtlil::SigBit ctrl, const KnownMap& known) = 0;
+};
+
+/// Baseline oracle: a control bit is decided only when it is literally one
+/// of the known bits. This reproduces Yosys opt_muxtree's behaviour.
+class SyntacticOracle final : public MuxtreeOracle {
+public:
+  CtrlDecision decide(rtlil::SigBit ctrl, const KnownMap& known) override {
+    auto it = known.find(ctrl);
+    if (it == known.end())
+      return CtrlDecision::Unknown;
+    return it->second ? CtrlDecision::One : CtrlDecision::Zero;
+  }
+};
+
+struct MuxtreeStats {
+  size_t mux_collapsed = 0;        ///< $mux cells removed (control decided)
+  size_t pmux_branches_removed = 0;
+  size_t data_bits_replaced = 0;   ///< Fig. 2 style data-port substitutions
+  size_t oracle_queries = 0;
+  size_t iterations = 0;
+};
+
+/// Walk every muxtree in `module`, removing never-active branches per the
+/// oracle's decisions. Runs to fixpoint. Mutates the module; pair with
+/// opt_expr + opt_clean afterwards to sweep disconnected logic.
+MuxtreeStats optimize_muxtrees(rtlil::Module& module, MuxtreeOracle& oracle);
+
+} // namespace smartly::opt

@@ -1,0 +1,17 @@
+// opt_clean — dead cell elimination (Yosys `opt_clean` analogue).
+//
+// §III of the paper relies on this: "smaRTLy removes any redundant gates
+// that are no longer connected to the muxtree … RemoveUnusedCell()
+// [implemented in other pass]". Restructuring disconnects eq cells; this
+// pass deletes them when nothing else reads them.
+#pragma once
+
+#include "rtlil/module.hpp"
+
+namespace smartly::opt {
+
+/// Remove every cell whose output (transitively) never reaches a module
+/// output port. Returns the number of removed cells.
+size_t opt_clean(rtlil::Module& module);
+
+} // namespace smartly::opt

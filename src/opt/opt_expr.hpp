@@ -1,0 +1,17 @@
+// opt_expr — constant folding and local identity simplification
+// (the relevant slice of Yosys's `opt_expr`).
+#pragma once
+
+#include "rtlil/module.hpp"
+
+namespace smartly::opt {
+
+struct OptExprStats {
+  size_t folded_cells = 0;    ///< cells with all-constant inputs evaluated away
+  size_t simplified_cells = 0; ///< identity rewrites (mux with const S, and-with-0, ...)
+};
+
+/// Run to fixpoint. Returns statistics; mutates the module in place.
+OptExprStats opt_expr(rtlil::Module& module);
+
+} // namespace smartly::opt

@@ -1,0 +1,12 @@
+// opt_merge — structural sharing of identical cells (Yosys `opt_merge`).
+#pragma once
+
+#include "rtlil/module.hpp"
+
+namespace smartly::opt {
+
+/// Merge cells with identical type, parameters and (canonical) inputs.
+/// Commutative operand order is normalized. Returns merged-cell count.
+size_t opt_merge(rtlil::Module& module);
+
+} // namespace smartly::opt

@@ -1,0 +1,10 @@
+#include "opt/opt_muxtree.hpp"
+
+namespace smartly::opt {
+
+MuxtreeStats opt_muxtree(rtlil::Module& module) {
+  SyntacticOracle oracle;
+  return optimize_muxtrees(module, oracle);
+}
+
+} // namespace smartly::opt

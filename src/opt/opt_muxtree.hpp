@@ -1,0 +1,16 @@
+// opt_muxtree — the Yosys baseline pass the paper compares against.
+//
+// "This pass analyzes control signals to identify and remove never-active
+// branches by traversing the multiplexer trees and monitoring the values of
+// visited control ports. A MUX will be removed if it shares the same control
+// signal with visited MUXs." (paper §I)
+#pragma once
+
+#include "opt/muxtree_walker.hpp"
+
+namespace smartly::opt {
+
+/// Run the baseline (syntactic) muxtree optimization to fixpoint.
+MuxtreeStats opt_muxtree(rtlil::Module& module);
+
+} // namespace smartly::opt

@@ -1,0 +1,132 @@
+#include "opt/opt_reduce.hpp"
+
+#include "rtlil/topo.hpp"
+#include "util/log.hpp"
+
+#include <unordered_map>
+
+namespace smartly::opt {
+
+using rtlil::Cell;
+using rtlil::CellType;
+using rtlil::Module;
+using rtlil::NetlistIndex;
+using rtlil::Port;
+using rtlil::SigBit;
+using rtlil::SigSpec;
+
+namespace {
+
+bool is_or_like(CellType t) {
+  return t == CellType::ReduceOr || t == CellType::ReduceBool;
+}
+
+bool same_reduce_kind(CellType a, CellType b) {
+  if (a == CellType::ReduceAnd)
+    return b == CellType::ReduceAnd;
+  return is_or_like(a) && is_or_like(b);
+}
+
+/// One pass of reduce-gate flattening. Returns number of absorbed cells.
+size_t flatten_reductions(Module& module) {
+  const NetlistIndex index(module);
+  size_t absorbed = 0;
+  for (const auto& cptr : module.cells()) {
+    Cell* cell = cptr.get();
+    if (cell->type() != CellType::ReduceOr && cell->type() != CellType::ReduceAnd &&
+        cell->type() != CellType::ReduceBool)
+      continue;
+    SigSpec a = cell->port(Port::A);
+    SigSpec new_a;
+    bool changed = false;
+    for (const SigBit& raw : a) {
+      const SigBit bit = index.sigmap()(raw);
+      Cell* d = bit.is_wire() ? index.driver(bit) : nullptr;
+      // Absorb a same-kind child reduction read only by this cell.
+      if (d && d != cell && same_reduce_kind(cell->type(), d->type()) &&
+          d->port(Port::Y).size() == 1 && index.fanout(bit) == 1 &&
+          !index.drives_output_port(bit)) {
+        new_a.append(d->port(Port::A));
+        changed = true;
+        ++absorbed;
+      } else {
+        new_a.append(raw);
+      }
+    }
+    if (changed) {
+      cell->set_port(Port::A, new_a);
+      cell->infer_widths();
+    }
+  }
+  return absorbed;
+}
+
+/// One pass of pmux branch merging. Returns number of merged branches.
+size_t merge_pmux_branches(Module& module) {
+  size_t merged = 0;
+  for (const auto& cptr : module.cells()) {
+    Cell* cell = cptr.get();
+    if (cell->type() != CellType::Pmux)
+      continue;
+    const SigSpec s = cell->port(Port::S);
+    const SigSpec b = cell->port(Port::B);
+    const int width = cell->params().width;
+
+    // Coalesce *contiguous* runs of branches with identical data. Only
+    // adjacent merging is sound under lowest-bit-wins priority: merging
+    // branch j into an earlier non-adjacent branch i would let the merged
+    // select pre-empt a different-data branch between them.
+    struct Group {
+      SigSpec data;
+      std::vector<SigBit> selects;
+    };
+    std::vector<Group> groups;
+    for (int i = 0; i < s.size(); ++i) {
+      const SigSpec part = b.extract(i * width, width);
+      if (!groups.empty() && groups.back().data == part)
+        groups.back().selects.push_back(s[i]);
+      else
+        groups.push_back({part, {s[i]}});
+    }
+    if (static_cast<int>(groups.size()) == s.size())
+      continue; // nothing shared
+
+    SigSpec new_s, new_b;
+    for (Group& g : groups) {
+      SigBit sel = g.selects[0];
+      if (g.selects.size() > 1) {
+        // OR the selects: under lowest-bit-wins priority this preserves
+        // behaviour because all merged branches carry identical data.
+        SigSpec bits;
+        for (const SigBit& sb : g.selects)
+          bits.append(sb);
+        const SigSpec orred = module.ReduceOr(bits);
+        sel = orred[0];
+        merged += g.selects.size() - 1;
+      }
+      new_s.append(sel);
+      new_b.append(g.data);
+    }
+    cell->set_port(Port::S, new_s);
+    cell->set_port(Port::B, new_b);
+    cell->infer_widths();
+  }
+  return merged;
+}
+
+} // namespace
+
+OptReduceStats opt_reduce(Module& module) {
+  OptReduceStats stats;
+  for (;;) {
+    const size_t a = flatten_reductions(module);
+    const size_t m = merge_pmux_branches(module);
+    stats.reductions_absorbed += a;
+    stats.pmux_branches_merged += m;
+    if (a == 0 && m == 0)
+      break;
+  }
+  return stats;
+}
+
+} // namespace smartly::opt

@@ -1,0 +1,29 @@
+// opt_reduce — consolidate reduction gates and $pmux branches (the relevant
+// slice of Yosys's `opt_reduce`).
+//
+// Two rewrites:
+//  * reduce-gate flattening: a $reduce_or/$reduce_and/$reduce_bool cell whose
+//    input includes the output of another same-kind reduction with no other
+//    readers absorbs that cell's inputs (or-of-or = or over the union);
+//  * $pmux branch merging: branches with identical data are merged by OR-ing
+//    their select bits — under lowest-bit-wins priority this is behaviour
+//    preserving because every merged branch produced the same value anyway.
+//
+// The industrial suite is pmux-rich ("the proportion of MUX gates and PMUX
+// gates is higher", §IV.B), which is where branch merging pays off.
+#pragma once
+
+#include "rtlil/module.hpp"
+
+namespace smartly::opt {
+
+struct OptReduceStats {
+  size_t reductions_absorbed = 0; ///< nested reduce cells inlined
+  size_t pmux_branches_merged = 0;
+};
+
+/// Run to fixpoint. Mutates the module; pair with opt_clean to sweep the
+/// absorbed cells.
+OptReduceStats opt_reduce(rtlil::Module& module);
+
+} // namespace smartly::opt

@@ -1,0 +1,29 @@
+#include "opt/pipeline.hpp"
+
+#include "opt/opt_clean.hpp"
+#include "opt/opt_expr.hpp"
+#include "opt/opt_merge.hpp"
+#include "opt/opt_muxtree.hpp"
+
+namespace smartly::opt {
+
+void coarse_opt(rtlil::Module& module) {
+  for (int iter = 0; iter < 8; ++iter) {
+    const OptExprStats es = opt_expr(module);
+    const size_t merged = opt_merge(module);
+    const size_t cleaned = opt_clean(module);
+    if (es.folded_cells + es.simplified_cells + merged + cleaned == 0)
+      break;
+  }
+}
+
+MuxtreeStats yosys_flow(rtlil::Module& module) {
+  coarse_opt(module);
+  const MuxtreeStats stats = opt_muxtree(module);
+  coarse_opt(module);
+  return stats;
+}
+
+void original_flow(rtlil::Module& module) { opt_clean(module); }
+
+} // namespace smartly::opt

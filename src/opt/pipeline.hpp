@@ -1,0 +1,24 @@
+// Optimization pipelines reproducing the paper's experimental flows.
+//
+// Paper §IV.A: "We replaced the opt_muxtree pass in Yosys with smaRTLy and
+// used the built-in command aigmap in Yosys to convert netlists into AIG."
+// Both arms therefore share the same coarse cleanup; only the muxtree step
+// differs.
+#pragma once
+
+#include "opt/muxtree_walker.hpp"
+#include "rtlil/module.hpp"
+
+namespace smartly::opt {
+
+/// opt_expr + opt_merge + opt_clean to fixpoint (shared by both arms).
+void coarse_opt(rtlil::Module& module);
+
+/// The baseline flow: coarse_opt, Yosys-style opt_muxtree, post cleanup.
+/// Returns the muxtree statistics.
+MuxtreeStats yosys_flow(rtlil::Module& module);
+
+/// "Original" metric flow: no optimization beyond dead-cell removal.
+void original_flow(rtlil::Module& module);
+
+} // namespace smartly::opt

@@ -1,0 +1,96 @@
+#include "rtlil/const.hpp"
+
+#include <stdexcept>
+
+namespace smartly::rtlil {
+
+State state_from_char(char c) {
+  switch (c) {
+  case '0': return State::S0;
+  case '1': return State::S1;
+  case 'x': case 'X': return State::Sx;
+  case 'z': case 'Z': case '?': return State::Sz;
+  default: throw std::invalid_argument(std::string("invalid state char: ") + c);
+  }
+}
+
+Const::Const(uint64_t value, int width) {
+  if (width < 0)
+    throw std::invalid_argument("Const width must be >= 0");
+  bits_.reserve(static_cast<size_t>(width));
+  for (int i = 0; i < width; ++i)
+    bits_.push_back(((value >> (i & 63)) & 1) && i < 64 ? State::S1 : State::S0);
+}
+
+Const Const::from_string(const std::string& msb_first) {
+  std::vector<State> bits;
+  bits.reserve(msb_first.size());
+  for (auto it = msb_first.rbegin(); it != msb_first.rend(); ++it) {
+    if (*it == '_')
+      continue;
+    bits.push_back(state_from_char(*it));
+  }
+  return Const(std::move(bits));
+}
+
+bool Const::is_fully_def() const noexcept {
+  for (State s : bits_)
+    if (!state_is_def(s))
+      return false;
+  return true;
+}
+
+uint64_t Const::as_uint() const noexcept {
+  uint64_t v = 0;
+  const int n = std::min(size(), 64);
+  for (int i = 0; i < n; ++i)
+    if (bits_[static_cast<size_t>(i)] == State::S1)
+      v |= uint64_t(1) << i;
+  return v;
+}
+
+int64_t Const::as_int_signed() const noexcept {
+  uint64_t v = as_uint();
+  const int n = size();
+  if (n > 0 && n < 64 && bits_[static_cast<size_t>(n - 1)] == State::S1) {
+    // Sign-extend.
+    v |= ~uint64_t(0) << n;
+  }
+  return static_cast<int64_t>(v);
+}
+
+bool Const::as_bool() const noexcept {
+  for (State s : bits_)
+    if (s == State::S1)
+      return true;
+  return false;
+}
+
+std::string Const::to_string() const {
+  std::string s;
+  s.reserve(bits_.size());
+  for (auto it = bits_.rbegin(); it != bits_.rend(); ++it)
+    s.push_back(state_to_char(*it));
+  return s;
+}
+
+Const Const::extract(int offset, int length) const {
+  std::vector<State> out;
+  out.reserve(static_cast<size_t>(length));
+  for (int i = 0; i < length; ++i) {
+    const int j = offset + i;
+    out.push_back(j >= 0 && j < size() ? bits_[static_cast<size_t>(j)] : State::Sx);
+  }
+  return Const(std::move(out));
+}
+
+Const Const::extended(int width, bool is_signed) const {
+  std::vector<State> out;
+  out.reserve(static_cast<size_t>(width));
+  const State fill = (is_signed && !bits_.empty()) ? bits_.back() : State::S0;
+  for (int i = 0; i < width; ++i)
+    out.push_back(i < size() ? bits_[static_cast<size_t>(i)] : fill);
+  return Const(std::move(out));
+}
+
+} // namespace smartly::rtlil

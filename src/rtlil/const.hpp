@@ -1,0 +1,74 @@
+// Four-state constants (0/1/x/z) — the value domain of the RTL IR.
+//
+// Mirrors Yosys's RTLIL::Const: a little-endian vector of State bits with
+// conversions to/from integers and Verilog-style bit strings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smartly::rtlil {
+
+/// One four-state logic value. S0/S1 are defined; Sx is unknown/don't-care;
+/// Sz is high-impedance (treated as Sx by all combinational operators).
+enum class State : uint8_t { S0 = 0, S1 = 1, Sx = 2, Sz = 3 };
+
+inline bool state_is_def(State s) noexcept { return s == State::S0 || s == State::S1; }
+inline char state_to_char(State s) noexcept {
+  switch (s) {
+  case State::S0: return '0';
+  case State::S1: return '1';
+  case State::Sx: return 'x';
+  case State::Sz: return 'z';
+  }
+  return '?';
+}
+State state_from_char(char c);
+
+/// A fixed-width four-state constant. Bit 0 is the LSB.
+class Const {
+public:
+  Const() = default;
+  explicit Const(State bit) : bits_(1, bit) {}
+  Const(uint64_t value, int width);
+  explicit Const(std::vector<State> bits) : bits_(std::move(bits)) {}
+
+  /// Parse a bit string in MSB-first order, e.g. "1zz0" (as written in
+  /// Verilog sized literals). Accepts 0/1/x/z.
+  static Const from_string(const std::string& msb_first);
+
+  int size() const noexcept { return static_cast<int>(bits_.size()); }
+  bool empty() const noexcept { return bits_.empty(); }
+
+  State operator[](int i) const { return bits_.at(static_cast<size_t>(i)); }
+  State& operator[](int i) { return bits_.at(static_cast<size_t>(i)); }
+  const std::vector<State>& bits() const noexcept { return bits_; }
+  std::vector<State>& bits() noexcept { return bits_; }
+
+  /// True iff every bit is 0 or 1.
+  bool is_fully_def() const noexcept;
+
+  /// Value as unsigned integer; x/z bits read as 0; truncates to 64 bits.
+  uint64_t as_uint() const noexcept;
+  /// Two's-complement signed read of the full width (<= 64 bits meaningful).
+  int64_t as_int_signed() const noexcept;
+  /// True iff any bit is S1 (Verilog truthiness; x/z ignored).
+  bool as_bool() const noexcept;
+
+  /// MSB-first printable form, e.g. "01xz".
+  std::string to_string() const;
+
+  Const extract(int offset, int length) const;
+
+  /// Zero- or sign-extend (or truncate) to `width`.
+  Const extended(int width, bool is_signed) const;
+
+  bool operator==(const Const& other) const noexcept { return bits_ == other.bits_; }
+  bool operator!=(const Const& other) const noexcept { return bits_ != other.bits_; }
+
+private:
+  std::vector<State> bits_;
+};
+
+} // namespace smartly::rtlil

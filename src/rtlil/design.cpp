@@ -1,0 +1,100 @@
+// Debug dump and statistics helpers for designs.
+#include "rtlil/design_stats.hpp"
+
+#include "rtlil/sigmap.hpp"
+#include "util/log.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace smartly::rtlil {
+
+namespace {
+
+std::string sig_to_string(const SigSpec& sig) {
+  // Compact printer: groups consecutive bits of the same wire.
+  std::ostringstream os;
+  os << "{";
+  int i = 0;
+  bool first = true;
+  while (i < sig.size()) {
+    if (!first)
+      os << ", ";
+    first = false;
+    const SigBit b = sig[i];
+    if (b.is_const()) {
+      // Collect a run of constants.
+      std::string run;
+      int j = i;
+      while (j < sig.size() && sig[j].is_const())
+        run.insert(run.begin(), state_to_char(sig[j++].data));
+      os << run.size() << "'b" << run;
+      i = j;
+    } else {
+      int j = i + 1;
+      while (j < sig.size() && sig[j].is_wire() && sig[j].wire == b.wire &&
+             sig[j].offset == b.offset + (j - i))
+        ++j;
+      os << b.wire->name();
+      if (!(b.offset == 0 && j - i == b.wire->width())) {
+        os << "[" << (b.offset + (j - i) - 1);
+        if (j - i > 1)
+          os << ":" << b.offset;
+        os << "]";
+      }
+      i = j;
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+} // namespace
+
+std::string dump_module(const Module& module) {
+  std::ostringstream os;
+  os << "module " << module.name() << "\n";
+  for (const auto& w : module.wires()) {
+    os << "  wire";
+    if (w->port_input)
+      os << " input";
+    if (w->port_output)
+      os << " output";
+    os << " width " << w->width() << " " << w->name() << "\n";
+  }
+  for (const auto& c : module.cells()) {
+    os << "  cell " << cell_type_name(c->type()) << " " << c->name() << "\n";
+    for (int i = 0; i < kPortCount; ++i) {
+      const Port p = static_cast<Port>(i);
+      if (c->has_port(p))
+        os << "    " << port_name(p) << " <- " << sig_to_string(c->port(p)) << "\n";
+    }
+  }
+  for (const auto& [lhs, rhs] : module.connections())
+    os << "  connect " << sig_to_string(lhs) << " = " << sig_to_string(rhs) << "\n";
+  os << "endmodule\n";
+  return os.str();
+}
+
+ModuleStats compute_stats(const Module& module) {
+  ModuleStats st;
+  st.wires = module.wires().size();
+  for (const auto& c : module.cells()) {
+    ++st.cells;
+    switch (c->type()) {
+    case CellType::Mux: ++st.mux_cells; break;
+    case CellType::Pmux: ++st.pmux_cells; break;
+    case CellType::Eq: ++st.eq_cells; break;
+    case CellType::Dff: ++st.dff_cells; break;
+    default: break;
+    }
+  }
+  return st;
+}
+
+std::string stats_to_string(const ModuleStats& st) {
+  return str_format("cells=%zu mux=%zu pmux=%zu eq=%zu dff=%zu wires=%zu", st.cells,
+                    st.mux_cells, st.pmux_cells, st.eq_cells, st.dff_cells, st.wires);
+}
+
+} // namespace smartly::rtlil

@@ -1,0 +1,24 @@
+// Text dump + cheap statistics for modules (debugging and bench reporting).
+#pragma once
+
+#include "rtlil/module.hpp"
+
+#include <string>
+
+namespace smartly::rtlil {
+
+std::string dump_module(const Module& module);
+
+struct ModuleStats {
+  size_t cells = 0;
+  size_t mux_cells = 0;
+  size_t pmux_cells = 0;
+  size_t eq_cells = 0;
+  size_t dff_cells = 0;
+  size_t wires = 0;
+};
+
+ModuleStats compute_stats(const Module& module);
+std::string stats_to_string(const ModuleStats& st);
+
+} // namespace smartly::rtlil

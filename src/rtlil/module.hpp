@@ -1,0 +1,163 @@
+// Wire / Module / Design — netlist containers.
+#pragma once
+
+#include "rtlil/cell.hpp"
+#include "rtlil/sigspec.hpp"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace smartly::rtlil {
+
+class Module;
+class Design;
+
+/// A named bundle of bits. Ports are wires flagged input/output.
+class Wire {
+public:
+  Wire(Module* module, std::string name, int width)
+      : module_(module), name_(std::move(name)), width_(width) {}
+
+  Module* module() const noexcept { return module_; }
+  const std::string& name() const noexcept { return name_; }
+  int width() const noexcept { return width_; }
+
+  bool port_input = false;
+  bool port_output = false;
+  /// 1-based creation order among ports; 0 for non-ports.
+  int port_id = 0;
+
+private:
+  Module* module_;
+  std::string name_;
+  int width_;
+};
+
+/// One hardware module: wires + cells + alias connections.
+class Module {
+public:
+  explicit Module(Design* design, std::string name)
+      : design_(design), name_(std::move(name)) {}
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  Design* design() const noexcept { return design_; }
+  const std::string& name() const noexcept { return name_; }
+
+  // --- wires -------------------------------------------------------------
+  Wire* add_wire(const std::string& name, int width = 1);
+  /// Fresh wire with a unique generated name based on `prefix`.
+  Wire* new_wire(int width, const std::string& prefix = "$sig");
+  Wire* wire(const std::string& name) const;
+  bool has_wire(const std::string& name) const;
+  const std::vector<std::unique_ptr<Wire>>& wires() const noexcept { return wires_; }
+
+  void set_port_input(Wire* w);
+  void set_port_output(Wire* w);
+  const std::vector<Wire*>& ports() const noexcept { return ports_; }
+
+  // --- cells -------------------------------------------------------------
+  Cell* add_cell(CellType type, const std::string& name = "");
+  Cell* cell(const std::string& name) const;
+  const std::vector<std::unique_ptr<Cell>>& cells() const noexcept { return cells_; }
+  size_t cell_count() const noexcept { return cells_.size(); }
+  void remove_cell(Cell* cell);
+  void remove_cells(const std::vector<Cell*>& dead);
+
+  // --- alias connections (lhs is driven by rhs) --------------------------
+  void connect(const SigSpec& lhs, const SigSpec& rhs);
+  const std::vector<std::pair<SigSpec, SigSpec>>& connections() const noexcept {
+    return connections_;
+  }
+  std::vector<std::pair<SigSpec, SigSpec>>& connections() noexcept { return connections_; }
+
+  // --- value-style builders (create cell + result wire) ------------------
+  SigSpec add_unary(CellType type, const SigSpec& a, int y_width, bool a_signed = false);
+  SigSpec add_binary(CellType type, const SigSpec& a, const SigSpec& b, int y_width,
+                     bool a_signed = false, bool b_signed = false);
+  SigSpec Not(const SigSpec& a) { return add_unary(CellType::Not, a, a.size()); }
+  SigSpec Neg(const SigSpec& a, int w) { return add_unary(CellType::Neg, a, w); }
+  SigSpec ReduceAnd(const SigSpec& a) { return add_unary(CellType::ReduceAnd, a, 1); }
+  SigSpec ReduceOr(const SigSpec& a) { return add_unary(CellType::ReduceOr, a, 1); }
+  SigSpec ReduceXor(const SigSpec& a) { return add_unary(CellType::ReduceXor, a, 1); }
+  SigSpec LogicNot(const SigSpec& a) { return add_unary(CellType::LogicNot, a, 1); }
+  SigSpec And(const SigSpec& a, const SigSpec& b) {
+    return add_binary(CellType::And, a, b, std::max(a.size(), b.size()));
+  }
+  SigSpec Or(const SigSpec& a, const SigSpec& b) {
+    return add_binary(CellType::Or, a, b, std::max(a.size(), b.size()));
+  }
+  SigSpec Xor(const SigSpec& a, const SigSpec& b) {
+    return add_binary(CellType::Xor, a, b, std::max(a.size(), b.size()));
+  }
+  SigSpec Add(const SigSpec& a, const SigSpec& b, int w) {
+    return add_binary(CellType::Add, a, b, w);
+  }
+  SigSpec Sub(const SigSpec& a, const SigSpec& b, int w) {
+    return add_binary(CellType::Sub, a, b, w);
+  }
+  SigSpec Eq(const SigSpec& a, const SigSpec& b) { return add_binary(CellType::Eq, a, b, 1); }
+  SigSpec Ne(const SigSpec& a, const SigSpec& b) { return add_binary(CellType::Ne, a, b, 1); }
+  SigSpec Lt(const SigSpec& a, const SigSpec& b) { return add_binary(CellType::Lt, a, b, 1); }
+  SigSpec LogicAnd(const SigSpec& a, const SigSpec& b) {
+    return add_binary(CellType::LogicAnd, a, b, 1);
+  }
+  SigSpec LogicOr(const SigSpec& a, const SigSpec& b) {
+    return add_binary(CellType::LogicOr, a, b, 1);
+  }
+  /// Y = S ? B : A (Yosys convention).
+  SigSpec Mux(const SigSpec& a, const SigSpec& b, const SigSpec& s);
+  /// Parallel mux: Y = B[i] where S[i] is the lowest set bit, else A.
+  SigSpec Pmux(const SigSpec& a, const SigSpec& b, const SigSpec& s);
+  SigSpec Dff(const SigSpec& d, const SigSpec& clk);
+
+  /// Create Mux/Pmux/Dff driving an existing output signal.
+  Cell* add_mux(const SigSpec& a, const SigSpec& b, const SigSpec& s, const SigSpec& y);
+  Cell* add_pmux(const SigSpec& a, const SigSpec& b, const SigSpec& s, const SigSpec& y);
+  Cell* add_dff(const SigSpec& d, const SigSpec& q, const SigSpec& clk);
+
+  /// Run Cell::check on every cell and validate wire references.
+  void check() const;
+
+  /// Count cells of a given type.
+  size_t count_cells(CellType t) const noexcept;
+
+private:
+  std::string unique_name(const std::string& prefix);
+
+  Design* design_;
+  std::string name_;
+  std::vector<std::unique_ptr<Wire>> wires_;
+  std::unordered_map<std::string, Wire*> wire_by_name_;
+  std::vector<std::unique_ptr<Cell>> cells_;
+  std::unordered_map<std::string, Cell*> cell_by_name_;
+  std::vector<std::pair<SigSpec, SigSpec>> connections_;
+  std::vector<Wire*> ports_;
+  uint64_t name_counter_ = 0;
+};
+
+/// A set of modules (we only ever optimize one at a time, but the container
+/// mirrors Yosys so frontends can emit hierarchies).
+class Design {
+public:
+  Design() = default;
+  Design(const Design&) = delete;
+  Design& operator=(const Design&) = delete;
+
+  Module* add_module(const std::string& name);
+  Module* module(const std::string& name) const;
+  const std::vector<std::unique_ptr<Module>>& modules() const noexcept { return modules_; }
+  Module* top() const;
+
+private:
+  std::vector<std::unique_ptr<Module>> modules_;
+  std::unordered_map<std::string, Module*> module_by_name_;
+};
+
+/// Deep-copy a module into a new Design (used to snapshot a design before
+/// optimization for equivalence checking / ablation runs).
+std::unique_ptr<Design> clone_design(const Design& src);
+
+} // namespace smartly::rtlil

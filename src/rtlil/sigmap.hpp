@@ -1,0 +1,65 @@
+// SigMap — canonicalization of alias connections (Yosys's SigMap).
+//
+// Module-level `connect(lhs, rhs)` entries make several SigBits name the same
+// net. Passes must compare signals modulo these aliases; SigMap is a
+// union-find over SigBits that returns a canonical representative
+// (constants win over wires so `sigmap(x)` of a tied-off bit is the constant).
+#pragma once
+
+#include "rtlil/module.hpp"
+
+#include <unordered_map>
+
+namespace smartly::rtlil {
+
+class SigMap {
+public:
+  SigMap() = default;
+  explicit SigMap(const Module& module) {
+    for (const auto& [lhs, rhs] : module.connections())
+      add(lhs, rhs);
+  }
+
+  /// Merge the two signals bit-by-bit (lhs aliases rhs).
+  void add(const SigSpec& lhs, const SigSpec& rhs) {
+    const int n = std::min(lhs.size(), rhs.size());
+    for (int i = 0; i < n; ++i)
+      add(lhs[i], rhs[i]);
+  }
+
+  void add(SigBit a, SigBit b) {
+    a = find(a);
+    b = find(b);
+    if (a == b)
+      return;
+    // Prefer a constant representative; otherwise keep `b` (the rhs/driver
+    // side) canonical so chains collapse toward drivers.
+    if (a.is_const())
+      parent_[b] = a;
+    else
+      parent_[a] = b;
+  }
+
+  SigBit operator()(SigBit bit) const { return find(bit); }
+
+  SigSpec operator()(const SigSpec& sig) const {
+    SigSpec out;
+    for (const SigBit& b : sig)
+      out.append(find(b));
+    return out;
+  }
+
+private:
+  SigBit find(SigBit bit) const {
+    auto it = parent_.find(bit);
+    if (it == parent_.end())
+      return bit;
+    const SigBit root = find(it->second);
+    parent_[bit] = root; // path compression (mutable cache)
+    return root;
+  }
+
+  mutable std::unordered_map<SigBit, SigBit> parent_;
+};
+
+} // namespace smartly::rtlil

@@ -1,0 +1,109 @@
+#include "rtlil/topo.hpp"
+
+#include "util/log.hpp"
+
+#include <stdexcept>
+
+namespace smartly::rtlil {
+
+NetlistIndex::NetlistIndex(const Module& module) : sigmap_(module) {
+  for (const auto& w : module.wires()) {
+    if (!w->port_output)
+      continue;
+    for (int i = 0; i < w->width(); ++i)
+      output_port_bits_[sigmap_(SigBit(w.get(), i))] = true;
+  }
+
+  std::unordered_map<const Cell*, int> indegree;
+  std::unordered_map<SigBit, std::vector<Cell*>> comb_readers;
+
+  for (const auto& cptr : module.cells()) {
+    Cell* c = cptr.get();
+    indegree[c] = 0;
+    const Port out = c->output_port();
+    for (const SigBit& raw : c->port(out)) {
+      const SigBit bit = sigmap_(raw);
+      if (!bit.is_wire())
+        continue; // output tied to a constant alias: nothing to index
+      auto [it, inserted] = driver_.emplace(bit, c);
+      if (!inserted)
+        log_warn("multiple drivers for %s[%d] (cells %s, %s)", bit.wire->name().c_str(),
+                 bit.offset, it->second->name().c_str(), c->name().c_str());
+    }
+  }
+
+  for (const auto& cptr : module.cells()) {
+    Cell* c = cptr.get();
+    for (Port p : c->input_ports()) {
+      for (const SigBit& raw : c->port(p)) {
+        const SigBit bit = sigmap_(raw);
+        if (!bit.is_wire())
+          continue;
+        readers_[bit].push_back(c);
+        // Combinational dependency edge driver(bit) -> c, except into Dff.D
+        // (sequential boundary) and from Dff.Q (handled as source).
+        if (c->type() == CellType::Dff)
+          continue;
+        auto it = driver_.find(bit);
+        if (it != driver_.end() && it->second->type() != CellType::Dff) {
+          comb_readers[bit].push_back(c);
+          ++indegree[c];
+        }
+      }
+    }
+  }
+
+  // Kahn's algorithm over combinational edges.
+  std::vector<Cell*> ready;
+  for (auto& [cell, deg] : indegree)
+    if (deg == 0)
+      ready.push_back(const_cast<Cell*>(cell));
+  topo_.reserve(module.cells().size());
+  while (!ready.empty()) {
+    Cell* c = ready.back();
+    ready.pop_back();
+    topo_.push_back(c);
+    if (c->type() == CellType::Dff)
+      continue;
+    for (const SigBit& raw : c->port(c->output_port())) {
+      const SigBit bit = sigmap_(raw);
+      auto it = comb_readers.find(bit);
+      if (it == comb_readers.end())
+        continue;
+      for (Cell* r : it->second)
+        if (--indegree[r] == 0)
+          ready.push_back(r);
+      comb_readers.erase(it);
+    }
+  }
+  if (topo_.size() != module.cells().size())
+    throw std::logic_error("NetlistIndex: combinational cycle detected");
+  topo_pos_.reserve(topo_.size());
+  for (size_t i = 0; i < topo_.size(); ++i)
+    topo_pos_.emplace(topo_[i], static_cast<int>(i));
+}
+
+Cell* NetlistIndex::driver(SigBit bit) const {
+  auto it = driver_.find(sigmap_(bit));
+  return it == driver_.end() ? nullptr : it->second;
+}
+
+const std::vector<Cell*>& NetlistIndex::readers(SigBit bit) const {
+  auto it = readers_.find(sigmap_(bit));
+  return it == readers_.end() ? empty_ : it->second;
+}
+
+int NetlistIndex::fanout(SigBit bit) const {
+  const SigBit b = sigmap_(bit);
+  auto it = readers_.find(b);
+  int n = it == readers_.end() ? 0 : static_cast<int>(it->second.size());
+  if (drives_output_port(b))
+    ++n;
+  return n;
+}
+
+bool NetlistIndex::drives_output_port(SigBit bit) const {
+  return output_port_bits_.count(sigmap_(bit)) > 0;
+}
+
+} // namespace smartly::rtlil

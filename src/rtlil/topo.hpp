@@ -1,0 +1,54 @@
+// Netlist indices: driver map, fanout counts, topological cell order.
+#pragma once
+
+#include "rtlil/module.hpp"
+#include "rtlil/sigmap.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+namespace smartly::rtlil {
+
+/// Immutable snapshot of who drives / reads each canonical SigBit.
+/// Build once per pass iteration; rebuild after structural mutation.
+class NetlistIndex {
+public:
+  explicit NetlistIndex(const Module& module);
+
+  const SigMap& sigmap() const noexcept { return sigmap_; }
+
+  /// Cell whose output drives this (canonical) bit, or nullptr for primary
+  /// inputs / constants / dff-driven bits when `through_dff` was false.
+  Cell* driver(SigBit bit) const;
+
+  /// All cells reading this (canonical) bit.
+  const std::vector<Cell*>& readers(SigBit bit) const;
+
+  /// Number of reader cells plus 1 if the bit reaches a module output port.
+  int fanout(SigBit bit) const;
+
+  bool drives_output_port(SigBit bit) const;
+
+  /// Cells in topological order (combinational edges only; Dff cells are
+  /// sources for their Q and sinks for their D). Throws if a combinational
+  /// cycle exists.
+  const std::vector<Cell*>& topo_order() const noexcept { return topo_; }
+
+  /// Position of a cell within topo_order(), or -1 if unknown. Lets callers
+  /// sort small cell subsets into evaluation order without a module rescan.
+  int topo_position(const Cell* cell) const {
+    auto it = topo_pos_.find(cell);
+    return it == topo_pos_.end() ? -1 : it->second;
+  }
+
+private:
+  SigMap sigmap_;
+  std::unordered_map<SigBit, Cell*> driver_;
+  std::unordered_map<SigBit, std::vector<Cell*>> readers_;
+  std::unordered_map<SigBit, bool> output_port_bits_;
+  std::vector<Cell*> topo_;
+  std::unordered_map<const Cell*, int> topo_pos_;
+  std::vector<Cell*> empty_;
+};
+
+} // namespace smartly::rtlil

@@ -1,0 +1,78 @@
+#include "sat/dimacs.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace smartly::sat {
+
+DimacsProblem parse_dimacs(const std::string& text) {
+  DimacsProblem p;
+  std::istringstream in(text);
+  std::string tok;
+  bool have_header = false;
+  int declared_clauses = 0;
+  std::vector<Lit> clause;
+
+  while (in >> tok) {
+    if (tok == "c") {
+      std::string rest;
+      std::getline(in, rest);
+      continue;
+    }
+    if (tok == "p") {
+      std::string kind;
+      if (!(in >> kind >> p.num_vars >> declared_clauses) || kind != "cnf")
+        throw std::runtime_error("dimacs: malformed problem line");
+      if (p.num_vars < 0 || declared_clauses < 0)
+        throw std::runtime_error("dimacs: negative counts");
+      have_header = true;
+      continue;
+    }
+    if (!have_header)
+      throw std::runtime_error("dimacs: clause before header");
+    int64_t v = 0;
+    try {
+      v = std::stoll(tok);
+    } catch (const std::exception&) {
+      throw std::runtime_error("dimacs: bad literal '" + tok + "'");
+    }
+    if (v == 0) {
+      p.clauses.push_back(clause);
+      clause.clear();
+      continue;
+    }
+    const int64_t var = v < 0 ? -v : v;
+    if (var > p.num_vars)
+      throw std::runtime_error("dimacs: literal exceeds declared variable count");
+    clause.push_back(mk_lit(static_cast<Var>(var - 1), v < 0));
+  }
+  if (!have_header)
+    throw std::runtime_error("dimacs: missing header");
+  if (!clause.empty())
+    throw std::runtime_error("dimacs: unterminated clause");
+  if (static_cast<int>(p.clauses.size()) != declared_clauses)
+    throw std::runtime_error("dimacs: clause count mismatch");
+  return p;
+}
+
+bool load_dimacs(Solver& solver, const DimacsProblem& problem) {
+  while (solver.num_vars() < problem.num_vars)
+    solver.new_var();
+  for (const auto& clause : problem.clauses)
+    if (!solver.add_clause(clause))
+      return false;
+  return true;
+}
+
+std::string write_dimacs(const DimacsProblem& problem) {
+  std::ostringstream out;
+  out << "p cnf " << problem.num_vars << " " << problem.clauses.size() << "\n";
+  for (const auto& clause : problem.clauses) {
+    for (const Lit& l : clause)
+      out << (sign(l) ? -(var(l) + 1) : (var(l) + 1)) << " ";
+    out << "0\n";
+  }
+  return out.str();
+}
+
+} // namespace smartly::sat

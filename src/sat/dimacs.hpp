@@ -1,0 +1,32 @@
+// DIMACS CNF I/O for the SAT solver.
+//
+// The standard interchange format lets the embedded CDCL solver be checked
+// against external solvers (minisat, kissat, ...) and lets external CNF
+// benchmarks drive it. `parse_dimacs` loads a problem into a fresh solver;
+// `write_dimacs` serializes a clause list.
+#pragma once
+
+#include "sat/solver.hpp"
+
+#include <string>
+#include <vector>
+
+namespace smartly::sat {
+
+struct DimacsProblem {
+  int num_vars = 0;
+  std::vector<std::vector<Lit>> clauses;
+};
+
+/// Parse DIMACS CNF text ("c" comments, "p cnf V C" header, 0-terminated
+/// clauses). Throws std::runtime_error on malformed input.
+DimacsProblem parse_dimacs(const std::string& text);
+
+/// Load a parsed problem into `solver` (creates variables 0..num_vars-1).
+/// Returns false if the database is trivially unsatisfiable.
+bool load_dimacs(Solver& solver, const DimacsProblem& problem);
+
+/// Serialize to DIMACS text.
+std::string write_dimacs(const DimacsProblem& problem);
+
+} // namespace smartly::sat

@@ -1,0 +1,69 @@
+// Word-level constant evaluation of RTLIL cells — the library's golden
+// semantic model. Used by opt_expr (constant folding), by the muxtree passes
+// (deciding port values), and by tests as the reference against AIG bit
+// blasting.
+//
+// Four-state semantics: bitwise operators are bit-precise in x (0&x=0,
+// 1|x=1, ...); arithmetic, shifts and comparisons return all-x if any
+// consumed input bit is x/z (matching Yosys's conservative constant folds).
+#pragma once
+
+#include "rtlil/cell.hpp"
+#include "rtlil/module.hpp"
+
+#include <functional>
+#include <unordered_map>
+
+namespace smartly::sim {
+
+using rtlil::Cell;
+using rtlil::CellType;
+using rtlil::Const;
+using rtlil::Module;
+using rtlil::SigBit;
+using rtlil::SigSpec;
+using rtlil::State;
+
+/// Evaluate a unary cell. `a` must already have the cell's A_WIDTH.
+Const eval_unary(CellType type, const Const& a, bool a_signed, int y_width);
+
+/// Evaluate a binary cell.
+Const eval_binary(CellType type, const Const& a, const Const& b, bool a_signed, bool b_signed,
+                  int y_width);
+
+/// Y = S ? B : A, with bitwise x-merge when S is undefined.
+Const eval_mux(const Const& a, const Const& b, State s);
+
+/// Priority pmux: lowest set S bit selects its B part; A if none set;
+/// all-x if S has undefined bits before the first set bit.
+Const eval_pmux(const Const& a, const Const& b, const Const& s, int width);
+
+/// Evaluate any combinational cell given a port reader (called once per
+/// connected input port). Returns the value of the cell's output port (Y).
+/// Must not be called for Dff.
+Const eval_cell(const Cell& cell, const std::function<Const(rtlil::Port)>& read);
+
+/// Whole-module combinational evaluator. DFFs are cut: Q bits read as the
+/// values supplied via set_input (or x). Intended for tests and small-circuit
+/// reference computation, not performance.
+class Evaluator {
+public:
+  explicit Evaluator(const Module& module);
+
+  /// Assign a value to a wire (typically a primary input or a dff Q).
+  void set_input(const rtlil::Wire* wire, const Const& value);
+  void set_bit(SigBit bit, State value);
+
+  /// Evaluate all cells in topological order; afterwards value() is valid
+  /// for every signal in the module.
+  void run();
+
+  State value(SigBit bit) const;
+  Const value(const SigSpec& sig) const;
+
+private:
+  const Module& module_;
+  std::unordered_map<SigBit, State> values_;
+};
+
+} // namespace smartly::sim

@@ -1,0 +1,98 @@
+#include "sim/packed_sim.hpp"
+
+#include <unordered_map>
+
+namespace smartly::sim {
+
+namespace {
+
+// Lane masks for the first six enumerated inputs within one 64-pattern word.
+constexpr uint64_t kLaneMask[6] = {
+    0xaaaaaaaaaaaaaaaaULL, 0xccccccccccccccccULL, 0xf0f0f0f0f0f0f0f0ULL,
+    0xff00ff00ff00ff00ULL, 0xffff0000ffff0000ULL, 0xffffffff00000000ULL,
+};
+
+} // namespace
+
+Forced exhaustive_forced(const aig::Aig& aig,
+                         const std::vector<std::pair<aig::Lit, bool>>& constraints,
+                         aig::Lit target, int max_free_inputs) {
+  const size_t n_inputs = aig.num_inputs();
+
+  // Split constraints into direct input fixings vs. internal checks.
+  std::unordered_map<uint32_t, size_t> input_index; // node -> input position
+  for (size_t i = 0; i < n_inputs; ++i)
+    input_index.emplace(aig.inputs()[i], i);
+
+  std::vector<int> fixed(n_inputs, -1); // -1 free, 0/1 fixed
+  std::vector<std::pair<aig::Lit, bool>> internal;
+  for (const auto& [lit, val] : constraints) {
+    auto it = input_index.find(aig::lit_node(lit));
+    if (it != input_index.end()) {
+      const int want = (val != aig::lit_compl(lit)) ? 1 : 0;
+      if (fixed[it->second] >= 0 && fixed[it->second] != want)
+        return Forced::Contradiction;
+      fixed[it->second] = want;
+    } else {
+      internal.emplace_back(lit, val);
+    }
+  }
+
+  std::vector<size_t> free_inputs;
+  for (size_t i = 0; i < n_inputs; ++i)
+    if (fixed[i] < 0)
+      free_inputs.push_back(i);
+  if (static_cast<int>(free_inputs.size()) > max_free_inputs)
+    return Forced::None;
+
+  const int k = static_cast<int>(free_inputs.size());
+  const uint64_t n_patterns = uint64_t(1) << k;
+  const uint64_t n_words = (n_patterns + 63) / 64;
+
+  bool seen0 = false, seen1 = false, any = false;
+  std::vector<uint64_t> input_words(n_inputs, 0);
+  for (size_t i = 0; i < n_inputs; ++i)
+    if (fixed[i] == 1)
+      input_words[i] = ~uint64_t(0);
+
+  for (uint64_t w = 0; w < n_words; ++w) {
+    const uint64_t base = w * 64;
+    for (int j = 0; j < k; ++j) {
+      uint64_t word;
+      if (j < 6)
+        word = kLaneMask[j];
+      else
+        word = ((base >> j) & 1) ? ~uint64_t(0) : 0;
+      input_words[free_inputs[static_cast<size_t>(j)]] = word;
+    }
+    const std::vector<uint64_t> values = aig.simulate(input_words);
+
+    uint64_t valid = ~uint64_t(0);
+    if (n_patterns - base < 64)
+      valid = (uint64_t(1) << (n_patterns - base)) - 1;
+    for (const auto& [lit, val] : internal) {
+      const uint64_t v = aig::Aig::sim_lit(values, lit);
+      valid &= val ? v : ~v;
+    }
+    if (!valid)
+      continue;
+    any = true;
+    const uint64_t t = aig::Aig::sim_lit(values, target);
+    if (t & valid)
+      seen1 = true;
+    if (~t & valid)
+      seen0 = true;
+    if (seen0 && seen1)
+      return Forced::None;
+  }
+
+  if (!any)
+    return Forced::Contradiction;
+  if (seen1 && !seen0)
+    return Forced::One;
+  if (seen0 && !seen1)
+    return Forced::Zero;
+  return Forced::None;
+}
+
+} // namespace smartly::sim

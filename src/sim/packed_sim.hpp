@@ -1,0 +1,34 @@
+// Exhaustive packed (64-way) simulation of AIG sub-graphs.
+//
+// §II of the paper: "For a smaller number of inputs, simulation is more
+// efficient, while the SAT solver is better suited for handling larger sets
+// of inputs." This module is the simulation side: it enumerates all
+// assignments of the sub-graph's free inputs 64 patterns at a time, discards
+// patterns that contradict the known signal values (which is how logical
+// dependencies between control signals are honoured), and reports whether
+// the target signal is forced.
+#pragma once
+
+#include "aig/aig.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace smartly::sim {
+
+enum class Forced {
+  None,          ///< target can be 0 or 1
+  Zero,          ///< target is 0 under every consistent assignment
+  One,           ///< target is 1 under every consistent assignment
+  Contradiction, ///< no assignment satisfies the constraints (dead path)
+};
+
+/// Exhaustively decide whether `target` is forced under `constraints`
+/// (pairs of AIG literal and required value). Inputs directly constrained are
+/// fixed; the rest are enumerated. Returns Forced::None without work if the
+/// number of free inputs exceeds `max_free_inputs`.
+Forced exhaustive_forced(const aig::Aig& aig,
+                         const std::vector<std::pair<aig::Lit, bool>>& constraints,
+                         aig::Lit target, int max_free_inputs = 14);
+
+} // namespace smartly::sim

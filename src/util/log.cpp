@@ -1,0 +1,55 @@
+#include "util/log.hpp"
+
+#include <cstdarg>
+#include <vector>
+
+namespace smartly {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+} // namespace
+
+LogLevel log_level() noexcept { return g_level; }
+void set_log_level(LogLevel lvl) noexcept { g_level = lvl; }
+
+namespace detail {
+void log_vprintf(LogLevel lvl, const char* prefix, const char* fmt, va_list ap) {
+  if (static_cast<int>(lvl) > static_cast<int>(g_level))
+    return;
+  std::fputs(prefix, stderr);
+  std::vfprintf(stderr, fmt, ap);
+  std::fputc('\n', stderr);
+}
+} // namespace detail
+
+#define SMARTLY_LOG_BODY(level, prefix)          \
+  va_list ap;                                    \
+  va_start(ap, fmt);                             \
+  detail::log_vprintf(level, prefix, fmt, ap);   \
+  va_end(ap)
+
+void log_error(const char* fmt, ...) { SMARTLY_LOG_BODY(LogLevel::Error, "[error] "); }
+void log_warn(const char* fmt, ...) { SMARTLY_LOG_BODY(LogLevel::Warn, "[warn] "); }
+void log_info(const char* fmt, ...) { SMARTLY_LOG_BODY(LogLevel::Info, "[info] "); }
+void log_debug(const char* fmt, ...) { SMARTLY_LOG_BODY(LogLevel::Debug, "[debug] "); }
+
+#undef SMARTLY_LOG_BODY
+
+std::string str_format(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out;
+  if (n > 0) {
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    out.assign(buf.data(), static_cast<size_t>(n));
+  }
+  va_end(ap2);
+  return out;
+}
+
+} // namespace smartly

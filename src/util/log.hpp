@@ -1,0 +1,32 @@
+// Lightweight logging utilities for the smaRTLy library.
+//
+// Logging is intentionally minimal: passes report what they changed at
+// `Info` level, detailed traversal traces go to `Debug`. The level is a
+// process-global knob so benches can silence passes without plumbing a
+// logger through every call site.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace smartly {
+
+enum class LogLevel { Silent = 0, Error = 1, Warn = 2, Info = 3, Debug = 4 };
+
+/// Process-global log level (defaults to Warn so library users are quiet).
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel lvl) noexcept;
+
+namespace detail {
+void log_vprintf(LogLevel lvl, const char* prefix, const char* fmt, va_list ap);
+} // namespace detail
+
+void log_error(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void log_warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void log_info(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void log_debug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Format like printf into a std::string (used for error messages).
+std::string str_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace smartly

@@ -1,0 +1,20 @@
+#include "util/luby.hpp"
+
+namespace smartly {
+
+uint64_t luby(uint64_t i) noexcept {
+  // 0-based index into the sequence 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+  // Standard recurrence on the 1-based index n: if n == 2^k - 1 the value is
+  // 2^(k-1); otherwise recurse into the copy of the prefix starting at 2^(k-1).
+  uint64_t n = i + 1;
+  for (;;) {
+    uint64_t k = 1;
+    while ((uint64_t(1) << k) - 1 < n)
+      ++k; // smallest k with 2^k - 1 >= n
+    if ((uint64_t(1) << k) - 1 == n)
+      return uint64_t(1) << (k - 1);
+    n -= (uint64_t(1) << (k - 1)) - 1;
+  }
+}
+
+} // namespace smartly

@@ -1,0 +1,11 @@
+// Luby restart sequence (1,1,2,1,1,2,4,...) used by the CDCL solver.
+#pragma once
+
+#include <cstdint>
+
+namespace smartly {
+
+/// Returns the i-th element (0-based) of the Luby sequence.
+uint64_t luby(uint64_t i) noexcept;
+
+} // namespace smartly

@@ -1,0 +1,10 @@
+// AST helpers (construction + debugging support).
+#include "verilog/ast.hpp"
+
+namespace smartly::verilog {
+
+// The AST is a passive data structure; all behaviour lives in the parser and
+// elaborator. This TU exists so the module has a stable home for future
+// out-of-line helpers (kept deliberately small).
+
+} // namespace smartly::verilog

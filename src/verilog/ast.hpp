@@ -1,0 +1,110 @@
+// AST for the synthesizable Verilog subset.
+#pragma once
+
+#include "rtlil/const.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace smartly::verilog {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class UnaryOp { Plus, Minus, Not, BitNot, RedAnd, RedOr, RedXor, RedXnor };
+enum class BinaryOp {
+  Add, Sub, Mul,
+  And, Or, Xor, Xnor,
+  LogicAnd, LogicOr,
+  Eq, Ne, Lt, Le, Gt, Ge,
+  Shl, Shr, Sshr,
+};
+
+enum class ExprKind {
+  Number,  ///< value
+  Ident,   ///< name
+  Unary,   ///< uop, args[0]
+  Binary,  ///< bop, args[0], args[1]
+  Ternary, ///< args[0] ? args[1] : args[2]
+  Concat,  ///< {args...} (MSB first, as written)
+  Repeat,  ///< {count{args[0]}}
+  Index,   ///< name[args[0]]   (args[0] may be non-constant → indexed mux)
+  Slice,   ///< name[msb:lsb]   (constant bounds)
+};
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+
+  rtlil::Const value;          // Number
+  bool sized = false;          // Number: had explicit width
+  std::string name;            // Ident / Index / Slice
+  UnaryOp uop{};
+  BinaryOp bop{};
+  std::vector<ExprPtr> args;
+  int repeat_count = 0;        // Repeat
+  int msb = 0, lsb = 0;        // Slice
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind { Block, If, Case, Assign };
+
+struct CaseItem {
+  std::vector<ExprPtr> labels; ///< empty for `default`
+  bool is_default = false;
+  StmtPtr body;
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+
+  std::vector<StmtPtr> stmts; // Block
+  ExprPtr cond;               // If condition / Case selector
+  StmtPtr then_stmt;          // If
+  StmtPtr else_stmt;          // If (may be null)
+  std::vector<CaseItem> items;
+  bool is_casez = false;
+  ExprPtr lhs; // Assign target (Ident/Index/Slice/Concat)
+  ExprPtr rhs;
+  bool nonblocking = false;
+};
+
+enum class Dir { None, Input, Output };
+
+struct Decl {
+  std::string name;
+  int msb = 0, lsb = 0; ///< [msb:lsb]; scalar = [0:0]
+  bool is_reg = false;
+  Dir dir = Dir::None;
+  int line = 0;
+};
+
+struct AlwaysBlock {
+  bool is_comb = true;   ///< @(*) vs @(posedge clock)
+  std::string clock;     ///< valid when !is_comb
+  StmtPtr body;
+  int line = 0;
+};
+
+struct Parameter {
+  std::string name;
+  rtlil::Const value;
+};
+
+struct ModuleAst {
+  std::string name;
+  std::vector<std::string> port_order;
+  std::vector<Decl> decls;
+  std::vector<std::pair<ExprPtr, ExprPtr>> assigns; ///< assign lhs = rhs
+  std::vector<AlwaysBlock> always_blocks;
+  std::vector<Parameter> parameters;
+};
+
+/// Width of a declared range.
+inline int decl_width(const Decl& d) { return d.msb - d.lsb + 1; }
+
+} // namespace smartly::verilog

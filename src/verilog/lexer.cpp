@@ -1,0 +1,246 @@
+#include "verilog/lexer.hpp"
+
+#include "util/log.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace smartly::verilog {
+
+namespace {
+
+[[noreturn]] void lex_error(int line, const std::string& msg) {
+  throw std::runtime_error(str_format("verilog lexer (line %d): %s", line, msg.c_str()));
+}
+
+bool is_ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$'; }
+bool is_ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$'; }
+
+// Multi-character punctuation, longest-match first.
+const char* kPuncts[] = {
+    ">>>", "<<<", "===", "!==", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "~^", "^~", "+:", "-:", "(", ")", "[", "]", "{", "}", ",", ";", ":", "?",
+    "=", "<", ">", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "@", "#", ".",
+};
+
+} // namespace
+
+std::vector<Token> tokenize(const std::string& src) {
+  std::vector<Token> out;
+  size_t i = 0;
+  int line = 1, col = 1;
+
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n; ++k) {
+      if (src[i + k] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    i += n;
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n')
+        advance(1);
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      const int start_line = line;
+      advance(2);
+      for (;;) {
+        if (i + 1 >= src.size())
+          lex_error(start_line, "unterminated block comment");
+        if (src[i] == '*' && src[i + 1] == '/') {
+          advance(2);
+          break;
+        }
+        advance(1);
+      }
+      continue;
+    }
+
+    Token tok;
+    tok.line = line;
+    tok.col = col;
+
+    if (is_ident_start(c)) {
+      size_t j = i;
+      while (j < src.size() && is_ident_char(src[j]))
+        ++j;
+      tok.kind = TokKind::Ident;
+      tok.text = src.substr(i, j - i);
+      advance(j - i);
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      // Number: [size] ['base digits]  — digits may include x/z/_ per base.
+      size_t j = i;
+      while (j < src.size() && (std::isdigit(static_cast<unsigned char>(src[j])) || src[j] == '_'))
+        ++j;
+      if (j < src.size() && src[j] == '\'') {
+        ++j;
+        if (j < src.size() && (src[j] == 's' || src[j] == 'S'))
+          ++j;
+        if (j >= src.size())
+          lex_error(line, "truncated based literal");
+        ++j; // base char, validated by decode_number
+        while (j < src.size() &&
+               (std::isalnum(static_cast<unsigned char>(src[j])) || src[j] == '_' ||
+                src[j] == '?'))
+          ++j;
+      }
+      tok.kind = TokKind::Number;
+      tok.text = src.substr(i, j - i);
+      advance(j - i);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      // Unsized based literal like 'b0 / 'd3.
+      size_t j = i + 1;
+      if (j < src.size() && (src[j] == 's' || src[j] == 'S'))
+        ++j;
+      if (j >= src.size())
+        lex_error(line, "truncated based literal");
+      ++j;
+      while (j < src.size() && (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                                src[j] == '_' || src[j] == '?'))
+        ++j;
+      tok.kind = TokKind::Number;
+      tok.text = src.substr(i, j - i);
+      advance(j - i);
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      const size_t len = std::char_traits<char>::length(p);
+      if (src.compare(i, len, p) == 0) {
+        tok.kind = TokKind::Punct;
+        tok.text = p;
+        advance(len);
+        out.push_back(std::move(tok));
+        matched = true;
+        break;
+      }
+    }
+    if (!matched)
+      lex_error(line, str_format("unexpected character '%c'", c));
+  }
+
+  Token eof;
+  eof.kind = TokKind::Eof;
+  eof.line = line;
+  out.push_back(std::move(eof));
+  return out;
+}
+
+NumberValue decode_number(const std::string& text, int line) {
+  NumberValue out;
+  const size_t quote = text.find('\'');
+  if (quote == std::string::npos) {
+    // Plain decimal, 32-bit unsigned.
+    uint64_t v = 0;
+    for (char c : text) {
+      if (c == '_')
+        continue;
+      if (!std::isdigit(static_cast<unsigned char>(c)))
+        lex_error(line, "bad decimal literal: " + text);
+      v = v * 10 + static_cast<uint64_t>(c - '0');
+    }
+    out.width = 32;
+    out.sized = false;
+    for (int b = 0; b < 32; ++b)
+      out.bits_lsb_first.push_back(((v >> b) & 1) ? '1' : '0');
+    return out;
+  }
+
+  // Sized/based literal.
+  int width = 0;
+  for (size_t k = 0; k < quote; ++k) {
+    if (text[k] == '_')
+      continue;
+    width = width * 10 + (text[k] - '0');
+  }
+  size_t p = quote + 1;
+  if (p < text.size() && (text[p] == 's' || text[p] == 'S'))
+    ++p; // signedness ignored (subset)
+  if (p >= text.size())
+    lex_error(line, "bad literal: " + text);
+  const char base = static_cast<char>(std::tolower(static_cast<unsigned char>(text[p])));
+  ++p;
+  const std::string digits = text.substr(p);
+  if (digits.empty())
+    lex_error(line, "literal has no digits: " + text);
+
+  std::string bits_msb; // msb-first accumulation
+  auto push_bits = [&](int value, int nbits, char xz) {
+    for (int b = nbits - 1; b >= 0; --b) {
+      if (xz)
+        bits_msb.push_back(xz);
+      else
+        bits_msb.push_back(((value >> b) & 1) ? '1' : '0');
+    }
+  };
+
+  if (base == 'b' || base == 'o' || base == 'h') {
+    const int per = base == 'b' ? 1 : base == 'o' ? 3 : 4;
+    for (char c : digits) {
+      if (c == '_')
+        continue;
+      const char lc = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      if (lc == 'x' || lc == 'z' || lc == '?') {
+        push_bits(0, per, lc == '?' ? 'z' : lc);
+        continue;
+      }
+      int v = 0;
+      if (std::isdigit(static_cast<unsigned char>(lc)))
+        v = lc - '0';
+      else if (lc >= 'a' && lc <= 'f' && base == 'h')
+        v = lc - 'a' + 10;
+      else
+        lex_error(line, "bad digit in literal: " + text);
+      if (v >= (1 << per))
+        lex_error(line, "digit out of range for base: " + text);
+      push_bits(v, per, 0);
+    }
+  } else if (base == 'd') {
+    uint64_t v = 0;
+    for (char c : digits) {
+      if (c == '_')
+        continue;
+      if (!std::isdigit(static_cast<unsigned char>(c)))
+        lex_error(line, "bad decimal digit: " + text);
+      v = v * 10 + static_cast<uint64_t>(c - '0');
+    }
+    for (int b = 63; b >= 0; --b)
+      bits_msb.push_back(((v >> b) & 1) ? '1' : '0');
+  } else {
+    lex_error(line, "unsupported base in literal: " + text);
+  }
+
+  if (width == 0)
+    width = static_cast<int>(bits_msb.size());
+  out.width = width;
+  out.sized = true;
+  // LSB-first, extended/truncated to width. Extension repeats x/z, else 0.
+  std::string lsb(bits_msb.rbegin(), bits_msb.rend());
+  const char fill = (!lsb.empty() && (lsb.back() == 'x' || lsb.back() == 'z')) ? lsb.back() : '0';
+  lsb.resize(static_cast<size_t>(width), fill);
+  out.bits_lsb_first = std::move(lsb);
+  return out;
+}
+
+} // namespace smartly::verilog

@@ -1,0 +1,38 @@
+// Lexer for the synthesizable Verilog subset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smartly::verilog {
+
+enum class TokKind : uint8_t {
+  Eof,
+  Ident,   ///< identifier or keyword (keywords resolved by the parser)
+  Number,  ///< numeric literal, normalized in `text` (see Lexer docs)
+  Punct,   ///< operator / punctuation, exact characters in `text`
+};
+
+struct Token {
+  TokKind kind = TokKind::Eof;
+  std::string text;
+  int line = 0;
+  int col = 0;
+};
+
+/// Tokenize Verilog source. Throws std::runtime_error with line info on
+/// malformed input. Comments (`//`, `/* */`) and whitespace are skipped.
+/// Numbers keep their original spelling (e.g. "8'hf0", "3'b1zz", "42").
+std::vector<Token> tokenize(const std::string& source);
+
+/// Decode a number token into (width, bits). Unsized decimals get width 32.
+/// Bits are returned LSB-first as chars '0','1','x','z'.
+struct NumberValue {
+  int width = 32;
+  bool sized = false;
+  std::string bits_lsb_first;
+};
+NumberValue decode_number(const std::string& text, int line);
+
+} // namespace smartly::verilog

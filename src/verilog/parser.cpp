@@ -1,0 +1,551 @@
+#include "verilog/parser.hpp"
+
+#include "util/log.hpp"
+#include "verilog/lexer.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace smartly::verilog {
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  std::vector<ModuleAst> parse() {
+    std::vector<ModuleAst> out;
+    while (!at_eof())
+      out.push_back(parse_module());
+    return out;
+  }
+
+private:
+  [[noreturn]] void error(const std::string& msg) const {
+    throw std::runtime_error(
+        str_format("verilog parser (line %d): %s", peek().line, msg.c_str()));
+  }
+
+  const Token& peek(int ahead = 0) const {
+    const size_t i = std::min(pos_ + static_cast<size_t>(ahead), toks_.size() - 1);
+    return toks_[i];
+  }
+  bool at_eof() const { return peek().kind == TokKind::Eof; }
+  Token take() { return toks_[std::min(pos_++, toks_.size() - 1)]; }
+
+  bool is_punct(const char* p, int ahead = 0) const {
+    return peek(ahead).kind == TokKind::Punct && peek(ahead).text == p;
+  }
+  bool is_kw(const char* kw, int ahead = 0) const {
+    return peek(ahead).kind == TokKind::Ident && peek(ahead).text == kw;
+  }
+  void expect_punct(const char* p) {
+    if (!is_punct(p))
+      error(str_format("expected '%s', got '%s'", p, peek().text.c_str()));
+    take();
+  }
+  void expect_kw(const char* kw) {
+    if (!is_kw(kw))
+      error(str_format("expected '%s', got '%s'", kw, peek().text.c_str()));
+    take();
+  }
+  std::string expect_ident() {
+    if (peek().kind != TokKind::Ident)
+      error("expected identifier, got '" + peek().text + "'");
+    return take().text;
+  }
+
+  // --- constant expressions (for ranges / parameters) ----------------------
+  int64_t const_eval(const Expr& e) const {
+    switch (e.kind) {
+    case ExprKind::Number:
+      return static_cast<int64_t>(e.value.as_uint());
+    case ExprKind::Ident: {
+      auto it = params_.find(e.name);
+      if (it == params_.end())
+        throw std::runtime_error(
+            str_format("verilog parser (line %d): '%s' is not a constant", e.line,
+                       e.name.c_str()));
+      return static_cast<int64_t>(it->second.as_uint());
+    }
+    case ExprKind::Unary:
+      if (e.uop == UnaryOp::Minus)
+        return -const_eval(*e.args[0]);
+      if (e.uop == UnaryOp::Plus)
+        return const_eval(*e.args[0]);
+      break;
+    case ExprKind::Binary: {
+      const int64_t a = const_eval(*e.args[0]);
+      const int64_t b = const_eval(*e.args[1]);
+      switch (e.bop) {
+      case BinaryOp::Add: return a + b;
+      case BinaryOp::Sub: return a - b;
+      case BinaryOp::Mul: return a * b;
+      case BinaryOp::Shl: return a << b;
+      case BinaryOp::Shr: return static_cast<int64_t>(static_cast<uint64_t>(a) >> b);
+      default: break;
+      }
+      break;
+    }
+    default:
+      break;
+    }
+    throw std::runtime_error(str_format(
+        "verilog parser (line %d): unsupported constant expression", e.line));
+  }
+
+  // --- module --------------------------------------------------------------
+  ModuleAst parse_module() {
+    params_.clear();
+    expect_kw("module");
+    ModuleAst m;
+    m.name = expect_ident();
+    if (is_punct("(")) {
+      take();
+      if (!is_punct(")")) {
+        for (;;) {
+          m.port_order.push_back(expect_ident());
+          if (is_punct(","))
+            take();
+          else
+            break;
+        }
+      }
+      expect_punct(")");
+    }
+    expect_punct(";");
+
+    while (!is_kw("endmodule")) {
+      if (at_eof())
+        error("unexpected end of file inside module");
+      parse_item(m);
+    }
+    expect_kw("endmodule");
+    return m;
+  }
+
+  void parse_item(ModuleAst& m) {
+    if (is_kw("input") || is_kw("output") || is_kw("wire") || is_kw("reg")) {
+      parse_decl(m);
+      return;
+    }
+    if (is_kw("parameter") || is_kw("localparam")) {
+      take();
+      for (;;) {
+        Parameter p;
+        p.name = expect_ident();
+        expect_punct("=");
+        const ExprPtr e = parse_expr();
+        if (e->kind == ExprKind::Number) {
+          p.value = e->value;
+        } else {
+          p.value = rtlil::Const(static_cast<uint64_t>(const_eval(*e)), 32);
+        }
+        params_[p.name] = p.value;
+        m.parameters.push_back(std::move(p));
+        if (is_punct(","))
+          take();
+        else
+          break;
+      }
+      expect_punct(";");
+      return;
+    }
+    if (is_kw("assign")) {
+      take();
+      for (;;) {
+        ExprPtr lhs = parse_lvalue();
+        expect_punct("=");
+        ExprPtr rhs = parse_expr();
+        m.assigns.emplace_back(std::move(lhs), std::move(rhs));
+        if (is_punct(","))
+          take();
+        else
+          break;
+      }
+      expect_punct(";");
+      return;
+    }
+    if (is_kw("always")) {
+      AlwaysBlock blk;
+      blk.line = peek().line;
+      take();
+      expect_punct("@");
+      expect_punct("(");
+      if (is_punct("*")) {
+        take();
+        blk.is_comb = true;
+      } else if (is_kw("posedge")) {
+        take();
+        blk.is_comb = false;
+        blk.clock = expect_ident();
+      } else {
+        // @(a or b or c) style sensitivity list — treated as combinational.
+        blk.is_comb = true;
+        expect_ident();
+        while (is_kw("or") || is_punct(",")) {
+          take();
+          expect_ident();
+        }
+      }
+      expect_punct(")");
+      blk.body = parse_stmt();
+      m.always_blocks.push_back(std::move(blk));
+      return;
+    }
+    error("unexpected token '" + peek().text + "' in module body");
+  }
+
+  void parse_decl(ModuleAst& m) {
+    Dir dir = Dir::None;
+    bool is_reg = false;
+    if (is_kw("input")) {
+      take();
+      dir = Dir::Input;
+    } else if (is_kw("output")) {
+      take();
+      dir = Dir::Output;
+    }
+    if (is_kw("wire"))
+      take();
+    else if (is_kw("reg")) {
+      take();
+      is_reg = true;
+    }
+
+    int msb = 0, lsb = 0;
+    if (is_punct("[")) {
+      take();
+      msb = static_cast<int>(const_eval(*parse_expr()));
+      expect_punct(":");
+      lsb = static_cast<int>(const_eval(*parse_expr()));
+      expect_punct("]");
+    }
+    for (;;) {
+      Decl d;
+      d.line = peek().line;
+      d.name = expect_ident();
+      d.msb = msb;
+      d.lsb = lsb;
+      d.is_reg = is_reg;
+      d.dir = dir;
+      m.decls.push_back(std::move(d));
+      if (is_punct(","))
+        take();
+      else
+        break;
+    }
+    expect_punct(";");
+  }
+
+  // --- statements ----------------------------------------------------------
+  StmtPtr parse_stmt() {
+    auto s = std::make_unique<Stmt>();
+    s->line = peek().line;
+
+    if (is_kw("begin")) {
+      take();
+      s->kind = StmtKind::Block;
+      while (!is_kw("end")) {
+        if (at_eof())
+          error("unexpected EOF in begin/end block");
+        s->stmts.push_back(parse_stmt());
+      }
+      take();
+      return s;
+    }
+    if (is_kw("if")) {
+      take();
+      s->kind = StmtKind::If;
+      expect_punct("(");
+      s->cond = parse_expr();
+      expect_punct(")");
+      s->then_stmt = parse_stmt();
+      if (is_kw("else")) {
+        take();
+        s->else_stmt = parse_stmt();
+      }
+      return s;
+    }
+    if (is_kw("case") || is_kw("casez")) {
+      s->is_casez = peek().text == "casez";
+      take();
+      s->kind = StmtKind::Case;
+      expect_punct("(");
+      s->cond = parse_expr();
+      expect_punct(")");
+      while (!is_kw("endcase")) {
+        if (at_eof())
+          error("unexpected EOF in case statement");
+        CaseItem item;
+        if (is_kw("default")) {
+          take();
+          item.is_default = true;
+          if (is_punct(":"))
+            take();
+        } else {
+          for (;;) {
+            item.labels.push_back(parse_expr());
+            if (is_punct(","))
+              take();
+            else
+              break;
+          }
+          expect_punct(":");
+        }
+        item.body = parse_stmt();
+        s->items.push_back(std::move(item));
+      }
+      take();
+      return s;
+    }
+
+    // Assignment.
+    s->kind = StmtKind::Assign;
+    s->lhs = parse_lvalue();
+    if (is_punct("<=")) {
+      take();
+      s->nonblocking = true;
+    } else {
+      expect_punct("=");
+    }
+    s->rhs = parse_expr();
+    expect_punct(";");
+    return s;
+  }
+
+  // --- expressions ----------------------------------------------------------
+  ExprPtr parse_lvalue() {
+    if (is_punct("{")) {
+      auto e = std::make_unique<Expr>();
+      e->line = peek().line;
+      e->kind = ExprKind::Concat;
+      take();
+      for (;;) {
+        e->args.push_back(parse_lvalue());
+        if (is_punct(","))
+          take();
+        else
+          break;
+      }
+      expect_punct("}");
+      return e;
+    }
+    const std::string name = expect_ident();
+    return parse_postfix(name, peek().line);
+  }
+
+  ExprPtr parse_postfix(const std::string& name, int line) {
+    auto e = std::make_unique<Expr>();
+    e->line = line;
+    e->name = name;
+    if (!is_punct("[")) {
+      e->kind = ExprKind::Ident;
+      return e;
+    }
+    take();
+    ExprPtr first = parse_expr();
+    if (is_punct(":")) {
+      take();
+      ExprPtr second = parse_expr();
+      e->kind = ExprKind::Slice;
+      e->msb = static_cast<int>(const_eval(*first));
+      e->lsb = static_cast<int>(const_eval(*second));
+      expect_punct("]");
+      return e;
+    }
+    expect_punct("]");
+    e->kind = ExprKind::Index;
+    e->args.push_back(std::move(first));
+    return e;
+  }
+
+  int binary_prec(const std::string& op) const {
+    // Higher binds tighter. Ternary handled separately (lowest).
+    static const std::unordered_map<std::string, int> prec = {
+        {"||", 1}, {"&&", 2}, {"|", 3},  {"^", 4},  {"~^", 4}, {"^~", 4},
+        {"&", 5},  {"==", 6}, {"!=", 6}, {"<", 7},  {"<=", 7}, {">", 7},
+        {">=", 7}, {"<<", 8}, {">>", 8}, {">>>", 8}, {"+", 9}, {"-", 9},
+        {"*", 10},
+    };
+    auto it = prec.find(op);
+    return it == prec.end() ? -1 : it->second;
+  }
+
+  BinaryOp binary_op(const std::string& op) const {
+    if (op == "||") return BinaryOp::LogicOr;
+    if (op == "&&") return BinaryOp::LogicAnd;
+    if (op == "|") return BinaryOp::Or;
+    if (op == "^") return BinaryOp::Xor;
+    if (op == "~^" || op == "^~") return BinaryOp::Xnor;
+    if (op == "&") return BinaryOp::And;
+    if (op == "==") return BinaryOp::Eq;
+    if (op == "!=") return BinaryOp::Ne;
+    if (op == "<") return BinaryOp::Lt;
+    if (op == "<=") return BinaryOp::Le;
+    if (op == ">") return BinaryOp::Gt;
+    if (op == ">=") return BinaryOp::Ge;
+    if (op == "<<") return BinaryOp::Shl;
+    if (op == ">>") return BinaryOp::Shr;
+    if (op == ">>>") return BinaryOp::Sshr;
+    if (op == "+") return BinaryOp::Add;
+    if (op == "-") return BinaryOp::Sub;
+    if (op == "*") return BinaryOp::Mul;
+    error("unknown binary operator " + op);
+  }
+
+  ExprPtr parse_expr() { return parse_ternary(); }
+
+  ExprPtr parse_ternary() {
+    ExprPtr cond = parse_binary(1);
+    if (!is_punct("?"))
+      return cond;
+    auto e = std::make_unique<Expr>();
+    e->line = peek().line;
+    e->kind = ExprKind::Ternary;
+    take();
+    ExprPtr t = parse_ternary();
+    expect_punct(":");
+    ExprPtr f = parse_ternary();
+    e->args.push_back(std::move(cond));
+    e->args.push_back(std::move(t));
+    e->args.push_back(std::move(f));
+    return e;
+  }
+
+  ExprPtr parse_binary(int min_prec) {
+    ExprPtr lhs = parse_unary();
+    for (;;) {
+      if (peek().kind != TokKind::Punct)
+        return lhs;
+      const int prec = binary_prec(peek().text);
+      if (prec < min_prec)
+        return lhs;
+      const std::string op = take().text;
+      ExprPtr rhs = parse_binary(prec + 1);
+      auto e = std::make_unique<Expr>();
+      e->line = lhs->line;
+      e->kind = ExprKind::Binary;
+      e->bop = binary_op(op);
+      e->args.push_back(std::move(lhs));
+      e->args.push_back(std::move(rhs));
+      lhs = std::move(e);
+    }
+  }
+
+  ExprPtr parse_unary() {
+    if (peek().kind == TokKind::Punct) {
+      const std::string& t = peek().text;
+      UnaryOp op;
+      bool matched = true;
+      if (t == "!")
+        op = UnaryOp::Not;
+      else if (t == "~")
+        op = UnaryOp::BitNot;
+      else if (t == "-")
+        op = UnaryOp::Minus;
+      else if (t == "+")
+        op = UnaryOp::Plus;
+      else if (t == "&")
+        op = UnaryOp::RedAnd;
+      else if (t == "|")
+        op = UnaryOp::RedOr;
+      else if (t == "^")
+        op = UnaryOp::RedXor;
+      else if (t == "~^" || t == "^~")
+        op = UnaryOp::RedXnor;
+      else
+        matched = false;
+      if (matched) {
+        auto e = std::make_unique<Expr>();
+        e->line = peek().line;
+        take();
+        e->kind = ExprKind::Unary;
+        e->uop = op;
+        e->args.push_back(parse_unary());
+        return e;
+      }
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    if (is_punct("(")) {
+      take();
+      ExprPtr e = parse_expr();
+      expect_punct(")");
+      return e;
+    }
+    if (is_punct("{")) {
+      const int line = peek().line;
+      take();
+      // Replication {n{expr}} or concat {a, b, ...}.
+      // Heuristic: replication iff first token forms a constant expr followed
+      // by '{'.
+      ExprPtr first = parse_expr();
+      if (is_punct("{")) {
+        take();
+        auto e = std::make_unique<Expr>();
+        e->line = line;
+        e->kind = ExprKind::Repeat;
+        e->repeat_count = static_cast<int>(const_eval(*first));
+        e->args.push_back(parse_expr());
+        expect_punct("}");
+        expect_punct("}");
+        return e;
+      }
+      auto e = std::make_unique<Expr>();
+      e->line = line;
+      e->kind = ExprKind::Concat;
+      e->args.push_back(std::move(first));
+      while (is_punct(",")) {
+        take();
+        e->args.push_back(parse_expr());
+      }
+      expect_punct("}");
+      return e;
+    }
+    if (peek().kind == TokKind::Number) {
+      const Token tok = take();
+      const NumberValue nv = decode_number(tok.text, tok.line);
+      auto e = std::make_unique<Expr>();
+      e->line = tok.line;
+      e->kind = ExprKind::Number;
+      e->sized = nv.sized;
+      std::vector<rtlil::State> bits;
+      bits.reserve(nv.bits_lsb_first.size());
+      for (char c : nv.bits_lsb_first)
+        bits.push_back(rtlil::state_from_char(c));
+      e->value = rtlil::Const(std::move(bits));
+      return e;
+    }
+    if (peek().kind == TokKind::Ident) {
+      const Token tok = take();
+      // Parameters fold to numbers at parse time.
+      auto it = params_.find(tok.text);
+      if (it != params_.end() && !is_punct("[")) {
+        auto e = std::make_unique<Expr>();
+        e->line = tok.line;
+        e->kind = ExprKind::Number;
+        e->sized = true;
+        e->value = it->second;
+        return e;
+      }
+      return parse_postfix(tok.text, tok.line);
+    }
+    error("unexpected token '" + peek().text + "' in expression");
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+  std::unordered_map<std::string, rtlil::Const> params_;
+};
+
+} // namespace
+
+std::vector<ModuleAst> parse_verilog(const std::string& source) {
+  return Parser(tokenize(source)).parse();
+}
+
+} // namespace smartly::verilog

@@ -1,0 +1,341 @@
+// AIG package: literal encoding, structural hashing, constant folding,
+// reachability-based area, packed simulation, and aigmap bit-blasting
+// cross-checked against the word-level evaluator.
+#include "aig/aig.hpp"
+#include "aig/aigmap.hpp"
+#include "rtlil/module.hpp"
+#include "rtlil/sigmap.hpp"
+#include "sim/eval.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace smartly;
+using aig::Aig;
+using aig::Lit;
+
+TEST(AigLit, EncodingRoundTrips) {
+  for (uint32_t node : {0u, 1u, 2u, 77u, 123456u}) {
+    EXPECT_EQ(aig::lit_node(aig::mk_lit(node, false)), node);
+    EXPECT_EQ(aig::lit_node(aig::mk_lit(node, true)), node);
+    EXPECT_FALSE(aig::lit_compl(aig::mk_lit(node, false)));
+    EXPECT_TRUE(aig::lit_compl(aig::mk_lit(node, true)));
+    EXPECT_EQ(aig::lit_not(aig::lit_not(aig::mk_lit(node))), aig::mk_lit(node));
+  }
+  EXPECT_EQ(aig::kFalse, aig::lit_not(aig::kTrue));
+}
+
+TEST(Aig, ConstantFolding) {
+  Aig g;
+  const Lit a = g.add_input("a");
+  EXPECT_EQ(g.and_(a, aig::kFalse), aig::kFalse);
+  EXPECT_EQ(g.and_(aig::kFalse, a), aig::kFalse);
+  EXPECT_EQ(g.and_(a, aig::kTrue), a);
+  EXPECT_EQ(g.and_(aig::kTrue, a), a);
+  EXPECT_EQ(g.and_(a, a), a);
+  EXPECT_EQ(g.and_(a, aig::lit_not(a)), aig::kFalse);
+  EXPECT_EQ(g.num_ands(), 0u) << "no AND node should be created for trivial cases";
+}
+
+TEST(Aig, StructuralHashingSharesNodes) {
+  Aig g;
+  const Lit a = g.add_input("a");
+  const Lit b = g.add_input("b");
+  const Lit x = g.and_(a, b);
+  const Lit y = g.and_(b, a); // commuted: must strash to the same node
+  EXPECT_EQ(x, y);
+  EXPECT_EQ(g.num_ands(), 1u);
+  const Lit z = g.and_(aig::lit_not(a), b); // different function: new node
+  EXPECT_NE(z, x);
+  EXPECT_EQ(g.num_ands(), 2u);
+}
+
+TEST(Aig, XorAndMuxBuilders) {
+  Aig g;
+  const Lit a = g.add_input("a");
+  const Lit b = g.add_input("b");
+  const Lit s = g.add_input("s");
+
+  // Truth-table check via packed simulation: 8 assignments in one word.
+  const Lit x = g.xor_(a, b);
+  const Lit m = g.mux_(s, a, b); // s ? a : b
+  g.add_output(x, "x");
+  g.add_output(m, "m");
+
+  // Bit i of each word = value in assignment i; enumerate (s,b,a) in 3 bits.
+  std::vector<uint64_t> in(3, 0);
+  for (int v = 0; v < 8; ++v) {
+    if (v & 1) in[0] |= uint64_t(1) << v; // a
+    if (v & 2) in[1] |= uint64_t(1) << v; // b
+    if (v & 4) in[2] |= uint64_t(1) << v; // s
+  }
+  const auto words = g.simulate(in);
+  for (int v = 0; v < 8; ++v) {
+    const bool av = v & 1, bv = v & 2, sv = v & 4;
+    EXPECT_EQ((Aig::sim_lit(words, x) >> v) & 1, uint64_t(av ^ bv)) << v;
+    EXPECT_EQ((Aig::sim_lit(words, m) >> v) & 1, uint64_t(sv ? av : bv)) << v;
+  }
+}
+
+TEST(Aig, XorTrivialCases) {
+  Aig g;
+  const Lit a = g.add_input("a");
+  EXPECT_EQ(g.xor_(a, aig::kFalse), a);
+  EXPECT_EQ(g.xor_(a, aig::kTrue), aig::lit_not(a));
+  EXPECT_EQ(g.xor_(a, a), aig::kFalse);
+  EXPECT_EQ(g.xor_(a, aig::lit_not(a)), aig::kTrue);
+}
+
+TEST(Aig, MuxTrivialCases) {
+  Aig g;
+  const Lit a = g.add_input("a");
+  const Lit b = g.add_input("b");
+  EXPECT_EQ(g.mux_(aig::kTrue, a, b), a);
+  EXPECT_EQ(g.mux_(aig::kFalse, a, b), b);
+  EXPECT_EQ(g.mux_(a, b, b), b);
+}
+
+TEST(Aig, ReachableAreaIgnoresDeadNodes) {
+  Aig g;
+  const Lit a = g.add_input("a");
+  const Lit b = g.add_input("b");
+  const Lit used = g.and_(a, b);
+  (void)g.and_(aig::lit_not(a), aig::lit_not(b)); // dead
+  g.add_output(used, "y");
+  EXPECT_EQ(g.num_ands(), 2u);
+  EXPECT_EQ(g.num_ands_reachable(), 1u);
+}
+
+TEST(Aig, ReachableAreaConstOutput) {
+  Aig g;
+  (void)g.add_input("a");
+  g.add_output(aig::kTrue, "one");
+  EXPECT_EQ(g.num_ands_reachable(), 0u);
+}
+
+TEST(Aig, SimulateHandlesComplementedOutputs) {
+  Aig g;
+  const Lit a = g.add_input("a");
+  const Lit na = aig::lit_not(a);
+  const std::vector<uint64_t> in{0xF0F0F0F0F0F0F0F0ull};
+  const auto words = g.simulate(in);
+  EXPECT_EQ(Aig::sim_lit(words, a), 0xF0F0F0F0F0F0F0F0ull);
+  EXPECT_EQ(Aig::sim_lit(words, na), ~0xF0F0F0F0F0F0F0F0ull);
+  EXPECT_EQ(Aig::sim_lit(words, aig::kTrue), ~0ull);
+  EXPECT_EQ(Aig::sim_lit(words, aig::kFalse), 0ull);
+}
+
+// ---------------------------------------------------------------------------
+// aigmap: bit-blasting RTLIL cells, cross-checked against sim::Evaluator.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using rtlil::CellType;
+using rtlil::Const;
+using rtlil::Design;
+using rtlil::Module;
+using rtlil::SigSpec;
+using rtlil::Wire;
+
+/// Exhaustively compare `module` (single output port "y") against the
+/// word-level evaluator over all input assignments (total input bits <= 16).
+void check_aigmap_vs_eval(Module& module) {
+  const aig::AigMap m = aig::aigmap(module);
+  const rtlil::SigMap sm(module); // m.bits is keyed by canonical SigBit
+
+  std::vector<Wire*> ins;
+  int total_bits = 0;
+  for (const auto& w : module.wires())
+    if (w->port_input) {
+      ins.push_back(w.get());
+      total_bits += w->width();
+    }
+  ASSERT_LE(total_bits, 16) << "test circuit too wide for exhaustive check";
+
+  Wire* yw = module.wire("y");
+  ASSERT_NE(yw, nullptr);
+
+  for (uint64_t v = 0; v < (uint64_t(1) << total_bits); ++v) {
+    sim::Evaluator ev(module);
+    // Drive AIG inputs by name lookup.
+    std::vector<uint64_t> aig_in(m.aig.num_inputs(), 0);
+    int bit_cursor = 0;
+    for (Wire* w : ins) {
+      const uint64_t val = (v >> bit_cursor) & ((uint64_t(1) << w->width()) - 1);
+      bit_cursor += w->width();
+      ev.set_input(w, Const(val, w->width()));
+      for (int i = 0; i < w->width(); ++i) {
+        const auto it = m.bits.find(sm(rtlil::SigBit(w, i)));
+        if (it == m.bits.end())
+          continue;
+        const aig::Lit l = it->second;
+        ASSERT_TRUE(m.aig.is_input(aig::lit_node(l)));
+        // Find the input index of that node.
+        for (size_t k = 0; k < m.aig.inputs().size(); ++k)
+          if (m.aig.inputs()[k] == aig::lit_node(l))
+            aig_in[k] = ((val >> i) & 1) ? ~0ull : 0ull;
+      }
+    }
+    ev.run();
+    const Const want = ev.value(SigSpec(yw));
+    const auto words = m.aig.simulate(aig_in);
+    for (int i = 0; i < yw->width(); ++i) {
+      if (want[i] != rtlil::State::S0 && want[i] != rtlil::State::S1)
+        continue; // x result: aigmap resolves x to 0 by design
+      const rtlil::SigBit canon = sm(rtlil::SigBit(yw, i));
+      if (canon.is_const()) {
+        EXPECT_EQ(canon.data, want[i]) << "v=" << v << " bit=" << i;
+        continue;
+      }
+      const auto it = m.bits.find(canon);
+      ASSERT_NE(it, m.bits.end());
+      const uint64_t got = Aig::sim_lit(words, it->second) & 1;
+      EXPECT_EQ(got, want[i] == rtlil::State::S1 ? 1u : 0u)
+          << "v=" << v << " bit=" << i;
+    }
+  }
+}
+
+struct CellCase {
+  CellType type;
+  int aw, bw, yw;
+  bool binary;
+};
+
+class AigmapCellTest : public ::testing::TestWithParam<CellCase> {};
+
+TEST_P(AigmapCellTest, MatchesEvaluatorExhaustively) {
+  const CellCase c = GetParam();
+  Design d;
+  Module* mod = d.add_module("top");
+  Wire* a = mod->add_wire("a", c.aw);
+  mod->set_port_input(a);
+  Wire* y = mod->add_wire("y", c.yw);
+  mod->set_port_output(y);
+  if (c.binary) {
+    Wire* b = mod->add_wire("b", c.bw);
+    mod->set_port_input(b);
+    mod->connect(SigSpec(y), mod->add_binary(c.type, SigSpec(a), SigSpec(b), c.yw));
+  } else {
+    mod->connect(SigSpec(y), mod->add_unary(c.type, SigSpec(a), c.yw));
+  }
+  check_aigmap_vs_eval(*mod);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCellTypes, AigmapCellTest,
+    ::testing::Values(
+        CellCase{CellType::Not, 3, 0, 3, false},
+        CellCase{CellType::Pos, 3, 0, 5, false},
+        CellCase{CellType::Neg, 3, 0, 3, false},
+        CellCase{CellType::ReduceAnd, 4, 0, 1, false},
+        CellCase{CellType::ReduceOr, 4, 0, 1, false},
+        CellCase{CellType::ReduceXor, 4, 0, 1, false},
+        CellCase{CellType::ReduceXnor, 4, 0, 1, false},
+        CellCase{CellType::LogicNot, 3, 0, 1, false},
+        CellCase{CellType::And, 3, 3, 3, true},
+        CellCase{CellType::Or, 3, 3, 3, true},
+        CellCase{CellType::Xor, 3, 3, 3, true},
+        CellCase{CellType::Xnor, 3, 3, 3, true},
+        CellCase{CellType::Add, 4, 4, 5, true},
+        CellCase{CellType::Sub, 4, 4, 4, true},
+        CellCase{CellType::Mul, 3, 3, 6, true},
+        CellCase{CellType::Shl, 4, 2, 4, true},
+        CellCase{CellType::Shr, 4, 2, 4, true},
+        CellCase{CellType::Lt, 3, 3, 1, true},
+        CellCase{CellType::Le, 3, 3, 1, true},
+        CellCase{CellType::Eq, 3, 3, 1, true},
+        CellCase{CellType::Ne, 3, 3, 1, true},
+        CellCase{CellType::Ge, 3, 3, 1, true},
+        CellCase{CellType::Gt, 3, 3, 1, true},
+        CellCase{CellType::LogicAnd, 2, 2, 1, true},
+        CellCase{CellType::LogicOr, 2, 2, 1, true},
+        CellCase{CellType::Add, 3, 5, 6, true},  // mixed widths
+        CellCase{CellType::Eq, 2, 5, 1, true}),
+    [](const ::testing::TestParamInfo<CellCase>& info) {
+      std::string type_name;
+      for (const char* p = rtlil::cell_type_name(info.param.type); *p; ++p)
+        if (std::isalnum(static_cast<unsigned char>(*p)))
+          type_name.push_back(*p);
+      return type_name + "_" + std::to_string(info.param.aw) + "_" +
+             std::to_string(info.param.bw) + "_" + std::to_string(info.param.yw) + "_" +
+             std::to_string(info.index);
+    });
+
+TEST(Aigmap, MuxCell) {
+  Design d;
+  Module* mod = d.add_module("top");
+  Wire* a = mod->add_wire("a", 3);
+  Wire* b = mod->add_wire("b", 3);
+  Wire* s = mod->add_wire("s", 1);
+  Wire* y = mod->add_wire("y", 3);
+  mod->set_port_input(a);
+  mod->set_port_input(b);
+  mod->set_port_input(s);
+  mod->set_port_output(y);
+  mod->add_mux(SigSpec(a), SigSpec(b), SigSpec(s), SigSpec(y));
+  check_aigmap_vs_eval(*mod);
+}
+
+TEST(Aigmap, PmuxCell) {
+  Design d;
+  Module* mod = d.add_module("top");
+  Wire* a = mod->add_wire("a", 2);
+  Wire* b = mod->add_wire("b", 6); // 3 parts of width 2
+  Wire* s = mod->add_wire("s", 3);
+  Wire* y = mod->add_wire("y", 2);
+  mod->set_port_input(a);
+  mod->set_port_input(b);
+  mod->set_port_input(s);
+  mod->set_port_output(y);
+  mod->add_pmux(SigSpec(a), SigSpec(b), SigSpec(s), SigSpec(y));
+  check_aigmap_vs_eval(*mod);
+}
+
+TEST(Aigmap, DffIsCut) {
+  // q <= d; y = q & e. The AIG must expose q as input and d as output.
+  Design d;
+  Module* mod = d.add_module("top");
+  Wire* clk = mod->add_wire("clk", 1);
+  Wire* din = mod->add_wire("din", 4);
+  Wire* q = mod->add_wire("q", 4);
+  Wire* y = mod->add_wire("y", 4);
+  mod->set_port_input(clk);
+  mod->set_port_input(din);
+  mod->set_port_output(y);
+  mod->add_dff(SigSpec(din), SigSpec(q), SigSpec(clk));
+  mod->connect(SigSpec(y), mod->And(SigSpec(q), SigSpec(din)));
+
+  const aig::AigMap m = aig::aigmap(*mod);
+  // Inputs: clk? No — clk is not part of combinational logic; but din (4) and
+  // q (4) must be inputs. Outputs: y (4) and dff D (4).
+  EXPECT_GE(m.aig.num_inputs(), 8u);
+  EXPECT_EQ(m.aig.num_outputs(), 8u);
+  EXPECT_EQ(m.aig.num_ands_reachable(), 4u); // the AND only
+}
+
+TEST(Aigmap, AreaOfConstantModuleIsZero) {
+  Design d;
+  Module* mod = d.add_module("top");
+  Wire* y = mod->add_wire("y", 4);
+  mod->set_port_output(y);
+  mod->connect(SigSpec(y), SigSpec(Const(9, 4)));
+  EXPECT_EQ(aig::aig_area(*mod), 0u);
+}
+
+TEST(Aigmap, SharedSubexpressionMapsOnce) {
+  Design d;
+  Module* mod = d.add_module("top");
+  Wire* a = mod->add_wire("a", 1);
+  Wire* b = mod->add_wire("b", 1);
+  Wire* y = mod->add_wire("y", 2);
+  mod->set_port_input(a);
+  mod->set_port_input(b);
+  mod->set_port_output(y);
+  const SigSpec g = mod->And(SigSpec(a), SigSpec(b));
+  mod->connect(SigSpec(y).extract(0, 1), g);
+  mod->connect(SigSpec(y).extract(1, 1), g);
+  EXPECT_EQ(aig::aig_area(*mod), 1u);
+}
+
+} // namespace

@@ -1,0 +1,177 @@
+// Benchmark generators: determinism, frontend compatibility, profile
+// fidelity (structures each motif claims to produce), and suite shape.
+#include "aig/aigmap.hpp"
+#include "benchgen/industrial.hpp"
+#include "benchgen/public_bench.hpp"
+#include "benchgen/random_circuit.hpp"
+#include "benchgen/verilog_gen.hpp"
+#include "rtlil/module.hpp"
+#include "verilog/elaborate.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace smartly;
+using benchgen::BenchCircuit;
+using benchgen::Profile;
+using rtlil::CellType;
+
+TEST(VerilogGen, MotifsProduceParseableModules) {
+  benchgen::VerilogGen g("m", 42);
+  g.case_chain(3, 6, 8, false);
+  g.dependent_select(8, 3);
+  g.same_ctrl_redundant(8);
+  g.priority_decoder(3, 5, 8);
+  g.datapath(8, 4);
+  const std::string src = g.finish();
+  auto d = verilog::read_verilog(src);
+  ASSERT_NE(d->top(), nullptr);
+  EXPECT_GT(d->top()->cell_count(), 0u);
+}
+
+TEST(VerilogGen, CaseChainCreatesEqControlledMuxChain) {
+  benchgen::VerilogGen g("m", 1);
+  g.case_chain(2, 4, 8, false);
+  auto d = verilog::read_verilog(g.finish());
+  // Listing 1 shape: eq cells + a mux chain. Leaf sharing may merge adjacent
+  // equal branches at elaboration, so the chain can be shorter than items-1.
+  EXPECT_GE(d->top()->count_cells(CellType::Mux), 2u);
+  EXPECT_GE(d->top()->count_cells(CellType::Eq), 2u);
+}
+
+TEST(VerilogGen, PipelineRegCreatesDff) {
+  benchgen::VerilogGen g("m", 1);
+  const std::string v = g.datapath(8, 2);
+  g.pipeline_reg(v, 8);
+  auto d = verilog::read_verilog(g.finish());
+  EXPECT_GE(d->top()->count_cells(CellType::Dff), 1u);
+}
+
+TEST(VerilogGen, DeterministicForSameSeed) {
+  auto make = [](uint64_t seed) {
+    benchgen::VerilogGen g("m", seed);
+    g.case_chain(3, 6, 8, true);
+    g.dependent_select(16, 4);
+    return g.finish();
+  };
+  EXPECT_EQ(make(7), make(7));
+  EXPECT_NE(make(7), make(8));
+}
+
+TEST(PublicBench, SuiteHasTenNamedCircuits) {
+  const auto suite = benchgen::public_suite();
+  ASSERT_EQ(suite.size(), 10u);
+  // Paper Table II order.
+  EXPECT_EQ(suite[0].name, "top_cache_axi");
+  EXPECT_EQ(suite[1].name, "pci_bridge32");
+  EXPECT_EQ(suite[2].name, "wb_conmax");
+  EXPECT_EQ(suite[9].name, "ac97_ctrl");
+}
+
+TEST(PublicBench, AllCircuitsElaborate) {
+  for (const BenchCircuit& c : benchgen::public_suite()) {
+    SCOPED_TRACE(c.name);
+    auto d = verilog::read_verilog(c.verilog);
+    ASSERT_NE(d->top(), nullptr);
+    EXPECT_GT(d->top()->cell_count(), 0u);
+    EXPECT_GT(aig::aig_area(*d->top()), 0u);
+  }
+}
+
+TEST(PublicBench, GenerationIsDeterministic) {
+  const Profile p = benchgen::profile_for("wb_dma");
+  const auto a = benchgen::generate_circuit("wb_dma", p, 3);
+  const auto b = benchgen::generate_circuit("wb_dma", p, 3);
+  EXPECT_EQ(a.verilog, b.verilog);
+}
+
+TEST(PublicBench, ProfileForThrowsOnUnknownName) {
+  EXPECT_THROW(benchgen::profile_for("nonexistent_case"), std::exception);
+}
+
+TEST(PublicBench, ProfilesMatchPaperNarrative) {
+  // top_cache_axi: Rebuild-dominant (many case chains, few dependent nests).
+  const Profile cache = benchgen::profile_for("top_cache_axi");
+  EXPECT_GT(cache.case_chains, 0);
+  // wb_conmax: SAT-dominant (dependent arbitration logic).
+  const Profile conmax = benchgen::profile_for("wb_conmax");
+  EXPECT_GT(conmax.dependent, 0);
+  EXPECT_GT(conmax.dependent, cache.dependent);
+  EXPECT_GT(cache.case_chains, conmax.case_chains);
+}
+
+TEST(PublicBench, RelativeSizesFollowTable2) {
+  // top_cache_axi must be the largest original AIG; ac97_ctrl the smallest.
+  size_t cache_area = 0, ac97_area = 0;
+  for (const BenchCircuit& c : benchgen::public_suite()) {
+    auto d = verilog::read_verilog(c.verilog);
+    const size_t area = aig::aig_area(*d->top());
+    if (c.name == "top_cache_axi")
+      cache_area = area;
+    if (c.name == "ac97_ctrl")
+      ac97_area = area;
+  }
+  EXPECT_GT(cache_area, ac97_area * 4) << "size skew should mirror Table II";
+}
+
+TEST(Industrial, SuiteShapeMatchesPaper) {
+  const auto suite = benchgen::industrial_suite(1);
+  ASSERT_EQ(suite.size(), 8u);
+  // 37.5% (3 of 8) test points are "large" — verify a clear size skew.
+  std::vector<size_t> areas;
+  for (const auto& c : suite) {
+    auto d = verilog::read_verilog(c.verilog);
+    areas.push_back(aig::aig_area(*d->top()));
+  }
+  std::sort(areas.begin(), areas.end());
+  EXPECT_GT(areas.back(), areas.front() * 2);
+}
+
+TEST(Industrial, SelectionDominatedStructure) {
+  // Industrial circuits must be mux/pmux-rich relative to datapath cells
+  // ("the proportion of MUX gates and PMUX gates is higher").
+  const auto c = benchgen::generate_industrial(0, 1, 99);
+  auto d = verilog::read_verilog(c.verilog);
+  const size_t muxes =
+      d->top()->count_cells(CellType::Mux) + d->top()->count_cells(CellType::Pmux);
+  const size_t arith = d->top()->count_cells(CellType::Add) +
+                       d->top()->count_cells(CellType::Mul) +
+                       d->top()->count_cells(CellType::Sub);
+  EXPECT_GT(muxes, arith);
+}
+
+TEST(Industrial, ScaleParameterGrowsCircuit) {
+  const auto small = benchgen::generate_industrial(1, 1, 5);
+  const auto large = benchgen::generate_industrial(1, 3, 5);
+  auto ds = verilog::read_verilog(small.verilog);
+  auto dl = verilog::read_verilog(large.verilog);
+  EXPECT_GT(dl->top()->cell_count(), ds->top()->cell_count());
+}
+
+TEST(RandomCircuit, VerilogAlwaysElaborates) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    SCOPED_TRACE(seed);
+    const std::string src = benchgen::random_verilog(seed, 5);
+    auto d = verilog::read_verilog(src);
+    ASSERT_NE(d->top(), nullptr);
+  }
+}
+
+TEST(RandomCircuit, NetlistGeneratorProducesValidModules) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    SCOPED_TRACE(seed);
+    rtlil::Design d;
+    rtlil::Module* m = benchgen::random_netlist(d, "rand", seed, 25);
+    ASSERT_NE(m, nullptr);
+    EXPECT_NO_THROW(m->check());
+    EXPECT_GT(m->cell_count(), 0u);
+  }
+}
+
+TEST(RandomCircuit, NetlistDeterministic) {
+  rtlil::Design d1, d2;
+  rtlil::Module* m1 = benchgen::random_netlist(d1, "r", 11, 30);
+  rtlil::Module* m2 = benchgen::random_netlist(d2, "r", 11, 30);
+  ASSERT_EQ(m1->cell_count(), m2->cell_count());
+  for (size_t i = 0; i < m1->cells().size(); ++i)
+    EXPECT_EQ(m1->cells()[i]->type(), m2->cells()[i]->type());
+}

@@ -1,0 +1,171 @@
+// Tseitin CNF encoding: SAT answers must agree with exhaustive AIG
+// simulation for every function and every assumption set.
+#include "aig/aig.hpp"
+#include "aig/cnf.hpp"
+#include "sat/solver.hpp"
+#include "util/hashing.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace smartly;
+using aig::Aig;
+using aig::Lit;
+
+TEST(Cnf, ConstantsAreFixed) {
+  Aig g;
+  (void)g.add_input("a");
+  sat::Solver s;
+  aig::CnfEncoder enc(s);
+  enc.encode(g);
+  EXPECT_EQ(s.solve({enc.lit(aig::kTrue)}), sat::Result::Sat);
+  EXPECT_EQ(s.solve({~enc.lit(aig::kTrue)}), sat::Result::Unsat);
+  EXPECT_EQ(s.solve({enc.lit(aig::kFalse)}), sat::Result::Unsat);
+}
+
+TEST(Cnf, AndGateSemantics) {
+  Aig g;
+  const Lit a = g.add_input("a");
+  const Lit b = g.add_input("b");
+  const Lit y = g.and_(a, b);
+  sat::Solver s;
+  aig::CnfEncoder enc(s);
+  enc.encode(g);
+
+  // y & !a is unsat; y forces a and b.
+  EXPECT_EQ(s.solve({enc.lit(y), ~enc.lit(a)}), sat::Result::Unsat);
+  EXPECT_EQ(s.solve({enc.lit(y), ~enc.lit(b)}), sat::Result::Unsat);
+  EXPECT_EQ(s.solve({enc.lit(y), enc.lit(a), enc.lit(b)}), sat::Result::Sat);
+  // !y with a,b both true is unsat.
+  EXPECT_EQ(s.solve({~enc.lit(y), enc.lit(a), enc.lit(b)}), sat::Result::Unsat);
+  EXPECT_EQ(s.solve({~enc.lit(y), ~enc.lit(a)}), sat::Result::Sat);
+}
+
+TEST(Cnf, ComplementedLiteralsMapCorrectly) {
+  Aig g;
+  const Lit a = g.add_input("a");
+  const Lit na = aig::lit_not(a);
+  sat::Solver s;
+  aig::CnfEncoder enc(s);
+  enc.encode(g);
+  EXPECT_EQ(s.solve({enc.lit(a), enc.lit(na)}), sat::Result::Unsat);
+  EXPECT_EQ(s.solve({enc.lit(na)}), sat::Result::Sat);
+}
+
+namespace {
+
+/// Build a deterministic random AIG with `n_inputs` inputs and `n_ands`
+/// random AND gates over existing literals, return all created literals.
+std::vector<Lit> random_aig(Aig& g, Rng& rng, int n_inputs, int n_ands) {
+  std::vector<Lit> lits{aig::kFalse, aig::kTrue};
+  for (int i = 0; i < n_inputs; ++i)
+    lits.push_back(g.add_input());
+  for (int i = 0; i < n_ands; ++i) {
+    Lit a = lits[size_t(rng.range(0, int64_t(lits.size()) - 1))];
+    Lit b = lits[size_t(rng.range(0, int64_t(lits.size()) - 1))];
+    if (rng.range(0, 1)) a = aig::lit_not(a);
+    if (rng.range(0, 1)) b = aig::lit_not(b);
+    lits.push_back(g.and_(a, b));
+  }
+  return lits;
+}
+
+class CnfRandomEquiv : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CnfRandomEquiv, SatMatchesExhaustiveSimulation) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  Aig g;
+  const int n_inputs = int(rng.range(2, 6));
+  const auto lits = random_aig(g, rng, n_inputs, int(rng.range(4, 20)));
+  const Lit target = lits.back();
+
+  // Exhaustive simulation: is the target satisfiable / falsifiable?
+  std::vector<uint64_t> in(size_t(n_inputs), 0);
+  bool can_be_1 = false, can_be_0 = false;
+  for (uint64_t v = 0; v < (uint64_t(1) << n_inputs); ++v) {
+    for (int i = 0; i < n_inputs; ++i)
+      in[size_t(i)] = ((v >> i) & 1) ? ~0ull : 0ull;
+    const auto words = g.simulate(in);
+    if (Aig::sim_lit(words, target) & 1)
+      can_be_1 = true;
+    else
+      can_be_0 = true;
+  }
+
+  sat::Solver s;
+  aig::CnfEncoder enc(s);
+  enc.encode(g);
+  EXPECT_EQ(s.solve({enc.lit(target)}) == sat::Result::Sat, can_be_1) << "seed " << seed;
+  EXPECT_EQ(s.solve({~enc.lit(target)}) == sat::Result::Sat, can_be_0) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CnfRandomEquiv, ::testing::Range<uint64_t>(1, 40));
+
+class CnfModelCheck : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CnfModelCheck, ModelsSatisfyTheCircuit) {
+  // Every SAT model returned must actually evaluate the AIG to the assumed
+  // values (validates both the encoding and Solver::model_value).
+  const uint64_t seed = GetParam();
+  Rng rng(seed + 1000);
+  Aig g;
+  const int n_inputs = int(rng.range(3, 7));
+  const auto lits = random_aig(g, rng, n_inputs, int(rng.range(6, 24)));
+  const Lit target = lits.back();
+
+  sat::Solver s;
+  aig::CnfEncoder enc(s);
+  enc.encode(g);
+  for (const bool want : {true, false}) {
+    const auto r = s.solve({want ? enc.lit(target) : ~enc.lit(target)});
+    if (r != sat::Result::Sat)
+      continue;
+    std::vector<uint64_t> in(g.num_inputs(), 0);
+    for (size_t i = 0; i < g.num_inputs(); ++i) {
+      const Lit il = aig::mk_lit(g.inputs()[i]);
+      if (s.model_value(sat::var(enc.lit(il))))
+        in[i] = ~0ull;
+    }
+    const auto words = g.simulate(in);
+    EXPECT_EQ((Aig::sim_lit(words, target) & 1) != 0, want) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CnfModelCheck, ::testing::Range<uint64_t>(1, 25));
+
+} // namespace
+
+TEST(Cnf, IncrementalAssumptionsDoNotPollute) {
+  // Solving under assumptions must not permanently constrain the solver.
+  Aig g;
+  const Lit a = g.add_input("a");
+  const Lit b = g.add_input("b");
+  const Lit y = g.and_(a, b);
+  sat::Solver s;
+  aig::CnfEncoder enc(s);
+  enc.encode(g);
+  EXPECT_EQ(s.solve({enc.lit(y), ~enc.lit(a)}), sat::Result::Unsat);
+  // Same query again and a satisfiable one after: both must work.
+  EXPECT_EQ(s.solve({enc.lit(y), ~enc.lit(a)}), sat::Result::Unsat);
+  EXPECT_EQ(s.solve({enc.lit(y)}), sat::Result::Sat);
+  EXPECT_EQ(s.solve({~enc.lit(a)}), sat::Result::Sat);
+}
+
+TEST(Cnf, DeepChainUnsatProof) {
+  // AND-chain of 64 inputs: output=1 forces all inputs; contradicting any
+  // single one is UNSAT.
+  Aig g;
+  std::vector<Lit> ins;
+  Lit acc = aig::kTrue;
+  for (int i = 0; i < 64; ++i) {
+    ins.push_back(g.add_input());
+    acc = g.and_(acc, ins.back());
+  }
+  sat::Solver s;
+  aig::CnfEncoder enc(s);
+  enc.encode(g);
+  for (int i : {0, 13, 63}) {
+    EXPECT_EQ(s.solve({enc.lit(acc), ~enc.lit(ins[size_t(i)])}), sat::Result::Unsat) << i;
+  }
+  EXPECT_EQ(s.solve({enc.lit(acc)}), sat::Result::Sat);
+}

@@ -1,0 +1,85 @@
+#include "rtlil/const.hpp"
+
+#include <gtest/gtest.h>
+
+using smartly::rtlil::Const;
+using smartly::rtlil::State;
+
+TEST(Const, FromUintRoundTrip) {
+  for (uint64_t v : {0ull, 1ull, 42ull, 0xdeadbeefull, ~0ull}) {
+    const Const c(v, 64);
+    EXPECT_EQ(c.as_uint(), v);
+    EXPECT_EQ(c.size(), 64);
+    EXPECT_TRUE(c.is_fully_def());
+  }
+}
+
+TEST(Const, TruncationOnNarrowWidth) {
+  const Const c(0x1ff, 8);
+  EXPECT_EQ(c.as_uint(), 0xffu);
+}
+
+TEST(Const, WidthBeyond64IsZeroFilled) {
+  const Const c(~0ull, 80);
+  EXPECT_EQ(c.size(), 80);
+  for (int i = 64; i < 80; ++i)
+    EXPECT_EQ(c[i], State::S0);
+  EXPECT_EQ(c.as_uint(), ~0ull);
+}
+
+TEST(Const, FromStringMsbFirst) {
+  const Const c = Const::from_string("1zx0");
+  ASSERT_EQ(c.size(), 4);
+  EXPECT_EQ(c[0], State::S0);
+  EXPECT_EQ(c[1], State::Sx);
+  EXPECT_EQ(c[2], State::Sz);
+  EXPECT_EQ(c[3], State::S1);
+  EXPECT_EQ(c.to_string(), "1zx0");
+  EXPECT_FALSE(c.is_fully_def());
+}
+
+TEST(Const, FromStringIgnoresUnderscores) {
+  EXPECT_EQ(Const::from_string("1010_1010").as_uint(), 0xaau);
+}
+
+TEST(Const, SignedRead) {
+  EXPECT_EQ(Const(0b1111, 4).as_int_signed(), -1);
+  EXPECT_EQ(Const(0b0111, 4).as_int_signed(), 7);
+  EXPECT_EQ(Const(0b1000, 4).as_int_signed(), -8);
+  EXPECT_EQ(Const(5, 64).as_int_signed(), 5);
+}
+
+TEST(Const, AsBoolIgnoresXz) {
+  EXPECT_FALSE(Const::from_string("xz0").as_bool());
+  EXPECT_TRUE(Const::from_string("x1z").as_bool());
+  EXPECT_FALSE(Const(0, 8).as_bool());
+}
+
+TEST(Const, ExtractInBoundsAndBeyond) {
+  const Const c(0b1101, 4);
+  EXPECT_EQ(c.extract(1, 2).as_uint(), 0b10u);
+  const Const beyond = c.extract(2, 4); // reads past the MSB -> x fill
+  EXPECT_EQ(beyond[0], State::S1);
+  EXPECT_EQ(beyond[1], State::S1);
+  EXPECT_EQ(beyond[2], State::Sx);
+  EXPECT_EQ(beyond[3], State::Sx);
+}
+
+TEST(Const, ExtendZeroAndSign) {
+  const Const c(0b100, 3);
+  EXPECT_EQ(c.extended(6, false).as_uint(), 0b000100u);
+  EXPECT_EQ(c.extended(6, true).as_uint(), 0b111100u);
+  EXPECT_EQ(c.extended(2, false).as_uint(), 0b00u); // truncation
+}
+
+TEST(Const, EqualityIsBitwise) {
+  EXPECT_EQ(Const(5, 4), Const(5, 4));
+  EXPECT_NE(Const(5, 4), Const(5, 5));
+  EXPECT_NE(Const::from_string("1x"), Const::from_string("10"));
+}
+
+TEST(Const, NegativeWidthThrows) { EXPECT_THROW(Const(0, -1), std::invalid_argument); }
+
+TEST(Const, BadStateCharThrows) {
+  EXPECT_THROW(Const::from_string("10q"), std::invalid_argument);
+}

@@ -1,0 +1,108 @@
+// DIMACS CNF I/O: parsing, serialization round trips, solver integration,
+// and error handling.
+#include "sat/dimacs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+using namespace smartly::sat;
+
+TEST(Dimacs, ParsesSimpleProblem) {
+  const DimacsProblem p = parse_dimacs("c a comment\np cnf 3 2\n1 -2 0\n2 3 0\n");
+  EXPECT_EQ(p.num_vars, 3);
+  ASSERT_EQ(p.clauses.size(), 2u);
+  ASSERT_EQ(p.clauses[0].size(), 2u);
+  EXPECT_EQ(var(p.clauses[0][0]), 0);
+  EXPECT_FALSE(sign(p.clauses[0][0]));
+  EXPECT_EQ(var(p.clauses[0][1]), 1);
+  EXPECT_TRUE(sign(p.clauses[0][1]));
+}
+
+TEST(Dimacs, CommentsAnywhere) {
+  const DimacsProblem p =
+      parse_dimacs("c top\np cnf 2 1\nc mid comment 1 2 0\n1 2 0\nc tail\n");
+  EXPECT_EQ(p.clauses.size(), 1u);
+}
+
+TEST(Dimacs, EmptyClauseAllowed) {
+  const DimacsProblem p = parse_dimacs("p cnf 1 2\n0\n1 0\n");
+  ASSERT_EQ(p.clauses.size(), 2u);
+  EXPECT_TRUE(p.clauses[0].empty());
+}
+
+TEST(Dimacs, WriteParseRoundTrip) {
+  DimacsProblem p;
+  p.num_vars = 4;
+  p.clauses = {{mk_lit(0), mk_lit(1, true)},
+               {mk_lit(2), mk_lit(3)},
+               {mk_lit(0, true), mk_lit(2, true), mk_lit(3, true)}};
+  const DimacsProblem q = parse_dimacs(write_dimacs(p));
+  EXPECT_EQ(q.num_vars, p.num_vars);
+  ASSERT_EQ(q.clauses.size(), p.clauses.size());
+  for (size_t i = 0; i < p.clauses.size(); ++i)
+    EXPECT_EQ(q.clauses[i], p.clauses[i]) << i;
+}
+
+TEST(Dimacs, SolveSatInstance) {
+  // (x1 | x2) & (!x1 | x2) -> x2 must be true.
+  Solver s;
+  ASSERT_TRUE(load_dimacs(s, parse_dimacs("p cnf 2 2\n1 2 0\n-1 2 0\n")));
+  EXPECT_EQ(s.solve(), Result::Sat);
+  EXPECT_TRUE(s.model_value(1));
+}
+
+TEST(Dimacs, SolveUnsatInstance) {
+  // x & !x.
+  Solver s;
+  const bool ok = load_dimacs(s, parse_dimacs("p cnf 1 2\n1 0\n-1 0\n"));
+  EXPECT_TRUE(!ok || s.solve() == Result::Unsat);
+}
+
+TEST(Dimacs, SolvePigeonhole4) {
+  // PHP(4,3) — 4 pigeons, 3 holes, UNSAT. Generated inline.
+  DimacsProblem p;
+  const int pigeons = 4, holes = 3;
+  p.num_vars = pigeons * holes;
+  auto v = [&](int pi, int h) { return mk_lit(static_cast<Var>(pi * holes + h)); };
+  for (int pi = 0; pi < pigeons; ++pi) {
+    std::vector<Lit> c;
+    for (int h = 0; h < holes; ++h)
+      c.push_back(v(pi, h));
+    p.clauses.push_back(c);
+  }
+  for (int h = 0; h < holes; ++h)
+    for (int p1 = 0; p1 < pigeons; ++p1)
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+        p.clauses.push_back({~v(p1, h), ~v(p2, h)});
+
+  Solver s;
+  ASSERT_TRUE(load_dimacs(s, p));
+  EXPECT_EQ(s.solve(), Result::Unsat);
+
+  // And the serialized form parses back to the same instance.
+  const DimacsProblem q = parse_dimacs(write_dimacs(p));
+  Solver s2;
+  ASSERT_TRUE(load_dimacs(s2, q));
+  EXPECT_EQ(s2.solve(), Result::Unsat);
+}
+
+TEST(DimacsErrors, MissingHeaderThrows) {
+  EXPECT_THROW(parse_dimacs("1 2 0\n"), std::runtime_error);
+}
+
+TEST(DimacsErrors, UnterminatedClauseThrows) {
+  EXPECT_THROW(parse_dimacs("p cnf 2 1\n1 2\n"), std::runtime_error);
+}
+
+TEST(DimacsErrors, ClauseCountMismatchThrows) {
+  EXPECT_THROW(parse_dimacs("p cnf 2 2\n1 0\n"), std::runtime_error);
+}
+
+TEST(DimacsErrors, LiteralOutOfRangeThrows) {
+  EXPECT_THROW(parse_dimacs("p cnf 2 1\n3 0\n"), std::runtime_error);
+}
+
+TEST(DimacsErrors, GarbageLiteralThrows) {
+  EXPECT_THROW(parse_dimacs("p cnf 2 1\nxyz 0\n"), std::runtime_error);
+}

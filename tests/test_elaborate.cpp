@@ -1,0 +1,398 @@
+// Elaboration tests: Verilog -> RTLIL, validated against the word-level
+// evaluator (the golden model).
+#include "rtlil/design_stats.hpp"
+#include "sim/eval.hpp"
+#include "verilog/elaborate.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace smartly;
+using rtlil::CellType;
+using rtlil::Const;
+using rtlil::Module;
+using rtlil::SigSpec;
+
+namespace {
+
+/// Evaluate a combinational module for the given input values.
+Const run_comb(const Module& m, const std::vector<std::pair<std::string, uint64_t>>& inputs,
+               const std::string& output) {
+  sim::Evaluator ev(m);
+  for (const auto& [name, value] : inputs) {
+    const rtlil::Wire* w = m.wire(name);
+    EXPECT_NE(w, nullptr) << name;
+    ev.set_input(w, Const(value, w->width()));
+  }
+  ev.run();
+  return ev.value(SigSpec(m.wire(output)));
+}
+
+} // namespace
+
+TEST(Elaborate, ContinuousAssign) {
+  auto design = verilog::read_verilog(R"(
+    module top(a, b, y);
+      input [3:0] a, b;
+      output [3:0] y;
+      assign y = a + b;
+    endmodule
+  )");
+  Module* m = design->top();
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(run_comb(*m, {{"a", 3}, {"b", 4}}, "y").as_uint(), 7u);
+  EXPECT_EQ(run_comb(*m, {{"a", 15}, {"b", 1}}, "y").as_uint(), 0u); // wraps
+}
+
+TEST(Elaborate, OperatorZoo) {
+  auto design = verilog::read_verilog(R"(
+    module top(a, b, y1, y2, y3, y4, y5, y6, y7);
+      input [7:0] a, b;
+      output [7:0] y1, y2, y3;
+      output y4, y5, y6;
+      output [7:0] y7;
+      assign y1 = (a & b) | (a ^ b);
+      assign y2 = a - b;
+      assign y3 = a * b;
+      assign y4 = (a < b) && (a != b);
+      assign y5 = &a[3:0];
+      assign y6 = ^b;
+      assign y7 = {a[3:0], b[7:4]};
+    endmodule
+  )");
+  Module* m = design->top();
+  const uint64_t a = 0xa5, b = 0x3c;
+  EXPECT_EQ(run_comb(*m, {{"a", a}, {"b", b}}, "y1").as_uint(), (a & b) | (a ^ b));
+  EXPECT_EQ(run_comb(*m, {{"a", a}, {"b", b}}, "y2").as_uint(), (a - b) & 0xff);
+  EXPECT_EQ(run_comb(*m, {{"a", a}, {"b", b}}, "y3").as_uint(), (a * b) & 0xff);
+  EXPECT_EQ(run_comb(*m, {{"a", a}, {"b", b}}, "y4").as_uint(), (a < b && a != b) ? 1u : 0u);
+  EXPECT_EQ(run_comb(*m, {{"a", a}, {"b", b}}, "y5").as_uint(), ((a & 0xf) == 0xf) ? 1u : 0u);
+  EXPECT_EQ(run_comb(*m, {{"a", a}, {"b", b}}, "y6").as_uint(),
+            static_cast<uint64_t>(__builtin_parityll(b)));
+  EXPECT_EQ(run_comb(*m, {{"a", a}, {"b", b}}, "y7").as_uint(),
+            ((a & 0xf) << 4) | ((b >> 4) & 0xf));
+}
+
+TEST(Elaborate, IfElseBecomesMux) {
+  auto design = verilog::read_verilog(R"(
+    module top(s, a, b, y);
+      input s;
+      input [3:0] a, b;
+      output reg [3:0] y;
+      always @(*) begin
+        if (s) y = a; else y = b;
+      end
+    endmodule
+  )");
+  Module* m = design->top();
+  EXPECT_EQ(m->count_cells(CellType::Mux), 1u);
+  EXPECT_EQ(run_comb(*m, {{"s", 1}, {"a", 9}, {"b", 2}}, "y").as_uint(), 9u);
+  EXPECT_EQ(run_comb(*m, {{"s", 0}, {"a", 9}, {"b", 2}}, "y").as_uint(), 2u);
+}
+
+TEST(Elaborate, CaseBecomesEqMuxChain) {
+  // Listing 1 of the paper: 3 eq cells + 3 mux cells (Fig. 5).
+  auto design = verilog::read_verilog(R"(
+    module top(s, p0, p1, p2, p3, y);
+      input [1:0] s;
+      input [7:0] p0, p1, p2, p3;
+      output reg [7:0] y;
+      always @(*) begin
+        case (s)
+          2'b00: y = p0;
+          2'b01: y = p1;
+          2'b10: y = p2;
+          default: y = p3;
+        endcase
+      end
+    endmodule
+  )");
+  Module* m = design->top();
+  EXPECT_EQ(m->count_cells(CellType::Mux), 3u);
+  EXPECT_EQ(m->count_cells(CellType::Eq), 3u);
+  EXPECT_EQ(run_comb(*m, {{"s", 0}, {"p0", 10}, {"p1", 11}, {"p2", 12}, {"p3", 13}}, "y")
+                .as_uint(),
+            10u);
+  EXPECT_EQ(run_comb(*m, {{"s", 1}, {"p0", 10}, {"p1", 11}, {"p2", 12}, {"p3", 13}}, "y")
+                .as_uint(),
+            11u);
+  EXPECT_EQ(run_comb(*m, {{"s", 2}, {"p0", 10}, {"p1", 11}, {"p2", 12}, {"p3", 13}}, "y")
+                .as_uint(),
+            12u);
+  EXPECT_EQ(run_comb(*m, {{"s", 3}, {"p0", 10}, {"p1", 11}, {"p2", 12}, {"p3", 13}}, "y")
+                .as_uint(),
+            13u);
+}
+
+TEST(Elaborate, CasezWildcards) {
+  // Listing 2 of the paper.
+  auto design = verilog::read_verilog(R"(
+    module top(s, p0, p1, p2, p3, y);
+      input [2:0] s;
+      input [3:0] p0, p1, p2, p3;
+      output reg [3:0] y;
+      always @(*) begin
+        casez (s)
+          3'b1zz: y = p0;
+          3'b01z: y = p1;
+          3'b001: y = p2;
+          default: y = p3;
+        endcase
+      end
+    endmodule
+  )");
+  Module* m = design->top();
+  auto val = [&](uint64_t s) {
+    return run_comb(*m, {{"s", s}, {"p0", 1}, {"p1", 2}, {"p2", 3}, {"p3", 4}}, "y").as_uint();
+  };
+  for (uint64_t s = 0; s < 8; ++s) {
+    const uint64_t expect = (s & 4) ? 1 : (s & 2) ? 2 : (s & 1) ? 3 : 4;
+    EXPECT_EQ(val(s), expect) << "s=" << s;
+  }
+}
+
+TEST(Elaborate, CasePriorityFirstMatchWins) {
+  auto design = verilog::read_verilog(R"(
+    module top(s, y);
+      input [1:0] s;
+      output reg [3:0] y;
+      always @(*) begin
+        case (s)
+          2'b01: y = 4'd1;
+          2'b01: y = 4'd2;   // unreachable duplicate
+          default: y = 4'd7;
+        endcase
+      end
+    endmodule
+  )");
+  EXPECT_EQ(run_comb(*design->top(), {{"s", 1}}, "y").as_uint(), 1u);
+}
+
+TEST(Elaborate, BlockingSemantics) {
+  auto design = verilog::read_verilog(R"(
+    module top(a, y);
+      input [3:0] a;
+      output reg [3:0] y;
+      reg [3:0] t;
+      always @(*) begin
+        t = a + 4'd1;
+        y = t + t;   // reads the updated t
+      end
+    endmodule
+  )");
+  EXPECT_EQ(run_comb(*design->top(), {{"a", 3}}, "y").as_uint(), 8u);
+}
+
+TEST(Elaborate, PartialAssignMergesBits) {
+  auto design = verilog::read_verilog(R"(
+    module top(s, a, y);
+      input s;
+      input [3:0] a;
+      output reg [3:0] y;
+      always @(*) begin
+        y = a;
+        if (s) y[1:0] = 2'b11;
+      end
+    endmodule
+  )");
+  EXPECT_EQ(run_comb(*design->top(), {{"s", 1}, {"a", 0b1000}}, "y").as_uint(), 0b1011u);
+  EXPECT_EQ(run_comb(*design->top(), {{"s", 0}, {"a", 0b1000}}, "y").as_uint(), 0b1000u);
+}
+
+TEST(Elaborate, PosedgeCreatesDff) {
+  auto design = verilog::read_verilog(R"(
+    module top(clk, d, q);
+      input clk;
+      input [3:0] d;
+      output reg [3:0] q;
+      always @(posedge clk) q <= d + 4'd1;
+    endmodule
+  )");
+  EXPECT_EQ(design->top()->count_cells(CellType::Dff), 1u);
+}
+
+TEST(Elaborate, TernaryAndConcatLvalue) {
+  auto design = verilog::read_verilog(R"(
+    module top(s, a, b, hi, lo);
+      input s;
+      input [3:0] a, b;
+      output [1:0] hi;
+      output [1:0] lo;
+      assign {hi, lo} = s ? a : b;
+    endmodule
+  )");
+  Module* m = design->top();
+  EXPECT_EQ(run_comb(*m, {{"s", 1}, {"a", 0b1110}, {"b", 0}}, "hi").as_uint(), 0b11u);
+  EXPECT_EQ(run_comb(*m, {{"s", 1}, {"a", 0b1110}, {"b", 0}}, "lo").as_uint(), 0b10u);
+}
+
+TEST(Elaborate, ParameterFolding) {
+  auto design = verilog::read_verilog(R"(
+    module top(a, y);
+      parameter W = 4;
+      localparam INC = 3;
+      input [W-1:0] a;
+      output [W-1:0] y;
+      assign y = a + INC;
+    endmodule
+  )");
+  EXPECT_EQ(design->top()->wire("a")->width(), 4);
+  EXPECT_EQ(run_comb(*design->top(), {{"a", 2}}, "y").as_uint(), 5u);
+}
+
+TEST(Elaborate, ErrorsOnUnknownIdentifier) {
+  EXPECT_THROW(verilog::read_verilog("module t(y); output y; assign y = nope; endmodule"),
+               std::runtime_error);
+}
+
+// --- context-determined expression widths (IEEE 1364 §5.4 subset) ----------
+
+TEST(ElaborateWidths, AdditionKeepsCarryInWiderContext) {
+  // 8-bit + 8-bit assigned to a 9-bit net must compute the 9th (carry) bit.
+  auto design = verilog::read_verilog(R"(
+    module top(a, b, y);
+      input [7:0] a, b;
+      output [8:0] y;
+      assign y = a + b;
+    endmodule
+  )");
+  EXPECT_EQ(run_comb(*design->top(), {{"a", 200}, {"b", 100}}, "y").as_uint(), 300u);
+}
+
+TEST(ElaborateWidths, SelfDeterminedAdditionWraps) {
+  // Same expression assigned to an 8-bit net wraps mod 256.
+  auto design = verilog::read_verilog(R"(
+    module top(a, b, y);
+      input [7:0] a, b;
+      output [7:0] y;
+      assign y = a + b;
+    endmodule
+  )");
+  EXPECT_EQ(run_comb(*design->top(), {{"a", 200}, {"b", 100}}, "y").as_uint(), 44u);
+}
+
+TEST(ElaborateWidths, ContextFlowsThroughNestedOperators) {
+  // ((a + b) + c) at 10 bits: both carries preserved.
+  auto design = verilog::read_verilog(R"(
+    module top(a, b, c, y);
+      input [7:0] a, b, c;
+      output [9:0] y;
+      assign y = (a + b) + c;
+    endmodule
+  )");
+  EXPECT_EQ(run_comb(*design->top(), {{"a", 255}, {"b", 255}, {"c", 255}}, "y").as_uint(),
+            765u);
+}
+
+TEST(ElaborateWidths, ContextFlowsIntoTernaryArms) {
+  auto design = verilog::read_verilog(R"(
+    module top(s, a, b, y);
+      input s;
+      input [7:0] a, b;
+      output [8:0] y;
+      assign y = s ? (a + b) : 9'd0;
+    endmodule
+  )");
+  EXPECT_EQ(run_comb(*design->top(), {{"s", 1}, {"a", 255}, {"b", 255}}, "y").as_uint(),
+            510u);
+}
+
+TEST(ElaborateWidths, ComparisonOperandsAreSelfDetermined) {
+  // The compare happens at max(operand widths), not at the LHS width: the
+  // 8-bit sum wraps before the comparison in self-determined context.
+  auto design = verilog::read_verilog(R"(
+    module top(a, b, y);
+      input [7:0] a, b;
+      output y;
+      assign y = (a + b) < a;
+    endmodule
+  )");
+  // 200 + 100 wraps to 44 at 8 bits; 44 < 200 is true (overflow idiom works).
+  EXPECT_EQ(run_comb(*design->top(), {{"a", 200}, {"b", 100}}, "y").as_uint(), 1u);
+}
+
+TEST(ElaborateWidths, ShiftLeftKeepsBitsInWiderContext) {
+  auto design = verilog::read_verilog(R"(
+    module top(a, y);
+      input [7:0] a;
+      output [11:0] y;
+      assign y = a << 4;
+    endmodule
+  )");
+  EXPECT_EQ(run_comb(*design->top(), {{"a", 0xAB}}, "y").as_uint(), 0xAB0u);
+}
+
+TEST(ElaborateWidths, ShiftAmountIsSelfDetermined) {
+  // The shift amount operand must not be widened by the LHS context.
+  auto design = verilog::read_verilog(R"(
+    module top(a, s, y);
+      input [7:0] a;
+      input [2:0] s;
+      output [15:0] y;
+      assign y = a << s;
+    endmodule
+  )");
+  EXPECT_EQ(run_comb(*design->top(), {{"a", 0xFF}, {"s", 7}}, "y").as_uint(), 0x7F80u);
+}
+
+TEST(ElaborateWidths, SubtractionBorrowVisibleInWiderContext) {
+  auto design = verilog::read_verilog(R"(
+    module top(a, b, y);
+      input [3:0] a, b;
+      output [4:0] y;
+      assign y = a - b;
+    endmodule
+  )");
+  // 2 - 5 at 5 bits = 0b11101 = 29 (two's complement of 3 in 5 bits).
+  EXPECT_EQ(run_comb(*design->top(), {{"a", 2}, {"b", 5}}, "y").as_uint(), 29u);
+}
+
+TEST(ElaborateWidths, UnaryMinusInContext) {
+  auto design = verilog::read_verilog(R"(
+    module top(a, y);
+      input [3:0] a;
+      output [7:0] y;
+      assign y = -a;
+    endmodule
+  )");
+  // -3 at 8 bits = 253 (a is zero-extended before negation, as unsigned).
+  EXPECT_EQ(run_comb(*design->top(), {{"a", 3}}, "y").as_uint(), 253u);
+}
+
+TEST(ElaborateWidths, ConcatOperandsSelfDetermined) {
+  // Concat parts never grow with context: {a, b} of two 4-bit nets is 8 bits
+  // even when assigned to a 12-bit target (zero-padded at the top).
+  auto design = verilog::read_verilog(R"(
+    module top(a, b, y);
+      input [3:0] a, b;
+      output [11:0] y;
+      assign y = {a, b};
+    endmodule
+  )");
+  EXPECT_EQ(run_comb(*design->top(), {{"a", 0xF}, {"b", 0x1}}, "y").as_uint(), 0xF1u);
+}
+
+TEST(ElaborateWidths, ParameterizedRangesAndExpressions) {
+  auto design = verilog::read_verilog(R"(
+    module top(a, y);
+      parameter W = 6;
+      localparam TOP = W * 2 - 1;
+      input [W-1:0] a;
+      output [TOP:0] y;
+      assign y = a << W;
+    endmodule
+  )");
+  EXPECT_EQ(design->top()->wire("a")->width(), 6);
+  EXPECT_EQ(design->top()->wire("y")->width(), 12);
+  EXPECT_EQ(run_comb(*design->top(), {{"a", 0x2A}}, "y").as_uint(), 0xA80u);
+}
+
+TEST(ElaborateWidths, ProceduralAssignGetsContextToo) {
+  auto design = verilog::read_verilog(R"(
+    module top(a, b, y);
+      input [7:0] a, b;
+      output reg [8:0] y;
+      always @(*) y = a + b;
+    endmodule
+  )");
+  EXPECT_EQ(run_comb(*design->top(), {{"a", 255}, {"b", 255}}, "y").as_uint(), 510u);
+}

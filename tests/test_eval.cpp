@@ -1,0 +1,160 @@
+// Word-level evaluator tests: directed semantics + x-propagation rules.
+#include "sim/eval.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace smartly;
+using rtlil::CellType;
+using rtlil::Const;
+using rtlil::State;
+
+namespace {
+Const C(const char* s) { return Const::from_string(s); }
+} // namespace
+
+TEST(EvalUnary, NotIsBitPrecise) {
+  EXPECT_EQ(sim::eval_unary(CellType::Not, C("10x"), false, 3).to_string(), "01x");
+}
+
+TEST(EvalUnary, NegTwoComplement) {
+  EXPECT_EQ(sim::eval_unary(CellType::Neg, Const(3, 4), false, 4).as_uint(), 13u);
+  EXPECT_EQ(sim::eval_unary(CellType::Neg, Const(0, 4), false, 4).as_uint(), 0u);
+  EXPECT_FALSE(sim::eval_unary(CellType::Neg, C("1x"), false, 2).is_fully_def());
+}
+
+TEST(EvalUnary, Reductions) {
+  EXPECT_EQ(sim::eval_unary(CellType::ReduceAnd, C("111"), false, 1).as_uint(), 1u);
+  EXPECT_EQ(sim::eval_unary(CellType::ReduceAnd, C("1x0"), false, 1).as_uint(), 0u);
+  EXPECT_EQ(sim::eval_unary(CellType::ReduceOr, C("0x0"), false, 1).to_string(), "x");
+  EXPECT_EQ(sim::eval_unary(CellType::ReduceOr, C("010"), false, 1).as_uint(), 1u);
+  EXPECT_EQ(sim::eval_unary(CellType::ReduceXor, C("110"), false, 1).as_uint(), 0u);
+  EXPECT_EQ(sim::eval_unary(CellType::ReduceXnor, C("110"), false, 1).as_uint(), 1u);
+  EXPECT_EQ(sim::eval_unary(CellType::LogicNot, C("00"), false, 1).as_uint(), 1u);
+}
+
+TEST(EvalBinary, BitwiseXSemantics) {
+  // 0 & x = 0 ; 1 & x = x ; 1 | x = 1 ; 0 | x = x ; x ^ anything = x
+  EXPECT_EQ(sim::eval_binary(CellType::And, C("01x"), C("xxx"), false, false, 3).to_string(),
+            "0xx");
+  EXPECT_EQ(sim::eval_binary(CellType::Or, C("01x"), C("xxx"), false, false, 3).to_string(),
+            "x1x");
+  EXPECT_EQ(sim::eval_binary(CellType::Xor, C("01"), C("x1"), false, false, 2).to_string(),
+            "x0");
+  EXPECT_EQ(sim::eval_binary(CellType::Xor, C("00"), C("x1"), false, false, 2).to_string(),
+            "x1");
+}
+
+TEST(EvalBinary, AddSubMulWidths) {
+  EXPECT_EQ(sim::eval_binary(CellType::Add, Const(200, 8), Const(100, 8), false, false, 8)
+                .as_uint(),
+            44u); // wraps mod 256
+  EXPECT_EQ(sim::eval_binary(CellType::Add, Const(200, 8), Const(100, 8), false, false, 9)
+                .as_uint(),
+            300u);
+  EXPECT_EQ(sim::eval_binary(CellType::Sub, Const(5, 8), Const(7, 8), false, false, 8)
+                .as_uint(),
+            254u);
+  EXPECT_EQ(sim::eval_binary(CellType::Mul, Const(13, 8), Const(11, 8), false, false, 8)
+                .as_uint(),
+            143u);
+  EXPECT_EQ(sim::eval_binary(CellType::Mul, Const(255, 8), Const(255, 8), false, false, 16)
+                .as_uint(),
+            65025u);
+}
+
+TEST(EvalBinary, WideArithmeticBeyond64Bits) {
+  // (2^70 - 1) + 1 == 2^70 — exercises the ripple adder's bignum path.
+  std::vector<State> ones(70, State::S1);
+  const Const a(ones);
+  const Const r = sim::eval_binary(CellType::Add, a, Const(1, 71), false, false, 71);
+  for (int i = 0; i < 70; ++i)
+    EXPECT_EQ(r[i], State::S0);
+  EXPECT_EQ(r[70], State::S1);
+}
+
+TEST(EvalBinary, ComparisonsSignedUnsigned) {
+  EXPECT_EQ(sim::eval_binary(CellType::Lt, Const(3, 4), Const(5, 4), false, false, 1).as_uint(),
+            1u);
+  // Unsigned: 0b1100 (12) > 0b0101 (5); signed: -4 < 5.
+  EXPECT_EQ(sim::eval_binary(CellType::Lt, Const(12, 4), Const(5, 4), false, false, 1)
+                .as_uint(),
+            0u);
+  EXPECT_EQ(sim::eval_binary(CellType::Lt, Const(12, 4), Const(5, 4), true, true, 1).as_uint(),
+            1u);
+  EXPECT_EQ(sim::eval_binary(CellType::Ge, Const(7, 4), Const(7, 4), false, false, 1).as_uint(),
+            1u);
+}
+
+TEST(EvalBinary, EqNeBitPrecise) {
+  // Definite mismatch beats unknown bits.
+  EXPECT_EQ(sim::eval_binary(CellType::Eq, C("1x"), C("0x"), false, false, 1).as_uint(), 0u);
+  EXPECT_EQ(sim::eval_binary(CellType::Ne, C("1x"), C("0x"), false, false, 1).as_uint(), 1u);
+  // Match with unknowns stays unknown.
+  EXPECT_EQ(sim::eval_binary(CellType::Eq, C("1x"), C("1x"), false, false, 1).to_string(), "x");
+  EXPECT_EQ(sim::eval_binary(CellType::Eq, C("10"), C("10"), false, false, 1).as_uint(), 1u);
+}
+
+TEST(EvalBinary, Shifts) {
+  EXPECT_EQ(sim::eval_binary(CellType::Shl, Const(0b0011, 4), Const(2, 3), false, false, 4)
+                .as_uint(),
+            0b1100u);
+  EXPECT_EQ(sim::eval_binary(CellType::Shr, Const(0b1100, 4), Const(2, 3), false, false, 4)
+                .as_uint(),
+            0b0011u);
+  // Arithmetic shift keeps the sign bit when A is signed.
+  EXPECT_EQ(sim::eval_binary(CellType::Sshr, Const(0b1000, 4), Const(2, 3), true, false, 4)
+                .as_uint(),
+            0b1110u);
+  // Shift amount >= width flushes to zero.
+  EXPECT_EQ(sim::eval_binary(CellType::Shr, Const(0b1111, 4), Const(9, 4), false, false, 4)
+                .as_uint(),
+            0u);
+}
+
+TEST(EvalMux, SelectAndMerge) {
+  EXPECT_EQ(sim::eval_mux(C("0101"), C("0011"), State::S0).to_string(), "0101");
+  EXPECT_EQ(sim::eval_mux(C("0101"), C("0011"), State::S1).to_string(), "0011");
+  // Unknown select: agreeing bits survive, disagreeing become x.
+  EXPECT_EQ(sim::eval_mux(C("0101"), C("0011"), State::Sx).to_string(), "0xx1");
+}
+
+TEST(EvalPmux, PrioritySemantics) {
+  const Const a = C("0000");
+  Const b = C("00100001"); // part0 = 0001, part1 = 0010
+  EXPECT_EQ(sim::eval_pmux(a, b, C("01"), 4).to_string(), "0001"); // s0 wins
+  EXPECT_EQ(sim::eval_pmux(a, b, C("11"), 4).to_string(), "0001"); // s0 still wins
+  EXPECT_EQ(sim::eval_pmux(a, b, C("10"), 4).to_string(), "0010");
+  EXPECT_EQ(sim::eval_pmux(a, b, C("00"), 4).to_string(), "0000");
+  EXPECT_FALSE(sim::eval_pmux(a, b, C("1x"), 4).is_fully_def());
+}
+
+TEST(Evaluator, TopologicalModuleEvaluation) {
+  rtlil::Design d;
+  rtlil::Module* m = d.add_module("t");
+  rtlil::Wire* a = m->add_wire("a", 4);
+  rtlil::Wire* b = m->add_wire("b", 4);
+  m->set_port_input(a);
+  m->set_port_input(b);
+  const rtlil::SigSpec sum = m->Add(rtlil::SigSpec(a), rtlil::SigSpec(b), 4);
+  const rtlil::SigSpec y = m->Xor(sum, rtlil::SigSpec(a));
+  rtlil::Wire* out = m->add_wire("y", 4);
+  m->set_port_output(out);
+  m->connect(rtlil::SigSpec(out), y);
+
+  sim::Evaluator ev(*m);
+  ev.set_input(a, Const(5, 4));
+  ev.set_input(b, Const(6, 4));
+  ev.run();
+  EXPECT_EQ(ev.value(rtlil::SigSpec(out)).as_uint(), ((5 + 6) ^ 5) & 0xfu);
+}
+
+TEST(Evaluator, UnsetInputsReadX) {
+  rtlil::Design d;
+  rtlil::Module* m = d.add_module("t");
+  rtlil::Wire* a = m->add_wire("a", 2);
+  m->set_port_input(a);
+  const rtlil::SigSpec y = m->Add(rtlil::SigSpec(a), rtlil::SigSpec(a), 2);
+  sim::Evaluator ev(*m);
+  ev.run();
+  EXPECT_FALSE(ev.value(y).is_fully_def());
+}

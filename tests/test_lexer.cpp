@@ -1,0 +1,143 @@
+// Verilog lexer: token classification, number literal decoding, comments,
+// line tracking, and error reporting.
+#include "verilog/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+using namespace smartly::verilog;
+
+namespace {
+std::vector<std::string> texts(const std::string& src) {
+  std::vector<std::string> out;
+  for (const Token& t : tokenize(src))
+    if (t.kind != TokKind::Eof)
+      out.push_back(t.text);
+  return out;
+}
+} // namespace
+
+TEST(Lexer, BasicTokens) {
+  const auto t = texts("module top(a, b); endmodule");
+  const std::vector<std::string> want{"module", "top", "(", "a",    ",",
+                                      "b",      ")",   ";", "endmodule"};
+  EXPECT_EQ(t, want);
+}
+
+TEST(Lexer, IdentifiersWithUnderscores) {
+  const auto t = texts("_foo bar_1 baz2");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], "_foo");
+  EXPECT_EQ(t[1], "bar_1");
+  EXPECT_EQ(t[2], "baz2");
+}
+
+TEST(Lexer, MultiCharOperators) {
+  const auto t = texts("a <= b == c != d && e || f ~^ g >>> h << i >= j");
+  EXPECT_NE(std::find(t.begin(), t.end(), "<="), t.end());
+  EXPECT_NE(std::find(t.begin(), t.end(), "=="), t.end());
+  EXPECT_NE(std::find(t.begin(), t.end(), "!="), t.end());
+  EXPECT_NE(std::find(t.begin(), t.end(), "&&"), t.end());
+  EXPECT_NE(std::find(t.begin(), t.end(), "||"), t.end());
+  EXPECT_NE(std::find(t.begin(), t.end(), "~^"), t.end());
+  EXPECT_NE(std::find(t.begin(), t.end(), ">>>"), t.end());
+  EXPECT_NE(std::find(t.begin(), t.end(), "<<"), t.end());
+  EXPECT_NE(std::find(t.begin(), t.end(), ">="), t.end());
+}
+
+TEST(Lexer, LineCommentsSkipped) {
+  const auto t = texts("a // this is a comment\nb");
+  const std::vector<std::string> want{"a", "b"};
+  EXPECT_EQ(t, want);
+}
+
+TEST(Lexer, BlockCommentsSkippedAcrossLines) {
+  const auto t = texts("a /* multi\nline\ncomment */ b");
+  const std::vector<std::string> want{"a", "b"};
+  EXPECT_EQ(t, want);
+}
+
+TEST(Lexer, LineNumbersTracked) {
+  const auto toks = tokenize("a\nb\n\nc");
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[2].line, 4);
+}
+
+TEST(Lexer, NumberTokensKeepSpelling) {
+  const auto toks = tokenize("42 8'hf0 3'b1zz 4'd9");
+  ASSERT_GE(toks.size(), 4u);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(toks[size_t(i)].kind, TokKind::Number) << i;
+  EXPECT_EQ(toks[0].text, "42");
+  EXPECT_EQ(toks[1].text, "8'hf0");
+  EXPECT_EQ(toks[2].text, "3'b1zz");
+}
+
+// --- decode_number ---------------------------------------------------------
+
+TEST(DecodeNumber, UnsizedDecimal) {
+  const NumberValue v = decode_number("42", 1);
+  EXPECT_EQ(v.width, 32);
+  EXPECT_FALSE(v.sized);
+  ASSERT_GE(v.bits_lsb_first.size(), 6u);
+  EXPECT_EQ(v.bits_lsb_first.substr(0, 6), "010101"); // 42 = 0b101010
+}
+
+TEST(DecodeNumber, SizedHex) {
+  const NumberValue v = decode_number("8'hf0", 1);
+  EXPECT_EQ(v.width, 8);
+  EXPECT_TRUE(v.sized);
+  EXPECT_EQ(v.bits_lsb_first, "00001111");
+}
+
+TEST(DecodeNumber, SizedBinaryWithZ) {
+  const NumberValue v = decode_number("3'b1zz", 1);
+  EXPECT_EQ(v.width, 3);
+  EXPECT_EQ(v.bits_lsb_first, "zz1");
+}
+
+TEST(DecodeNumber, SizedBinaryWithX) {
+  const NumberValue v = decode_number("4'b10x1", 1);
+  EXPECT_EQ(v.width, 4);
+  EXPECT_EQ(v.bits_lsb_first, "1x01");
+}
+
+TEST(DecodeNumber, SizedDecimal) {
+  const NumberValue v = decode_number("4'd9", 1);
+  EXPECT_EQ(v.width, 4);
+  EXPECT_EQ(v.bits_lsb_first, "1001");
+}
+
+TEST(DecodeNumber, TruncationToDeclaredWidth) {
+  const NumberValue v = decode_number("2'd7", 1); // 7 truncated to 2 bits = 3
+  EXPECT_EQ(v.width, 2);
+  EXPECT_EQ(v.bits_lsb_first, "11");
+}
+
+TEST(DecodeNumber, PaddingToDeclaredWidth) {
+  const NumberValue v = decode_number("8'b11", 1);
+  EXPECT_EQ(v.width, 8);
+  EXPECT_EQ(v.bits_lsb_first, "11000000");
+}
+
+TEST(DecodeNumber, MalformedThrows) {
+  EXPECT_THROW(decode_number("8'q12", 1), std::runtime_error);
+  EXPECT_THROW(decode_number("8'b", 1), std::runtime_error);
+  EXPECT_THROW(decode_number("8'b12", 1), std::runtime_error); // 2 not binary
+}
+
+TEST(Lexer, EmptySourceYieldsEofOnly) {
+  const auto toks = tokenize("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokKind::Eof);
+}
+
+TEST(Lexer, WhitespaceOnlySource) {
+  const auto toks = tokenize("  \t\n  \r\n ");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokKind::Eof);
+}

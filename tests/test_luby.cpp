@@ -1,0 +1,45 @@
+#include "util/hashing.hpp"
+#include "util/luby.hpp"
+
+#include <gtest/gtest.h>
+
+using smartly::luby;
+
+TEST(Luby, PrefixMatchesReference) {
+  // 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+  const uint64_t expect[] = {1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+                             1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, 16};
+  for (size_t i = 0; i < sizeof(expect) / sizeof(expect[0]); ++i)
+    EXPECT_EQ(luby(i), expect[i]) << "at index " << i;
+}
+
+TEST(Luby, ValuesArePowersOfTwo) {
+  for (uint64_t i = 0; i < 2000; ++i) {
+    const uint64_t v = luby(i);
+    EXPECT_NE(v, 0u);
+    EXPECT_EQ(v & (v - 1), 0u) << "luby(" << i << ")=" << v;
+  }
+}
+
+TEST(Rng, DeterministicAndBounded) {
+  smartly::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(a.next(), b.next());
+  smartly::Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = r.range(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Hashing, MixAvalanchesLowBits) {
+  // Adjacent inputs should not produce adjacent outputs.
+  int close = 0;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    const uint64_t d = smartly::hash_mix(i) ^ smartly::hash_mix(i + 1);
+    if (__builtin_popcountll(d) < 8)
+      ++close;
+  }
+  EXPECT_LT(close, 5);
+}

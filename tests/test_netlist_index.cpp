@@ -1,0 +1,172 @@
+// NetlistIndex: driver/reader maps, fanout, output-port tracking,
+// topological order, topo_position, and cycle detection.
+#include "rtlil/topo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+using namespace smartly;
+using rtlil::Cell;
+using rtlil::CellType;
+using rtlil::Design;
+using rtlil::Module;
+using rtlil::NetlistIndex;
+using rtlil::SigBit;
+using rtlil::SigSpec;
+using rtlil::Wire;
+
+namespace {
+
+struct Fixture {
+  Design design;
+  Module* mod;
+  Fixture() { mod = design.add_module("top"); }
+  Wire* in(const char* name, int w = 1) {
+    Wire* x = mod->add_wire(name, w);
+    mod->set_port_input(x);
+    return x;
+  }
+  Wire* out(const char* name, int w = 1) {
+    Wire* x = mod->add_wire(name, w);
+    mod->set_port_output(x);
+    return x;
+  }
+};
+
+} // namespace
+
+TEST(NetlistIndex, DriverAndReaders) {
+  Fixture f;
+  Wire* a = f.in("a", 4);
+  Wire* b = f.in("b", 4);
+  Wire* y = f.out("y", 4);
+  const SigSpec ab = f.mod->And(SigSpec(a), SigSpec(b));
+  const SigSpec n = f.mod->Not(ab);
+  f.mod->connect(SigSpec(y), n);
+
+  NetlistIndex index(*f.mod);
+  const SigBit ab0 = index.sigmap()(ab[0]);
+  Cell* and_cell = index.driver(ab0);
+  ASSERT_NE(and_cell, nullptr);
+  EXPECT_EQ(and_cell->type(), CellType::And);
+  ASSERT_EQ(index.readers(ab0).size(), 1u);
+  EXPECT_EQ(index.readers(ab0)[0]->type(), CellType::Not);
+  EXPECT_EQ(index.driver(index.sigmap()(SigBit(a, 0))), nullptr) << "inputs have no driver";
+}
+
+TEST(NetlistIndex, FanoutCountsReadersAndOutputPorts) {
+  Fixture f;
+  Wire* a = f.in("a", 1);
+  Wire* y = f.out("y", 1);
+  Wire* z = f.out("z", 1);
+  const SigSpec n = f.mod->Not(SigSpec(a));
+  f.mod->connect(SigSpec(y), n);
+  f.mod->connect(SigSpec(z), f.mod->Not(n)); // n read by a cell too
+
+  NetlistIndex index(*f.mod);
+  const SigBit n0 = index.sigmap()(n[0]);
+  EXPECT_TRUE(index.drives_output_port(n0));
+  EXPECT_EQ(index.fanout(n0), 2); // one reader cell + output port
+}
+
+TEST(NetlistIndex, TopoOrderRespectsDependencies) {
+  Fixture f;
+  Wire* a = f.in("a", 2);
+  Wire* y = f.out("y", 2);
+  const SigSpec t1 = f.mod->Not(SigSpec(a));
+  const SigSpec t2 = f.mod->Not(t1);
+  const SigSpec t3 = f.mod->Not(t2);
+  f.mod->connect(SigSpec(y), t3);
+
+  NetlistIndex index(*f.mod);
+  const auto& topo = index.topo_order();
+  ASSERT_EQ(topo.size(), 3u);
+  for (size_t i = 0; i + 1 < topo.size(); ++i)
+    EXPECT_LT(index.topo_position(topo[i]), index.topo_position(topo[i + 1]));
+  // Each cell's input driver must come earlier.
+  for (Cell* c : topo) {
+    for (const SigBit& bit : c->port(rtlil::Port::A)) {
+      Cell* d = index.driver(index.sigmap()(bit));
+      if (d) {
+        EXPECT_LT(index.topo_position(d), index.topo_position(c));
+      }
+    }
+  }
+}
+
+TEST(NetlistIndex, TopoPositionOfUnknownCellIsMinusOne) {
+  Fixture f;
+  Wire* a = f.in("a", 1);
+  f.mod->connect(SigSpec(f.out("y", 1)), f.mod->Not(SigSpec(a)));
+  Design other;
+  Module* m2 = other.add_module("other");
+  Wire* b = m2->add_wire("b", 1);
+  m2->set_port_input(b);
+  const SigSpec foreign = m2->Not(SigSpec(b));
+  (void)foreign;
+
+  NetlistIndex index(*f.mod);
+  EXPECT_EQ(index.topo_position(m2->cells()[0].get()), -1);
+}
+
+TEST(NetlistIndex, DffBreaksCombinationalCycles) {
+  // q -> not -> d -> dff -> q is fine because the dff cuts the cycle.
+  Fixture f;
+  Wire* clk = f.in("clk", 1);
+  Wire* q = f.mod->add_wire("q", 1);
+  Wire* y = f.out("y", 1);
+  const SigSpec d = f.mod->Not(SigSpec(q));
+  f.mod->add_dff(d, SigSpec(q), SigSpec(clk));
+  f.mod->connect(SigSpec(y), SigSpec(q));
+  EXPECT_NO_THROW(NetlistIndex index(*f.mod));
+}
+
+TEST(NetlistIndex, CombinationalCycleThrows) {
+  Fixture f;
+  Wire* a = f.in("a", 1);
+  Wire* loop = f.mod->add_wire("loop", 1);
+  Wire* y = f.out("y", 1);
+  // loop = ~(a & loop): a genuine combinational cycle.
+  Cell* andc = f.mod->add_cell(CellType::And);
+  andc->set_port(rtlil::Port::A, SigSpec(a));
+  andc->set_port(rtlil::Port::B, SigSpec(loop));
+  Wire* t = f.mod->add_wire("t", 1);
+  andc->set_port(rtlil::Port::Y, SigSpec(t));
+  andc->infer_widths();
+  Cell* notc = f.mod->add_cell(CellType::Not);
+  notc->set_port(rtlil::Port::A, SigSpec(t));
+  notc->set_port(rtlil::Port::Y, SigSpec(loop));
+  notc->infer_widths();
+  f.mod->connect(SigSpec(y), SigSpec(loop));
+  EXPECT_THROW(NetlistIndex index(*f.mod), std::logic_error);
+}
+
+TEST(NetlistIndex, SigmapCanonicalizesThroughConnections) {
+  Fixture f;
+  Wire* a = f.in("a", 4);
+  Wire* alias = f.mod->add_wire("alias", 4);
+  Wire* y = f.out("y", 4);
+  f.mod->connect(SigSpec(alias), SigSpec(a));
+  f.mod->connect(SigSpec(y), f.mod->Not(SigSpec(alias)));
+
+  NetlistIndex index(*f.mod);
+  EXPECT_EQ(index.sigmap()(SigBit(alias, 2)), index.sigmap()(SigBit(a, 2)));
+  // Readers of the canonical bit must include the Not cell.
+  const auto& readers = index.readers(SigBit(alias, 0));
+  ASSERT_EQ(readers.size(), 1u);
+  EXPECT_EQ(readers[0]->type(), CellType::Not);
+}
+
+TEST(NetlistIndex, ConstantTiedBitsCanonicalizeToConstants) {
+  Fixture f;
+  Wire* t = f.mod->add_wire("t", 2);
+  f.mod->connect(SigSpec(t), SigSpec(rtlil::Const(2, 2)));
+  NetlistIndex index(*f.mod);
+  const SigBit b0 = index.sigmap()(SigBit(t, 0));
+  const SigBit b1 = index.sigmap()(SigBit(t, 1));
+  EXPECT_TRUE(b0.is_const());
+  EXPECT_EQ(b0.data, rtlil::State::S0);
+  EXPECT_TRUE(b1.is_const());
+  EXPECT_EQ(b1.data, rtlil::State::S1);
+}

@@ -1,0 +1,242 @@
+// opt_clean (dead-cell elimination) and opt_merge (structural sharing).
+#include "opt/opt_clean.hpp"
+#include "opt/opt_merge.hpp"
+#include "rtlil/module.hpp"
+#include "rtlil/sigmap.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace smartly;
+using rtlil::CellType;
+using rtlil::Const;
+using rtlil::Design;
+using rtlil::Module;
+using rtlil::SigSpec;
+using rtlil::Wire;
+
+namespace {
+
+struct Fixture {
+  Design design;
+  Module* mod;
+  Fixture() { mod = design.add_module("top"); }
+  Wire* in(const char* name, int w) {
+    Wire* x = mod->add_wire(name, w);
+    mod->set_port_input(x);
+    return x;
+  }
+  Wire* out(const char* name, int w) {
+    Wire* x = mod->add_wire(name, w);
+    mod->set_port_output(x);
+    return x;
+  }
+};
+
+} // namespace
+
+TEST(OptClean, RemovesUnreadCell) {
+  Fixture f;
+  Wire* a = f.in("a", 4);
+  Wire* b = f.in("b", 4);
+  Wire* y = f.out("y", 4);
+  f.mod->connect(SigSpec(y), f.mod->And(SigSpec(a), SigSpec(b)));
+  (void)f.mod->Or(SigSpec(a), SigSpec(b)); // dead
+  EXPECT_EQ(f.mod->cell_count(), 2u);
+  EXPECT_EQ(opt::opt_clean(*f.mod), 1u);
+  EXPECT_EQ(f.mod->cell_count(), 1u);
+  EXPECT_EQ(f.mod->count_cells(CellType::And), 1u);
+}
+
+TEST(OptClean, RemovesDeadChainTransitively) {
+  Fixture f;
+  Wire* a = f.in("a", 4);
+  Wire* y = f.out("y", 4);
+  f.mod->connect(SigSpec(y), SigSpec(a));
+  // Three-cell dead chain.
+  const SigSpec t1 = f.mod->Not(SigSpec(a));
+  const SigSpec t2 = f.mod->Not(t1);
+  (void)f.mod->Not(t2);
+  EXPECT_EQ(opt::opt_clean(*f.mod), 3u);
+  EXPECT_EQ(f.mod->cell_count(), 0u);
+}
+
+TEST(OptClean, KeepsCellsFeedingOutputs) {
+  Fixture f;
+  Wire* a = f.in("a", 4);
+  Wire* y = f.out("y", 4);
+  const SigSpec t1 = f.mod->Not(SigSpec(a));
+  f.mod->connect(SigSpec(y), f.mod->Not(t1));
+  EXPECT_EQ(opt::opt_clean(*f.mod), 0u);
+  EXPECT_EQ(f.mod->cell_count(), 2u);
+}
+
+TEST(OptClean, KeepsDffsAndTheirCones) {
+  // A dff whose Q never reaches an output is still kept if its Q is read —
+  // and the D-cone of a live dff must be kept alive.
+  Fixture f;
+  Wire* clk = f.in("clk", 1);
+  Wire* a = f.in("a", 4);
+  Wire* q = f.mod->add_wire("q", 4);
+  Wire* y = f.out("y", 4);
+  const SigSpec d = f.mod->Not(SigSpec(a)); // D-cone cell
+  f.mod->add_dff(d, SigSpec(q), SigSpec(clk));
+  f.mod->connect(SigSpec(y), SigSpec(q));
+  EXPECT_EQ(opt::opt_clean(*f.mod), 0u);
+  EXPECT_EQ(f.mod->count_cells(CellType::Dff), 1u);
+  EXPECT_EQ(f.mod->count_cells(CellType::Not), 1u);
+}
+
+TEST(OptClean, RemovesDeadDff) {
+  Fixture f;
+  Wire* clk = f.in("clk", 1);
+  Wire* a = f.in("a", 4);
+  Wire* q = f.mod->add_wire("q", 4);
+  Wire* y = f.out("y", 4);
+  f.mod->add_dff(SigSpec(a), SigSpec(q), SigSpec(clk)); // q unread
+  f.mod->connect(SigSpec(y), SigSpec(a));
+  EXPECT_EQ(opt::opt_clean(*f.mod), 1u);
+  EXPECT_EQ(f.mod->count_cells(CellType::Dff), 0u);
+}
+
+TEST(OptClean, AliasThroughConnectionKeepsDriver) {
+  Fixture f;
+  Wire* a = f.in("a", 4);
+  Wire* t = f.mod->add_wire("t", 4);
+  Wire* y = f.out("y", 4);
+  f.mod->connect(SigSpec(t), f.mod->Not(SigSpec(a)));
+  f.mod->connect(SigSpec(y), SigSpec(t)); // y <- t <- $not
+  EXPECT_EQ(opt::opt_clean(*f.mod), 0u);
+  EXPECT_EQ(f.mod->cell_count(), 1u);
+}
+
+TEST(OptClean, EmptyModuleIsFine) {
+  Fixture f;
+  EXPECT_EQ(opt::opt_clean(*f.mod), 0u);
+}
+
+// --- opt_merge --------------------------------------------------------------
+
+TEST(OptMerge, MergesIdenticalCells) {
+  Fixture f;
+  Wire* a = f.in("a", 4);
+  Wire* b = f.in("b", 4);
+  Wire* y0 = f.out("y0", 4);
+  Wire* y1 = f.out("y1", 4);
+  f.mod->connect(SigSpec(y0), f.mod->And(SigSpec(a), SigSpec(b)));
+  f.mod->connect(SigSpec(y1), f.mod->And(SigSpec(a), SigSpec(b)));
+  EXPECT_EQ(opt::opt_merge(*f.mod), 1u);
+  EXPECT_EQ(f.mod->count_cells(CellType::And), 1u);
+  // Both outputs must now alias the same net.
+  const rtlil::SigMap sm(*f.mod);
+  EXPECT_EQ(sm(SigSpec(y0)), sm(SigSpec(y1)));
+}
+
+TEST(OptMerge, NormalizesCommutativeOperandOrder) {
+  Fixture f;
+  Wire* a = f.in("a", 4);
+  Wire* b = f.in("b", 4);
+  Wire* y0 = f.out("y0", 4);
+  Wire* y1 = f.out("y1", 4);
+  f.mod->connect(SigSpec(y0), f.mod->And(SigSpec(a), SigSpec(b)));
+  f.mod->connect(SigSpec(y1), f.mod->And(SigSpec(b), SigSpec(a))); // swapped
+  EXPECT_EQ(opt::opt_merge(*f.mod), 1u);
+}
+
+TEST(OptMerge, DoesNotMergeNonCommutativeSwapped) {
+  Fixture f;
+  Wire* a = f.in("a", 4);
+  Wire* b = f.in("b", 4);
+  Wire* y0 = f.out("y0", 4);
+  Wire* y1 = f.out("y1", 4);
+  f.mod->connect(SigSpec(y0), f.mod->Sub(SigSpec(a), SigSpec(b), 4));
+  f.mod->connect(SigSpec(y1), f.mod->Sub(SigSpec(b), SigSpec(a), 4));
+  EXPECT_EQ(opt::opt_merge(*f.mod), 0u);
+  EXPECT_EQ(f.mod->count_cells(CellType::Sub), 2u);
+}
+
+TEST(OptMerge, DoesNotMergeDifferentTypes) {
+  Fixture f;
+  Wire* a = f.in("a", 4);
+  Wire* b = f.in("b", 4);
+  Wire* y0 = f.out("y0", 4);
+  Wire* y1 = f.out("y1", 4);
+  f.mod->connect(SigSpec(y0), f.mod->And(SigSpec(a), SigSpec(b)));
+  f.mod->connect(SigSpec(y1), f.mod->Or(SigSpec(a), SigSpec(b)));
+  EXPECT_EQ(opt::opt_merge(*f.mod), 0u);
+}
+
+TEST(OptMerge, DoesNotMergeDifferentWidthResults) {
+  Fixture f;
+  Wire* a = f.in("a", 4);
+  Wire* b = f.in("b", 4);
+  Wire* y0 = f.out("y0", 4);
+  Wire* y1 = f.out("y1", 5);
+  f.mod->connect(SigSpec(y0), f.mod->Add(SigSpec(a), SigSpec(b), 4));
+  f.mod->connect(SigSpec(y1), f.mod->Add(SigSpec(a), SigSpec(b), 5));
+  EXPECT_EQ(opt::opt_merge(*f.mod), 0u);
+}
+
+TEST(OptMerge, MergesCascadeToFixpoint) {
+  // Two identical 2-level trees: merging the leaves makes the roots identical.
+  Fixture f;
+  Wire* a = f.in("a", 4);
+  Wire* b = f.in("b", 4);
+  Wire* c = f.in("c", 4);
+  Wire* y0 = f.out("y0", 4);
+  Wire* y1 = f.out("y1", 4);
+  f.mod->connect(SigSpec(y0), f.mod->Or(f.mod->And(SigSpec(a), SigSpec(b)), SigSpec(c)));
+  f.mod->connect(SigSpec(y1), f.mod->Or(f.mod->And(SigSpec(a), SigSpec(b)), SigSpec(c)));
+  EXPECT_EQ(opt::opt_merge(*f.mod), 2u);
+  EXPECT_EQ(f.mod->cell_count(), 2u);
+}
+
+TEST(OptMerge, MergesIdenticalDffs) {
+  // Two dffs with the same D and CLK always hold the same value: merging is
+  // sound (Yosys's opt_merge does the same).
+  Fixture f;
+  Wire* clk = f.in("clk", 1);
+  Wire* a = f.in("a", 4);
+  Wire* q0 = f.mod->add_wire("q0", 4);
+  Wire* q1 = f.mod->add_wire("q1", 4);
+  Wire* y0 = f.out("y0", 4);
+  Wire* y1 = f.out("y1", 4);
+  f.mod->add_dff(SigSpec(a), SigSpec(q0), SigSpec(clk));
+  f.mod->add_dff(SigSpec(a), SigSpec(q1), SigSpec(clk));
+  f.mod->connect(SigSpec(y0), SigSpec(q0));
+  f.mod->connect(SigSpec(y1), SigSpec(q1));
+  EXPECT_EQ(opt::opt_merge(*f.mod), 1u);
+  EXPECT_EQ(f.mod->count_cells(CellType::Dff), 1u);
+}
+
+TEST(OptMerge, DoesNotMergeDffsWithDifferentClocks) {
+  Fixture f;
+  Wire* clk0 = f.in("clk0", 1);
+  Wire* clk1 = f.in("clk1", 1);
+  Wire* a = f.in("a", 4);
+  Wire* q0 = f.mod->add_wire("q0", 4);
+  Wire* q1 = f.mod->add_wire("q1", 4);
+  Wire* y0 = f.out("y0", 4);
+  Wire* y1 = f.out("y1", 4);
+  f.mod->add_dff(SigSpec(a), SigSpec(q0), SigSpec(clk0));
+  f.mod->add_dff(SigSpec(a), SigSpec(q1), SigSpec(clk1));
+  f.mod->connect(SigSpec(y0), SigSpec(q0));
+  f.mod->connect(SigSpec(y1), SigSpec(q1));
+  EXPECT_EQ(opt::opt_merge(*f.mod), 0u);
+  EXPECT_EQ(f.mod->count_cells(CellType::Dff), 2u);
+}
+
+TEST(OptMergeClean, PipelineShrinksRedundantCircuit) {
+  Fixture f;
+  Wire* a = f.in("a", 8);
+  Wire* b = f.in("b", 8);
+  Wire* y = f.out("y", 8);
+  // Four copies of the same expression, only one feeds the output.
+  const SigSpec e0 = f.mod->Xor(f.mod->And(SigSpec(a), SigSpec(b)), SigSpec(b));
+  for (int i = 0; i < 3; ++i)
+    (void)f.mod->Xor(f.mod->And(SigSpec(a), SigSpec(b)), SigSpec(b));
+  f.mod->connect(SigSpec(y), e0);
+  EXPECT_EQ(f.mod->cell_count(), 8u);
+  opt::opt_merge(*f.mod);
+  opt::opt_clean(*f.mod);
+  EXPECT_EQ(f.mod->cell_count(), 2u);
+}

@@ -1,0 +1,182 @@
+// Baseline opt_muxtree tests — the paper's Figs. 1 & 2 plus pmux pruning.
+#include "aig/aigmap.hpp"
+#include "cec/cec.hpp"
+#include "opt/opt_clean.hpp"
+#include "opt/opt_expr.hpp"
+#include "opt/opt_muxtree.hpp"
+#include "verilog/elaborate.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace smartly;
+using rtlil::CellType;
+using rtlil::Module;
+
+namespace {
+
+/// Parse, snapshot, run baseline muxtree opt + cleanup, and return
+/// (stats, mux count after); verifies equivalence against the snapshot.
+std::pair<opt::MuxtreeStats, size_t> run_baseline(const std::string& src) {
+  auto design = verilog::read_verilog(src);
+  Module* m = design->top();
+  auto golden = rtlil::clone_design(*design);
+  const opt::MuxtreeStats stats = opt::opt_muxtree(*m);
+  opt::opt_expr(*m);
+  opt::opt_clean(*m);
+  const auto cec = cec::check_equivalence(*golden->top(), *m);
+  EXPECT_TRUE(cec.equivalent) << "baseline broke " << cec.failing_output;
+  return {stats, m->count_cells(CellType::Mux)};
+}
+
+} // namespace
+
+TEST(OptMuxtree, Fig1SameControlInAncestor) {
+  // Y = S ? (S ? A : B) : C  -->  Y = S ? A : C
+  const auto [stats, muxes] = run_baseline(R"(
+    module top(s, a, b, c, y);
+      input s;
+      input [3:0] a, b, c;
+      output [3:0] y;
+      assign y = s ? (s ? a : b) : c;
+    endmodule
+  )");
+  EXPECT_EQ(stats.mux_collapsed, 1u);
+  EXPECT_EQ(muxes, 1u);
+}
+
+TEST(OptMuxtree, Fig1OppositeBranch) {
+  // Y = S ? C : (S ? A : B)  -->  Y = S ? C : B
+  const auto [stats, muxes] = run_baseline(R"(
+    module top(s, a, b, c, y);
+      input s;
+      input [3:0] a, b, c;
+      output [3:0] y;
+      assign y = s ? c : (s ? a : b);
+    endmodule
+  )");
+  EXPECT_EQ(stats.mux_collapsed, 1u);
+  EXPECT_EQ(muxes, 1u);
+}
+
+TEST(OptMuxtree, Fig2DataPortSubstitution) {
+  // Y = S ? (A ? S : B) : C  -->  inner data S becomes constant 1.
+  const auto [stats, muxes] = run_baseline(R"(
+    module top(s, a, b, c, y);
+      input s, a, b;
+      input c;
+      output y;
+      assign y = s ? (a ? s : b) : c;
+    endmodule
+  )");
+  (void)muxes;
+  EXPECT_GE(stats.data_bits_replaced, 1u);
+}
+
+TEST(OptMuxtree, DeepChainOfSameControl) {
+  const auto [stats, muxes] = run_baseline(R"(
+    module top(s, a, b, c, d, y);
+      input s;
+      input [7:0] a, b, c, d;
+      output [7:0] y;
+      assign y = s ? (s ? (s ? a : d) : b) : c;
+    endmodule
+  )");
+  EXPECT_EQ(stats.mux_collapsed, 2u);
+  EXPECT_EQ(muxes, 1u);
+}
+
+TEST(OptMuxtree, DoesNotTouchIndependentControls) {
+  const auto [stats, muxes] = run_baseline(R"(
+    module top(s, t, a, b, c, y);
+      input s, t;
+      input [3:0] a, b, c;
+      output [3:0] y;
+      assign y = s ? (t ? a : b) : c;
+    endmodule
+  )");
+  EXPECT_EQ(stats.mux_collapsed, 0u);
+  EXPECT_EQ(muxes, 2u);
+}
+
+TEST(OptMuxtree, CannotSeeDependentControls) {
+  // Fig. 3: the baseline misses (s | r) under s=1 — that is smaRTLy's gap
+  // to close (see test_sat_redundancy.cpp).
+  const auto [stats, muxes] = run_baseline(R"(
+    module top(s, r, a, b, c, y);
+      input s, r;
+      input [3:0] a, b, c;
+      output [3:0] y;
+      assign y = s ? ((s | r) ? a : b) : c;
+    endmodule
+  )");
+  EXPECT_EQ(stats.mux_collapsed, 0u);
+  EXPECT_EQ(muxes, 2u);
+}
+
+TEST(OptMuxtree, SharedSubtreeIsNotRewritten) {
+  // The inner mux feeds two different outer branches; collapsing it under
+  // either branch condition would be unsound. (t ? a : b) is shared.
+  auto design = verilog::read_verilog(R"(
+    module top(s, t, a, b, c, y1, y2);
+      input s, t;
+      input [3:0] a, b, c;
+      output [3:0] y1, y2;
+      wire [3:0] shared;
+      assign shared = t ? a : b;
+      assign y1 = s ? shared : c;
+      assign y2 = s ? c : shared;
+    endmodule
+  )");
+  Module* m = design->top();
+  auto golden = rtlil::clone_design(*design);
+  opt::opt_muxtree(*m);
+  opt::opt_expr(*m);
+  opt::opt_clean(*m);
+  EXPECT_TRUE(cec::check_equivalence(*golden->top(), *m).equivalent);
+  EXPECT_EQ(m->count_cells(CellType::Mux), 3u);
+}
+
+TEST(OptMuxtree, CaseChainUntouchedByBaseline) {
+  // A case chain has distinct eq controls; the baseline cannot shrink it.
+  const auto [stats, muxes] = run_baseline(R"(
+    module top(s, p0, p1, p2, p3, y);
+      input [1:0] s;
+      input [7:0] p0, p1, p2, p3;
+      output reg [7:0] y;
+      always @(*) case (s)
+        2'b00: y = p0;
+        2'b01: y = p1;
+        2'b10: y = p2;
+        default: y = p3;
+      endcase
+    endmodule
+  )");
+  EXPECT_EQ(stats.mux_collapsed, 0u);
+  EXPECT_EQ(muxes, 3u);
+}
+
+TEST(OptMuxtree, NestedCaseSameSelector) {
+  // A case nested inside a matching ancestor branch: the inner eq controls
+  // are syntactically different cells, so the baseline leaves the structure;
+  // equivalence must still hold after the run.
+  const auto [stats, muxes] = run_baseline(R"(
+    module top(s, a, b, c, y);
+      input [1:0] s;
+      input [3:0] a, b, c;
+      output reg [3:0] y;
+      always @(*) begin
+        if (s == 2'b00) begin
+          case (s)
+            2'b00: y = a;
+            2'b01: y = b;   // dead arm
+            default: y = c; // dead arm
+          endcase
+        end else begin
+          y = c;
+        end
+      end
+    endmodule
+  )");
+  (void)stats;
+  EXPECT_GE(muxes, 1u);
+}

@@ -1,0 +1,249 @@
+// opt_reduce: reduce-gate flattening and contiguous pmux branch merging,
+// with exhaustive semantic checks.
+#include "opt/opt_clean.hpp"
+#include "opt/opt_reduce.hpp"
+#include "rtlil/module.hpp"
+#include "sim/eval.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace smartly;
+using rtlil::CellType;
+using rtlil::Const;
+using rtlil::Design;
+using rtlil::Module;
+using rtlil::SigSpec;
+using rtlil::Wire;
+
+namespace {
+
+struct Fixture {
+  Design design;
+  Module* mod;
+  Fixture() { mod = design.add_module("top"); }
+  Wire* in(const char* name, int w) {
+    Wire* x = mod->add_wire(name, w);
+    mod->set_port_input(x);
+    return x;
+  }
+  Wire* out(const char* name, int w) {
+    Wire* x = mod->add_wire(name, w);
+    mod->set_port_output(x);
+    return x;
+  }
+};
+
+/// Exhaustive input sweep comparing module behaviour before/after a mutation.
+class Snapshot {
+public:
+  explicit Snapshot(Module& m) : module_(m) {
+    int bits = 0;
+    for (const auto& w : m.wires())
+      if (w->port_input) {
+        inputs_.push_back(w.get());
+        bits += w->width();
+      }
+    EXPECT_LE(bits, 14) << "too wide for exhaustive check";
+    bits_ = bits;
+    reference_ = sweep();
+  }
+
+  void expect_unchanged() {
+    const auto now = sweep();
+    ASSERT_EQ(now.size(), reference_.size());
+    for (size_t i = 0; i < now.size(); ++i)
+      EXPECT_EQ(now[i], reference_[i]) << "pattern " << i;
+  }
+
+private:
+  std::vector<std::string> sweep() {
+    std::vector<std::string> out;
+    for (uint64_t v = 0; v < (uint64_t(1) << bits_); ++v) {
+      sim::Evaluator ev(module_);
+      int cursor = 0;
+      for (Wire* w : inputs_) {
+        ev.set_input(w, Const((v >> cursor) & ((uint64_t(1) << w->width()) - 1), w->width()));
+        cursor += w->width();
+      }
+      ev.run();
+      std::string row;
+      for (const auto& w : module_.wires())
+        if (w->port_output)
+          row += ev.value(SigSpec(w.get())).to_string() + "|";
+      out.push_back(std::move(row));
+    }
+    return out;
+  }
+
+  Module& module_;
+  std::vector<Wire*> inputs_;
+  int bits_ = 0;
+  std::vector<std::string> reference_;
+};
+
+} // namespace
+
+TEST(OptReduce, FlattensOrOfOr) {
+  Fixture f;
+  Wire* a = f.in("a", 3);
+  Wire* b = f.in("b", 3);
+  Wire* y = f.out("y", 1);
+  const SigSpec inner = f.mod->ReduceOr(SigSpec(a));
+  SigSpec outer_in = inner;
+  outer_in.append(SigSpec(b));
+  f.mod->connect(SigSpec(y), f.mod->ReduceOr(outer_in));
+
+  Snapshot snap(*f.mod);
+  const auto stats = opt::opt_reduce(*f.mod);
+  opt::opt_clean(*f.mod);
+  EXPECT_EQ(stats.reductions_absorbed, 1u);
+  EXPECT_EQ(f.mod->count_cells(CellType::ReduceOr), 1u);
+  snap.expect_unchanged();
+}
+
+TEST(OptReduce, FlattensAndOfAnd) {
+  Fixture f;
+  Wire* a = f.in("a", 3);
+  Wire* b = f.in("b", 3);
+  Wire* y = f.out("y", 1);
+  const SigSpec inner = f.mod->ReduceAnd(SigSpec(a));
+  SigSpec outer_in = inner;
+  outer_in.append(SigSpec(b));
+  f.mod->connect(SigSpec(y), f.mod->add_unary(CellType::ReduceAnd, outer_in, 1));
+
+  Snapshot snap(*f.mod);
+  const auto stats = opt::opt_reduce(*f.mod);
+  opt::opt_clean(*f.mod);
+  EXPECT_EQ(stats.reductions_absorbed, 1u);
+  EXPECT_EQ(f.mod->count_cells(CellType::ReduceAnd), 1u);
+  snap.expect_unchanged();
+}
+
+TEST(OptReduce, DoesNotMixKinds) {
+  // or(and(a), b) must not be flattened.
+  Fixture f;
+  Wire* a = f.in("a", 3);
+  Wire* b = f.in("b", 3);
+  Wire* y = f.out("y", 1);
+  const SigSpec inner = f.mod->ReduceAnd(SigSpec(a));
+  SigSpec outer_in = inner;
+  outer_in.append(SigSpec(b));
+  f.mod->connect(SigSpec(y), f.mod->ReduceOr(outer_in));
+  const auto stats = opt::opt_reduce(*f.mod);
+  EXPECT_EQ(stats.reductions_absorbed, 0u);
+  EXPECT_EQ(f.mod->count_cells(CellType::ReduceAnd), 1u);
+}
+
+TEST(OptReduce, KeepsSharedInnerReduction) {
+  // The inner or feeds both the outer or and a module output: not absorbable.
+  Fixture f;
+  Wire* a = f.in("a", 3);
+  Wire* b = f.in("b", 3);
+  Wire* y = f.out("y", 1);
+  Wire* z = f.out("z", 1);
+  const SigSpec inner = f.mod->ReduceOr(SigSpec(a));
+  f.mod->connect(SigSpec(z), inner);
+  SigSpec outer_in = inner;
+  outer_in.append(SigSpec(b));
+  f.mod->connect(SigSpec(y), f.mod->ReduceOr(outer_in));
+  const auto stats = opt::opt_reduce(*f.mod);
+  EXPECT_EQ(stats.reductions_absorbed, 0u);
+  EXPECT_EQ(f.mod->count_cells(CellType::ReduceOr), 2u);
+}
+
+TEST(OptReduce, FlattensDeepChainToOneCell) {
+  Fixture f;
+  Wire* a = f.in("a", 2);
+  Wire* b = f.in("b", 2);
+  Wire* c = f.in("c", 2);
+  Wire* d = f.in("d", 2);
+  Wire* y = f.out("y", 1);
+  SigSpec acc = f.mod->ReduceOr(SigSpec(a));
+  for (Wire* w : {b, c, d}) {
+    SigSpec next_in = acc;
+    next_in.append(SigSpec(w));
+    acc = f.mod->ReduceOr(next_in);
+  }
+  f.mod->connect(SigSpec(y), acc);
+
+  Snapshot snap(*f.mod);
+  const auto stats = opt::opt_reduce(*f.mod);
+  opt::opt_clean(*f.mod);
+  EXPECT_EQ(stats.reductions_absorbed, 3u);
+  EXPECT_EQ(f.mod->count_cells(CellType::ReduceOr), 1u);
+  snap.expect_unchanged();
+}
+
+TEST(OptReduce, MergesAdjacentPmuxBranches) {
+  Fixture f;
+  Wire* a = f.in("a", 2);
+  Wire* b0 = f.in("b0", 2);
+  Wire* s = f.in("s", 3);
+  Wire* y = f.out("y", 2);
+  // Branches 0 and 1 share data b0; branch 2 has data a (default also a).
+  SigSpec b;
+  b.append(SigSpec(b0));
+  b.append(SigSpec(b0));
+  b.append(SigSpec(a));
+  f.mod->add_pmux(SigSpec(a), b, SigSpec(s), SigSpec(y));
+
+  Snapshot snap(*f.mod);
+  const auto stats = opt::opt_reduce(*f.mod);
+  EXPECT_EQ(stats.pmux_branches_merged, 1u);
+  const rtlil::Cell* pmux = nullptr;
+  for (const auto& c : f.mod->cells())
+    if (c->type() == CellType::Pmux)
+      pmux = c.get();
+  ASSERT_NE(pmux, nullptr);
+  EXPECT_EQ(pmux->params().s_width, 2);
+  snap.expect_unchanged();
+}
+
+TEST(OptReduce, DoesNotMergeNonAdjacentEqualBranches) {
+  // b0, a, b0: merging the two b0 branches would hijack priority from the
+  // middle branch; they must be left alone.
+  Fixture f;
+  Wire* a = f.in("a", 2);
+  Wire* b0 = f.in("b0", 2);
+  Wire* s = f.in("s", 3);
+  Wire* y = f.out("y", 2);
+  Wire* dflt = f.in("d", 2);
+  SigSpec b;
+  b.append(SigSpec(b0));
+  b.append(SigSpec(a));
+  b.append(SigSpec(b0));
+  f.mod->add_pmux(SigSpec(dflt), b, SigSpec(s), SigSpec(y));
+
+  Snapshot snap(*f.mod);
+  const auto stats = opt::opt_reduce(*f.mod);
+  EXPECT_EQ(stats.pmux_branches_merged, 0u);
+  snap.expect_unchanged();
+}
+
+TEST(OptReduce, MergesWholePmuxToSingleBranch) {
+  Fixture f;
+  Wire* a = f.in("a", 2);
+  Wire* b0 = f.in("b0", 2);
+  Wire* s = f.in("s", 4);
+  Wire* y = f.out("y", 2);
+  SigSpec b;
+  for (int i = 0; i < 4; ++i)
+    b.append(SigSpec(b0));
+  f.mod->add_pmux(SigSpec(a), b, SigSpec(s), SigSpec(y));
+
+  Snapshot snap(*f.mod);
+  const auto stats = opt::opt_reduce(*f.mod);
+  EXPECT_EQ(stats.pmux_branches_merged, 3u);
+  snap.expect_unchanged();
+}
+
+TEST(OptReduce, NoopOnCleanModule) {
+  Fixture f;
+  Wire* a = f.in("a", 4);
+  Wire* b = f.in("b", 4);
+  Wire* y = f.out("y", 4);
+  f.mod->connect(SigSpec(y), f.mod->And(SigSpec(a), SigSpec(b)));
+  const auto stats = opt::opt_reduce(*f.mod);
+  EXPECT_EQ(stats.reductions_absorbed, 0u);
+  EXPECT_EQ(stats.pmux_branches_merged, 0u);
+}

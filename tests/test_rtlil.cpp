@@ -1,0 +1,176 @@
+#include "rtlil/design_stats.hpp"
+#include "rtlil/module.hpp"
+#include "rtlil/sigmap.hpp"
+#include "rtlil/topo.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace smartly::rtlil;
+
+TEST(Module, WireAndCellNamesAreUnique) {
+  Design d;
+  Module* m = d.add_module("top");
+  m->add_wire("w", 4);
+  EXPECT_THROW(m->add_wire("w", 2), std::invalid_argument);
+  m->add_cell(CellType::And, "c");
+  EXPECT_THROW(m->add_cell(CellType::Or, "c"), std::invalid_argument);
+  EXPECT_THROW(d.add_module("top"), std::invalid_argument);
+}
+
+TEST(Module, PortsKeepRegistrationOrder) {
+  Design d;
+  Module* m = d.add_module("top");
+  Wire* a = m->add_wire("a", 1);
+  Wire* y = m->add_wire("y", 1);
+  m->set_port_input(a);
+  m->set_port_output(y);
+  ASSERT_EQ(m->ports().size(), 2u);
+  EXPECT_EQ(m->ports()[0], a);
+  EXPECT_EQ(m->ports()[1], y);
+  EXPECT_EQ(a->port_id, 1);
+  EXPECT_EQ(y->port_id, 2);
+}
+
+TEST(Module, BuildersInferWidthsAndPassCheck) {
+  Design d;
+  Module* m = d.add_module("top");
+  Wire* a = m->add_wire("a", 4);
+  Wire* b = m->add_wire("b", 4);
+  const SigSpec sum = m->Add(SigSpec(a), SigSpec(b), 5);
+  EXPECT_EQ(sum.size(), 5);
+  const SigSpec eq = m->Eq(SigSpec(a), SigSpec(b));
+  EXPECT_EQ(eq.size(), 1);
+  const SigSpec y = m->Mux(SigSpec(a), SigSpec(b), eq);
+  EXPECT_EQ(y.size(), 4);
+  EXPECT_NO_THROW(m->check());
+}
+
+TEST(Module, ConnectRejectsWidthMismatch) {
+  Design d;
+  Module* m = d.add_module("top");
+  Wire* a = m->add_wire("a", 4);
+  Wire* b = m->add_wire("b", 2);
+  EXPECT_THROW(m->connect(SigSpec(a), SigSpec(b)), std::invalid_argument);
+}
+
+TEST(Module, RemoveCellsDropsLookup) {
+  Design d;
+  Module* m = d.add_module("top");
+  Cell* c = m->add_cell(CellType::And, "a1");
+  EXPECT_EQ(m->cell("a1"), c);
+  m->remove_cell(c);
+  EXPECT_EQ(m->cell("a1"), nullptr);
+  EXPECT_EQ(m->cell_count(), 0u);
+}
+
+TEST(SigMapTest, AliasChainsCollapseTowardDrivers) {
+  Design d;
+  Module* m = d.add_module("top");
+  Wire* a = m->add_wire("a", 1);
+  Wire* b = m->add_wire("b", 1);
+  Wire* c = m->add_wire("c", 1);
+  m->connect(SigSpec(b), SigSpec(a)); // b aliases a
+  m->connect(SigSpec(c), SigSpec(b)); // c aliases b
+  SigMap sm(*m);
+  EXPECT_EQ(sm(SigBit(c, 0)), sm(SigBit(a, 0)));
+  EXPECT_EQ(sm(SigBit(b, 0)), sm(SigBit(a, 0)));
+}
+
+TEST(SigMapTest, ConstantsWinAsRepresentatives) {
+  Design d;
+  Module* m = d.add_module("top");
+  Wire* a = m->add_wire("a", 1);
+  m->connect(SigSpec(a), SigSpec(State::S1));
+  SigMap sm(*m);
+  EXPECT_TRUE(sm(SigBit(a, 0)).is_const());
+  EXPECT_EQ(sm(SigBit(a, 0)).data, State::S1);
+}
+
+TEST(NetlistIndexTest, DriversReadersAndTopo) {
+  Design d;
+  Module* m = d.add_module("top");
+  Wire* a = m->add_wire("a", 2);
+  m->set_port_input(a);
+  const SigSpec n1 = m->Not(SigSpec(a));
+  const SigSpec n2 = m->Not(n1);
+  Wire* y = m->add_wire("y", 2);
+  m->set_port_output(y);
+  m->connect(SigSpec(y), n2);
+
+  NetlistIndex idx(*m);
+  Cell* first = idx.driver(n1[0]);
+  Cell* second = idx.driver(n2[0]);
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_NE(first, second);
+  EXPECT_EQ(idx.readers(n1[0]).size(), 1u);
+  EXPECT_EQ(idx.readers(n1[0])[0], second);
+  EXPECT_TRUE(idx.drives_output_port(n2[0]));
+  EXPECT_EQ(idx.fanout(n2[0]), 1); // output port counts as one
+
+  // Topological order puts first before second.
+  const auto& topo = idx.topo_order();
+  const auto p1 = std::find(topo.begin(), topo.end(), first);
+  const auto p2 = std::find(topo.begin(), topo.end(), second);
+  EXPECT_LT(p1, p2);
+}
+
+TEST(NetlistIndexTest, DffBreaksCombLoop) {
+  Design d;
+  Module* m = d.add_module("top");
+  Wire* clk = m->add_wire("clk", 1);
+  m->set_port_input(clk);
+  Wire* q = m->add_wire("q", 1);
+  const SigSpec n = m->Not(SigSpec(q));
+  m->add_dff(n, SigSpec(q), SigSpec(clk)); // q <= ~q : fine through a dff
+  EXPECT_NO_THROW(NetlistIndex idx(*m));
+}
+
+TEST(NetlistIndexTest, CombinationalCycleThrows) {
+  Design d;
+  Module* m = d.add_module("top");
+  Wire* a = m->add_wire("a", 1);
+  Wire* b = m->add_wire("b", 1);
+  Cell* c1 = m->add_cell(CellType::Not);
+  c1->set_port(Port::A, SigSpec(a));
+  c1->set_port(Port::Y, SigSpec(b));
+  c1->infer_widths();
+  Cell* c2 = m->add_cell(CellType::Not);
+  c2->set_port(Port::A, SigSpec(b));
+  c2->set_port(Port::Y, SigSpec(a));
+  c2->infer_widths();
+  EXPECT_THROW(NetlistIndex idx(*m), std::logic_error);
+}
+
+TEST(CloneDesign, DeepCopyIsIndependentAndIdentical) {
+  Design d;
+  Module* m = d.add_module("top");
+  Wire* a = m->add_wire("a", 4);
+  m->set_port_input(a);
+  Wire* y = m->add_wire("y", 4);
+  m->set_port_output(y);
+  m->connect(SigSpec(y), m->Not(SigSpec(a)));
+
+  auto copy = clone_design(d);
+  Module* cm = copy->top();
+  ASSERT_NE(cm, nullptr);
+  EXPECT_EQ(cm->cell_count(), m->cell_count());
+  EXPECT_EQ(cm->wires().size(), m->wires().size());
+  EXPECT_EQ(dump_module(*cm), dump_module(*m));
+  // Mutating the copy leaves the original intact.
+  cm->add_wire("extra", 1);
+  EXPECT_FALSE(m->has_wire("extra"));
+}
+
+TEST(Stats, CountsCellKinds) {
+  Design d;
+  Module* m = d.add_module("top");
+  Wire* a = m->add_wire("a", 2);
+  Wire* s = m->add_wire("s", 1);
+  m->Mux(SigSpec(a), SigSpec(a), SigSpec(s));
+  m->Eq(SigSpec(a), SigSpec(a));
+  const ModuleStats st = compute_stats(*m);
+  EXPECT_EQ(st.mux_cells, 1u);
+  EXPECT_EQ(st.eq_cells, 1u);
+  EXPECT_EQ(st.cells, 2u);
+}

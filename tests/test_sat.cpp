@@ -1,0 +1,185 @@
+// CDCL solver tests: unit cases plus a property sweep against brute force.
+#include "sat/solver.hpp"
+#include "util/hashing.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace smartly::sat;
+
+namespace {
+
+Lit pos(Var v) { return mk_lit(v, false); }
+Lit neg(Var v) { return mk_lit(v, true); }
+
+} // namespace
+
+TEST(Sat, EmptyProblemIsSat) {
+  Solver s;
+  EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+TEST(Sat, UnitPropagationFixesModel) {
+  Solver s;
+  const Var a = s.new_var(), b = s.new_var();
+  s.add_clause(pos(a));
+  s.add_clause(neg(a), pos(b));
+  ASSERT_EQ(s.solve(), Result::Sat);
+  EXPECT_TRUE(s.model_value(a));
+  EXPECT_TRUE(s.model_value(b));
+}
+
+TEST(Sat, TrivialConflict) {
+  Solver s;
+  const Var a = s.new_var();
+  s.add_clause(pos(a));
+  EXPECT_FALSE(s.add_clause(neg(a)));
+  EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(Sat, PigeonHole3Into2IsUnsat) {
+  // p(i,j): pigeon i in hole j. 3 pigeons, 2 holes.
+  Solver s;
+  Var p[3][2];
+  for (auto& row : p)
+    for (Var& v : row)
+      v = s.new_var();
+  for (int i = 0; i < 3; ++i)
+    s.add_clause(pos(p[i][0]), pos(p[i][1]));
+  for (int j = 0; j < 2; ++j)
+    for (int i1 = 0; i1 < 3; ++i1)
+      for (int i2 = i1 + 1; i2 < 3; ++i2)
+        s.add_clause(neg(p[i1][j]), neg(p[i2][j]));
+  EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(Sat, XorChainSatWithParityAssumption) {
+  // x0 ^ x1 ^ ... ^ x7 = 1 encoded pairwise with helper vars.
+  Solver s;
+  std::vector<Var> x;
+  for (int i = 0; i < 8; ++i)
+    x.push_back(s.new_var());
+  Var acc = x[0];
+  for (int i = 1; i < 8; ++i) {
+    const Var nxt = s.new_var();
+    // nxt = acc ^ x[i]
+    s.add_clause(neg(nxt), pos(acc), pos(x[i]));
+    s.add_clause(neg(nxt), neg(acc), neg(x[i]));
+    s.add_clause(pos(nxt), neg(acc), pos(x[i]));
+    s.add_clause(pos(nxt), pos(acc), neg(x[i]));
+    acc = nxt;
+  }
+  s.add_clause(pos(acc));
+  ASSERT_EQ(s.solve(), Result::Sat);
+  int parity = 0;
+  for (Var v : x)
+    parity ^= s.model_value(v) ? 1 : 0;
+  EXPECT_EQ(parity, 1);
+}
+
+TEST(Sat, AssumptionsAreIncremental) {
+  Solver s;
+  const Var a = s.new_var(), b = s.new_var();
+  s.add_clause(pos(a), pos(b));
+  EXPECT_EQ(s.solve({neg(a)}), Result::Sat);
+  EXPECT_TRUE(s.model_value(b));
+  EXPECT_EQ(s.solve({neg(a), neg(b)}), Result::Unsat);
+  // Solver state is reusable after an UNSAT-under-assumptions call.
+  EXPECT_EQ(s.solve({pos(a)}), Result::Sat);
+  EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+TEST(Sat, ConflictingAssumptionsAreUnsat) {
+  Solver s;
+  const Var a = s.new_var();
+  EXPECT_EQ(s.solve({pos(a), neg(a)}), Result::Unsat);
+  EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+TEST(Sat, DuplicateAndTautologicalClausesAreHarmless) {
+  Solver s;
+  const Var a = s.new_var(), b = s.new_var();
+  s.add_clause(pos(a), pos(a), neg(b));
+  s.add_clause(pos(a), neg(a)); // tautology: dropped
+  s.add_clause(pos(b));
+  ASSERT_EQ(s.solve(), Result::Sat);
+  EXPECT_TRUE(s.model_value(a));
+}
+
+// --- property sweep: random 3-CNF vs exhaustive enumeration ----------------
+
+namespace {
+
+struct RandomCnf {
+  int n_vars;
+  std::vector<std::array<int, 3>> clauses; // +v / -v encoding, 1-based
+
+  bool brute_force_sat() const {
+    for (uint32_t m = 0; m < (1u << n_vars); ++m) {
+      bool ok = true;
+      for (const auto& cl : clauses) {
+        bool sat = false;
+        for (int lit : cl) {
+          const int v = std::abs(lit) - 1;
+          const bool val = (m >> v) & 1;
+          if ((lit > 0) == val)
+            sat = true;
+        }
+        if (!sat) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok)
+        return true;
+    }
+    return false;
+  }
+};
+
+RandomCnf make_cnf(uint64_t seed) {
+  smartly::Rng rng(seed);
+  RandomCnf cnf;
+  cnf.n_vars = static_cast<int>(rng.range(3, 10));
+  const int n_clauses = static_cast<int>(rng.range(cnf.n_vars, cnf.n_vars * 5));
+  for (int i = 0; i < n_clauses; ++i) {
+    std::array<int, 3> cl;
+    for (int& lit : cl) {
+      const int v = static_cast<int>(rng.range(1, cnf.n_vars));
+      lit = rng.chance(0.5) ? v : -v;
+    }
+    cnf.clauses.push_back(cl);
+  }
+  return cnf;
+}
+
+} // namespace
+
+class SatRandom : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SatRandom, AgreesWithBruteForce) {
+  const RandomCnf cnf = make_cnf(GetParam());
+  Solver s;
+  for (int i = 0; i < cnf.n_vars; ++i)
+    s.new_var();
+  bool consistent = true;
+  for (const auto& cl : cnf.clauses)
+    consistent =
+        s.add_clause(mk_lit(std::abs(cl[0]) - 1, cl[0] < 0),
+                     mk_lit(std::abs(cl[1]) - 1, cl[1] < 0),
+                     mk_lit(std::abs(cl[2]) - 1, cl[2] < 0)) &&
+        consistent;
+  const Result r = consistent ? s.solve() : Result::Unsat;
+  EXPECT_EQ(r == Result::Sat, cnf.brute_force_sat());
+  if (r == Result::Sat) {
+    // The model must actually satisfy every clause.
+    for (const auto& cl : cnf.clauses) {
+      bool sat = false;
+      for (int lit : cl)
+        if (s.model_value(std::abs(lit) - 1) == (lit > 0))
+          sat = true;
+      EXPECT_TRUE(sat);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatRandom, ::testing::Range<uint64_t>(1, 61));

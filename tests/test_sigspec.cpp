@@ -1,0 +1,95 @@
+#include "rtlil/module.hpp"
+#include "rtlil/sigspec.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace smartly::rtlil;
+
+namespace {
+struct SigSpecTest : ::testing::Test {
+  Design design;
+  Module* m = design.add_module("t");
+  Wire* a = m->add_wire("a", 4);
+  Wire* b = m->add_wire("b", 2);
+};
+} // namespace
+
+TEST_F(SigSpecTest, WholeWireSpansAllBits) {
+  const SigSpec s(a);
+  ASSERT_EQ(s.size(), 4);
+  EXPECT_TRUE(s.is_wire());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(s[i].wire, a);
+    EXPECT_EQ(s[i].offset, i);
+  }
+}
+
+TEST_F(SigSpecTest, SliceConstructorChecksBounds) {
+  EXPECT_NO_THROW(SigSpec(a, 1, 3));
+  EXPECT_THROW(SigSpec(a, 2, 3), std::out_of_range);
+  EXPECT_THROW(SigSpec(a, -1, 2), std::out_of_range);
+}
+
+TEST_F(SigSpecTest, AppendAndExtract) {
+  SigSpec s(a);
+  s.append(SigSpec(b));
+  ASSERT_EQ(s.size(), 6);
+  const SigSpec mid = s.extract(3, 2);
+  EXPECT_EQ(mid[0], SigBit(a, 3));
+  EXPECT_EQ(mid[1], SigBit(b, 0));
+  EXPECT_THROW(s.extract(5, 2), std::out_of_range);
+}
+
+TEST_F(SigSpecTest, ConstConversionRoundTrip) {
+  const SigSpec s(Const(0b1010, 4));
+  EXPECT_TRUE(s.is_fully_const());
+  EXPECT_TRUE(s.is_fully_def());
+  EXPECT_EQ(s.as_const().as_uint(), 0b1010u);
+  EXPECT_FALSE(SigSpec(a).is_fully_const());
+  EXPECT_THROW(SigSpec(a).as_const(), std::logic_error);
+}
+
+TEST_F(SigSpecTest, MixedSpecIsNeitherWireNorConst) {
+  SigSpec s(SigBit(a, 0));
+  s.append(SigBit(State::S1));
+  EXPECT_FALSE(s.is_wire());
+  EXPECT_FALSE(s.is_fully_const());
+}
+
+TEST_F(SigSpecTest, ExtendedZeroAndSign) {
+  SigSpec s(b); // 2 bits
+  const SigSpec z = s.extended(4, false);
+  EXPECT_EQ(z[2], SigBit(State::S0));
+  const SigSpec sg = s.extended(4, true);
+  EXPECT_EQ(sg[2], SigBit(b, 1));
+  EXPECT_EQ(sg[3], SigBit(b, 1));
+}
+
+TEST_F(SigSpecTest, ReplaceBit) {
+  SigSpec s(a);
+  s.replace_bit(SigBit(a, 2), SigBit(State::S1));
+  EXPECT_EQ(s[2], SigBit(State::S1));
+  EXPECT_EQ(s[1], SigBit(a, 1));
+}
+
+TEST_F(SigSpecTest, HashDistinguishesConstsFromWires) {
+  const SigSpec c0(Const(0, 1));
+  const SigSpec c1(Const(1, 1));
+  EXPECT_NE(c0.hash(), c1.hash());
+  EXPECT_NE(SigSpec(a).hash(), SigSpec(b).hash());
+}
+
+TEST_F(SigSpecTest, RepeatBuildsFill) {
+  const SigSpec f = sig_repeat(SigBit(State::S1), 3);
+  EXPECT_EQ(f.size(), 3);
+  EXPECT_TRUE(f.is_fully_const());
+  EXPECT_EQ(f.as_const().as_uint(), 7u);
+}
+
+TEST_F(SigSpecTest, BitOrderingOperatorIsStrictWeak) {
+  const SigBit x(a, 0), y(a, 1), c(State::S0);
+  EXPECT_TRUE(x < y || y < x);
+  EXPECT_FALSE(x < x);
+  // const vs wire ordering is consistent both ways
+  EXPECT_NE(x < c, c < x);
+}
