@@ -1,0 +1,242 @@
+// Oracle engine benchmark: from-scratch InferenceOracle vs IncrementalOracle
+// over the public + industrial circuits, emitting the BENCH_oracle.json
+// schema (per-circuit speedup, cache hit rates, pattern recycling, and a
+// decisions_match differential).
+//
+//   ./bench_oracle [--smoke] [--json]
+//
+//   --smoke   small circuit subset (<5 s) — the tier-2 CTest target. Exits
+//             nonzero if any circuit's incremental decisions diverge from the
+//             baseline's, or if the caches never hit (a dead cache is a
+//             regression even when decisions still match).
+//   --json    print the JSON document to stdout (human table otherwise).
+//
+// Both arms run the same walk (opt::optimize_muxtrees) on clones of the same
+// pre-optimized design; `*_seconds` is time spent inside oracle decide()
+// calls, `*_pass_seconds` the whole walk. Decisions are traced as
+// (control-bit name, verdict) hashes and compared element-wise, so
+// decisions_match certifies bit-identical verdicts in query order.
+#include "core/incremental_oracle.hpp"
+#include "core/mux_restructure.hpp"
+#include "core/sat_redundancy.hpp"
+#include "benchgen/industrial.hpp"
+#include "benchgen/public_bench.hpp"
+#include "opt/opt_clean.hpp"
+#include "opt/opt_expr.hpp"
+#include "opt/pipeline.hpp"
+#include "verilog/elaborate.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace smartly;
+
+namespace {
+
+/// Forwards to an inner oracle, timing decide() and recording a decision
+/// trace keyed on stable names (wire name + offset), so traces from two
+/// design clones are comparable.
+class RecordingOracle final : public opt::MuxtreeOracle {
+public:
+  explicit RecordingOracle(opt::MuxtreeOracle& inner) : inner_(inner) {}
+
+  void begin_module(rtlil::Module& module) override { inner_.begin_module(module); }
+
+  opt::CtrlDecision decide(rtlil::SigBit ctrl, const opt::KnownMap& known) override {
+    const auto t0 = std::chrono::steady_clock::now();
+    const opt::CtrlDecision d = inner_.decide(ctrl, known);
+    seconds += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    uint64_t h = ctrl.is_wire()
+                     ? hash_combine(std::hash<std::string>{}(ctrl.wire->name()),
+                                    static_cast<uint64_t>(ctrl.offset))
+                     : hash_mix(static_cast<uint64_t>(ctrl.data));
+    trace.push_back(hash_combine(h, static_cast<uint64_t>(d)));
+    return d;
+  }
+
+  void notify_cell_mutated(rtlil::Cell* cell) override { inner_.notify_cell_mutated(cell); }
+  void notify_cell_removed(rtlil::Cell* cell) override { inner_.notify_cell_removed(cell); }
+
+  double seconds = 0;
+  std::vector<uint64_t> trace;
+
+private:
+  opt::MuxtreeOracle& inner_;
+};
+
+struct Row {
+  std::string name;
+  size_t queries = 0;
+  double baseline_seconds = 0, incremental_seconds = 0;
+  double baseline_pass_seconds = 0, incremental_pass_seconds = 0;
+  core::SatRedundancyStats base_stats;
+  core::IncrementalOracleStats incr_stats;
+  bool decisions_match = false;
+};
+
+/// Elaborate + shared pre-pipeline (coarse opts and §III restructuring, as in
+/// smartly_flow) so the oracle sees realistic muxtrees, then hand back the
+/// design ready for the muxtree walk.
+std::unique_ptr<rtlil::Design> prepare(const std::string& verilog) {
+  auto design = verilog::read_verilog(verilog);
+  rtlil::Module& top = *design->top();
+  opt::coarse_opt(top);
+  core::mux_restructure(top, {});
+  opt::opt_expr(top);
+  opt::opt_clean(top);
+  return design;
+}
+
+Row run_circuit(const benchgen::BenchCircuit& circuit) {
+  Row row;
+  row.name = circuit.name;
+  const auto prepared = prepare(circuit.verilog);
+
+  const auto baseline_design = rtlil::clone_design(*prepared);
+  core::InferenceOracle baseline_oracle({});
+  RecordingOracle baseline(baseline_oracle);
+  auto t0 = std::chrono::steady_clock::now();
+  opt::optimize_muxtrees(*baseline_design->top(), baseline);
+  row.baseline_pass_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  const auto incremental_design = rtlil::clone_design(*prepared);
+  core::IncrementalOracle incremental_oracle;
+  RecordingOracle incremental(incremental_oracle);
+  t0 = std::chrono::steady_clock::now();
+  opt::optimize_muxtrees(*incremental_design->top(), incremental);
+  row.incremental_pass_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  row.queries = baseline.trace.size();
+  row.baseline_seconds = baseline.seconds;
+  row.incremental_seconds = incremental.seconds;
+  row.base_stats = baseline_oracle.stats();
+  row.incr_stats = incremental_oracle.stats();
+  row.decisions_match = baseline.trace == incremental.trace;
+  if (!row.decisions_match) {
+    size_t i = 0;
+    const size_t n = std::min(baseline.trace.size(), incremental.trace.size());
+    while (i < n && baseline.trace[i] == incremental.trace[i])
+      ++i;
+    std::fprintf(stderr,
+                 "DECISION MISMATCH on %s: query %zu of %zu/%zu (baseline/incremental)\n",
+                 row.name.c_str(), i, baseline.trace.size(), incremental.trace.size());
+  }
+  return row;
+}
+
+double ratio(double num, double den) { return den > 0 ? num / den : 0.0; }
+
+void print_json_row(const Row& r, bool last) {
+  const auto& is = r.incr_stats;
+  const double cone_total = double(is.cone_cache_hits + is.cone_cache_misses);
+  std::printf(
+      "    {\"name\": \"%s\", \"queries\": %zu, \"baseline_seconds\": %.4f, "
+      "\"incremental_seconds\": %.4f, \"speedup\": %.3f, \"baseline_pass_seconds\": %.4f, "
+      "\"incremental_pass_seconds\": %.4f, \"queries_per_sec_baseline\": %.1f, "
+      "\"queries_per_sec_incremental\": %.1f, \"sim_filter_kill_rate\": %.4f, "
+      "\"cone_cache_hit_rate\": %.4f, \"subgraph_cache_hit_rate\": %.4f, "
+      "\"sim_filter_kills\": %zu, \"sim_filter_half\": %zu, \"sat_calls_baseline\": %zu, "
+      "\"sat_calls_incremental\": %zu, \"solver_conflicts_baseline\": %llu, "
+      "\"solver_conflicts_incremental\": %llu, \"patterns_recycled\": %zu, "
+      "\"cells_remapped\": %zu, \"engine_resets\": %zu, \"dropped_constraints\": %zu, "
+      "\"decisions_match\": %s}%s\n",
+      r.name.c_str(), r.queries, r.baseline_seconds, r.incremental_seconds,
+      ratio(r.baseline_seconds, r.incremental_seconds), r.baseline_pass_seconds,
+      r.incremental_pass_seconds, ratio(double(r.queries), r.baseline_seconds),
+      ratio(double(r.queries), r.incremental_seconds),
+      ratio(double(is.sim_filter_kills), double(is.queries)),
+      ratio(double(is.cone_cache_hits), cone_total),
+      ratio(double(is.decision_cache_hits), double(is.queries)), is.sim_filter_kills,
+      is.sim_filter_half, r.base_stats.sat_calls, is.sat_calls,
+      static_cast<unsigned long long>(r.base_stats.solver_conflicts),
+      static_cast<unsigned long long>(is.solver_conflicts), is.patterns_recycled,
+      is.cells_remapped, is.engine_resets, is.dropped_constraints,
+      r.decisions_match ? "true" : "false", last ? "" : ",");
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false, json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0)
+      smoke = true;
+    else if (std::strcmp(argv[i], "--json") == 0)
+      json = true;
+  }
+
+  std::vector<benchgen::BenchCircuit> circuits;
+  if (smoke) {
+    // Small circuits only: representative of all three cache paths but
+    // comfortably under the 5 s smoke budget.
+    for (const auto& c : benchgen::public_suite())
+      if (c.name == "pci_bridge32" || c.name == "mem_ctrl" || c.name == "tv80" ||
+          c.name == "ac97_ctrl")
+        circuits.push_back(c);
+  } else {
+    circuits = benchgen::public_suite();
+    const auto industrial = benchgen::industrial_suite();
+    circuits.push_back(industrial[0]); // industrial_tp0
+    circuits.push_back(industrial[1]); // industrial_tp1
+  }
+
+  std::vector<Row> rows;
+  rows.reserve(circuits.size());
+  for (const auto& c : circuits) {
+    rows.push_back(run_circuit(c));
+    if (!json) {
+      const Row& r = rows.back();
+      std::printf("%-16s %6zu queries  base %.4fs  incr %.4fs  speedup %5.2fx  "
+                  "cone %4.0f%%  exact %4.0f%%  match %s\n",
+                  r.name.c_str(), r.queries, r.baseline_seconds, r.incremental_seconds,
+                  ratio(r.baseline_seconds, r.incremental_seconds),
+                  100.0 * ratio(double(r.incr_stats.cone_cache_hits),
+                                double(r.incr_stats.cone_cache_hits +
+                                       r.incr_stats.cone_cache_misses)),
+                  100.0 * ratio(double(r.incr_stats.decision_cache_hits),
+                                double(r.incr_stats.queries)),
+                  r.decisions_match ? "yes" : "NO");
+    }
+  }
+
+  size_t total_queries = 0;
+  double total_base = 0, total_incr = 0;
+  bool all_match = true;
+  size_t total_cache_hits = 0;
+  for (const Row& r : rows) {
+    total_queries += r.queries;
+    total_base += r.baseline_seconds;
+    total_incr += r.incremental_seconds;
+    all_match = all_match && r.decisions_match;
+    total_cache_hits += r.incr_stats.cone_cache_hits + r.incr_stats.decision_cache_hits;
+  }
+
+  if (json) {
+    std::printf("{\n  \"bench\": \"oracle\",\n  \"metric\": \"oracle_seconds\",\n"
+                "  \"circuits\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i)
+      print_json_row(rows[i], i + 1 == rows.size());
+    std::printf("  ],\n  \"total\": {\"queries\": %zu, \"baseline_seconds\": %.4f, "
+                "\"incremental_seconds\": %.4f, \"speedup\": %.3f}\n}\n",
+                total_queries, total_base, total_incr, ratio(total_base, total_incr));
+  } else {
+    std::printf("\nTotal: %zu queries, baseline %.4fs, incremental %.4fs, speedup %.2fx "
+                "(oracle trajectory: 2.7x)\n",
+                total_queries, total_base, total_incr, ratio(total_base, total_incr));
+  }
+
+  if (!all_match) {
+    std::fprintf(stderr, "FAIL: incremental oracle decisions diverge from baseline\n");
+    return 1;
+  }
+  if (total_cache_hits == 0) {
+    std::fprintf(stderr, "FAIL: caches never hit — incrementality regressed\n");
+    return 1;
+  }
+  return 0;
+}

@@ -107,15 +107,21 @@ size_t Aig::num_ands_reachable() const {
 }
 
 std::vector<uint64_t> Aig::simulate(const std::vector<uint64_t>& input_words) const {
-  std::vector<uint64_t> words(nodes_.size(), 0);
+  std::vector<uint64_t> words;
+  simulate_into(input_words, words);
+  return words;
+}
+
+void Aig::simulate_into(const std::vector<uint64_t>& input_words,
+                        std::vector<uint64_t>& node_words) const {
+  node_words.assign(nodes_.size(), 0);
   for (size_t i = 0; i < inputs_.size(); ++i)
-    words[inputs_[i]] = i < input_words.size() ? input_words[i] : 0;
+    node_words[inputs_[i]] = i < input_words.size() ? input_words[i] : 0;
   for (uint32_t n = 1; n < nodes_.size(); ++n) {
     if (is_input(n))
       continue;
-    words[n] = sim_lit(words, nodes_[n].fanin0) & sim_lit(words, nodes_[n].fanin1);
+    node_words[n] = sim_lit(node_words, nodes_[n].fanin0) & sim_lit(node_words, nodes_[n].fanin1);
   }
-  return words;
 }
 
 } // namespace smartly::aig

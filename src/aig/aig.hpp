@@ -80,6 +80,12 @@ public:
   /// evaluate a literal with `sim_lit`.
   std::vector<uint64_t> simulate(const std::vector<uint64_t>& input_words) const;
 
+  /// Same, writing into a caller-owned buffer (resized to num_nodes). Query
+  /// loops that simulate many word-batches reuse one buffer instead of
+  /// allocating a node-sized vector per batch.
+  void simulate_into(const std::vector<uint64_t>& input_words,
+                     std::vector<uint64_t>& node_words) const;
+
   static uint64_t sim_lit(const std::vector<uint64_t>& node_words, Lit l) {
     const uint64_t w = node_words[lit_node(l)];
     return lit_compl(l) ? ~w : w;

@@ -1,0 +1,198 @@
+// Incremental oracle engine (§II) — amortizes work across muxtree queries.
+//
+// The from-scratch InferenceOracle re-extracts the sub-graph, re-runs
+// inference from an empty lattice, re-encodes to AIG/CNF, and constructs a
+// fresh CDCL solver on every decide() call, even though consecutive queries
+// share most of their logic cone. This engine keeps the *decision pipeline*
+// bit-identical (syntactic → inference → simulation → SAT, same options,
+// same verdicts) but reuses everything that is a pure function of inputs the
+// caches can key on:
+//
+//   * decision cache  — exact (target, known-assignment) repeats, served
+//     without any re-derivation. Flushed on every walker mutation
+//     notification and at sweep boundaries following a mutating sweep, so a
+//     hit is only possible when the module provably did not change between
+//     the two queries.
+//   * cone cache      — AIG encodings keyed by the sub-graph's structural
+//     fingerprint (Subgraph::fingerprint) plus the query roots. The AIG is a
+//     pure function of cell contents + roots, so a fingerprint hit is sound
+//     by construction; a mutated cell changes its content hash and simply
+//     stops matching. Walker notifications additionally evict entries
+//     eagerly (bookkeeping + memory hygiene).
+//   * persistent SAT  — one CDCL solver per module. Each cone is encoded
+//     once as an activation-literal clause group (see CnfEncoder) and
+//     queried under assumptions; invalidated groups are retired with a unit
+//     ¬activation clause (`dropped_constraints`), and the solver itself is
+//     rebuilt when variable garbage accumulates (`engine_resets`).
+//   * pattern store   — satisfying assignments (sim witnesses and SAT
+//     models) are kept as module-bit valuations and replayed first on later
+//     queries; a verified both-polarity replay proves "not forced" without
+//     enumeration or SAT (see sim::exhaustive_forced_ex).
+//
+// Correctness bar: decide() must return bit-identical CtrlDecisions to
+// InferenceOracle on every query, including after walker mutations —
+// enforced by tests/test_incremental_oracle.cpp and bench_oracle's
+// decisions_match differential. The one documented exception: queries
+// sitting exactly at the SAT conflict-budget edge, where the persistent
+// solver's learned clauses (or a witness-skipped call's budget headroom) can
+// resolve a query the baseline gave up on as Unknown.
+#pragma once
+
+#include "aig/aigmap.hpp"
+#include "core/inference.hpp"
+#include "core/sat_redundancy.hpp"
+#include "core/subgraph.hpp"
+#include "opt/muxtree_walker.hpp"
+#include "sat/solver.hpp"
+#include "util/hashing.hpp"
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace smartly::core {
+
+struct IncrementalOracleOptions {
+  SatRedundancyOptions base;        ///< same decision knobs as InferenceOracle
+  size_t cone_cache_max = 4096;     ///< cone entries before a wholesale reset
+  size_t decision_cache_max = 131072; ///< cached decisions before a wholesale flush
+  size_t pattern_store_max = 64;    ///< recycled patterns kept (FIFO)
+  size_t replay_max = 64;           ///< candidates replayed per query (one sim word)
+  int solver_var_budget = 200000;   ///< persistent solver rebuilt above this
+};
+
+struct IncrementalOracleStats {
+  size_t queries = 0;
+  size_t decided_syntactic = 0;
+  size_t decided_inference = 0;
+  size_t decided_sim = 0;
+  size_t decided_sat = 0;
+  size_t dead_paths = 0;
+  size_t skipped_too_large = 0;
+  size_t decision_cache_hits = 0; ///< exact-repeat queries ("subgraph cache")
+  size_t cone_cache_hits = 0;     ///< AIG encodings reused
+  size_t cone_cache_misses = 0;
+  size_t sim_filter_kills = 0;    ///< queries settled at the simulation stage
+  size_t sim_filter_half = 0;     ///< early-exited sweeps (both polarities seen)
+  size_t sat_calls = 0;           ///< individual solve() invocations
+  uint64_t solver_conflicts = 0;
+  size_t sat_calls_skipped = 0;   ///< solve() calls a replayed witness made redundant
+  size_t patterns_recycled = 0;   ///< replayed candidates consistent with constraints
+  size_t cells_remapped = 0;      ///< walker mutation/removal notifications
+  size_t engine_resets = 0;       ///< persistent solver rebuilds
+  size_t dropped_constraints = 0; ///< clause groups retired via ¬activation
+};
+
+class IncrementalOracle final : public opt::MuxtreeOracle {
+public:
+  explicit IncrementalOracle(const IncrementalOracleOptions& options = {});
+  ~IncrementalOracle() override;
+
+  void begin_module(rtlil::Module& module) override;
+  opt::CtrlDecision decide(rtlil::SigBit ctrl, const opt::KnownMap& known) override;
+  void notify_cell_mutated(rtlil::Cell* cell) override;
+  void notify_cell_removed(rtlil::Cell* cell) override;
+
+  /// Drop every cache and the persistent solver. The oracle only observes
+  /// mutations the walker notifies it about; if anything else rewrites the
+  /// module between optimize_muxtrees runs (opt_expr, opt_clean, ...), call
+  /// this before reusing the oracle on that module — begin_module alone
+  /// cannot tell an externally-mutated module from an unchanged one.
+  void reset() { full_reset(); }
+
+  const IncrementalOracleStats& stats() const noexcept { return stats_; }
+
+private:
+  struct QueryKey {
+    rtlil::SigBit target;
+    std::vector<std::pair<rtlil::SigBit, bool>> known; ///< sorted by SigBit
+
+    bool operator==(const QueryKey& o) const noexcept {
+      return target == o.target && known == o.known;
+    }
+  };
+  struct QueryKeyHasher {
+    size_t operator()(const QueryKey& k) const noexcept {
+      uint64_t h = k.target.hash();
+      for (const auto& [bit, value] : k.known)
+        h = hash_combine(h, bit.hash() * 2 + (value ? 1 : 0));
+      return static_cast<size_t>(h);
+    }
+  };
+
+  /// One cached cone: the AIG encoding plus (lazily) its clause group in the
+  /// persistent solver, generation-tagged so a solver rebuild invalidates it.
+  struct ConeEntry {
+    aig::AigMap cone;
+    std::vector<rtlil::SigBit> input_bits; ///< AIG input index -> module bit
+    std::vector<rtlil::Cell*> cells;       ///< for eager eviction bookkeeping
+    bool encoded = false;
+    uint64_t generation = 0;
+    sat::Lit activation{};
+    std::vector<sat::Var> vars; ///< AIG node -> solver var (snapshot)
+  };
+
+  ConeEntry& cone_for(const Subgraph& sg, rtlil::SigBit ctrl,
+                      const std::vector<rtlil::SigBit>& known_bits);
+  void ensure_encoded(ConeEntry& entry);
+  void build_replay_candidates(const ConeEntry& entry);
+  void remember_pattern(const ConeEntry& entry, const std::vector<uint8_t>& input_values);
+  void invalidate_cell(rtlil::Cell* cell);
+  void invalidate_decision(uint64_t id);
+  void reset_solver();
+  void full_reset();
+  opt::CtrlDecision finish(const QueryKey& key, const Subgraph& sg,
+                           opt::CtrlDecision decision);
+
+  IncrementalOracleOptions options_;
+  IncrementalOracleStats stats_;
+
+  rtlil::Module* module_ = nullptr;
+  std::unique_ptr<rtlil::NetlistIndex> index_;
+  SubgraphScratch subgraph_scratch_;
+  InferenceEngine engine_;
+  std::vector<uint64_t> sim_scratch_;
+
+  struct DecisionEntry {
+    opt::CtrlDecision decision;
+    uint64_t id; ///< handle the support indexes refer to
+  };
+  std::unordered_map<QueryKey, DecisionEntry, QueryKeyHasher> decision_cache_;
+  /// id -> key of the live cache entry (pointers into decision_cache_ nodes,
+  /// which unordered_map keeps stable until erased). The support indexes
+  /// store ids, not key copies — one key allocation per cached decision
+  /// instead of one per ball cell and boundary bit — and an id that has
+  /// already been invalidated through one index simply misses here when the
+  /// other index replays it.
+  std::unordered_map<uint64_t, const QueryKey*> live_decisions_;
+  uint64_t next_decision_id_ = 0;
+  /// Inverted support index: ball cell -> decisions depending on it. Walker
+  /// mutation notifications erase exactly the dependent entries.
+  std::unordered_map<const rtlil::Cell*, std::vector<uint64_t>> cell_to_queries_;
+  /// Second support index: boundary bit -> decisions. A decision can depend
+  /// on a bit whose driver lies *outside* its extraction ball (the bit is a
+  /// free input of the cone); when a removed mux's output class merges with
+  /// other logic at sweep end, such decisions go stale without any ball cell
+  /// having changed. Keyed on the sweep-time canonical bits.
+  std::unordered_map<rtlil::SigBit, std::vector<uint64_t>> bit_to_queries_;
+  /// Cells the walker scheduled for removal: they stay in the module until
+  /// sweep end, so decisions cached after the notification may still depend
+  /// on them — re-invalidated at the next begin_module.
+  std::vector<rtlil::Cell*> pending_removed_;
+  /// Canonical output bits of the pending-removed cells, recorded while the
+  /// sweep's sigmap is still alive; drives the bit_to_queries_ invalidation.
+  std::vector<rtlil::SigBit> pending_removed_bits_;
+
+  std::unordered_map<Hash128, ConeEntry, Hash128Hasher> cone_cache_;
+  std::unordered_map<const rtlil::Cell*, std::vector<Hash128>> cell_to_cones_;
+
+  std::unique_ptr<sat::Solver> solver_;
+  uint64_t solver_generation_ = 0;
+
+  std::deque<std::unordered_map<rtlil::SigBit, bool>> patterns_;
+  std::vector<std::vector<uint8_t>> replay_; ///< per-query candidate buffer
+};
+
+} // namespace smartly::core

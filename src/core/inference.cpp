@@ -11,15 +11,23 @@ using rtlil::SigBit;
 using rtlil::SigSpec;
 using rtlil::State;
 
-InferenceEngine::InferenceEngine(const std::vector<Cell*>& cells, const rtlil::SigMap& sigmap)
-    : sigmap_(sigmap), cells_(cells) {
+void InferenceEngine::reset(const std::vector<Cell*>& cells, const rtlil::SigMap& sigmap) {
+  // clear() keeps each container's buckets/capacity — the whole point of
+  // reusing the engine across queries.
+  sigmap_ = &sigmap;
+  cells_ = cells;
+  touching_.clear();
+  values_.clear();
+  worklist_.clear();
+  in_worklist_.clear();
+  contradiction_ = false;
   for (Cell* c : cells_) {
     for (int pi = 0; pi < rtlil::kPortCount; ++pi) {
       const Port p = static_cast<Port>(pi);
       if (!c->has_port(p))
         continue;
       for (const SigBit& raw : c->port(p)) {
-        const SigBit bit = sigmap_(raw);
+        const SigBit bit = (*sigmap_)(raw);
         if (bit.is_wire())
           touching_[bit].push_back(c);
       }
@@ -28,7 +36,7 @@ InferenceEngine::InferenceEngine(const std::vector<Cell*>& cells, const rtlil::S
 }
 
 std::optional<bool> InferenceEngine::bit_value(const SigBit& raw) const {
-  const SigBit bit = sigmap_(raw);
+  const SigBit bit = (*sigmap_)(raw);
   if (bit.is_const()) {
     if (bit.data == State::S0)
       return false;
@@ -45,7 +53,7 @@ std::optional<bool> InferenceEngine::bit_value(const SigBit& raw) const {
 std::optional<bool> InferenceEngine::value(SigBit bit) const { return bit_value(bit); }
 
 bool InferenceEngine::set_value(SigBit raw, bool v) {
-  const SigBit bit = sigmap_(raw);
+  const SigBit bit = (*sigmap_)(raw);
   if (bit.is_const()) {
     const bool cv = bit.data == State::S1;
     if (!rtlil::state_is_def(bit.data))

@@ -24,8 +24,19 @@ namespace smartly::core {
 
 class InferenceEngine {
 public:
+  /// An empty engine; call reset() before use.
+  InferenceEngine() = default;
+
   /// `cells` is the sub-graph; `sigmap` must be the module's canonicalizer.
-  InferenceEngine(const std::vector<rtlil::Cell*>& cells, const rtlil::SigMap& sigmap);
+  InferenceEngine(const std::vector<rtlil::Cell*>& cells, const rtlil::SigMap& sigmap) {
+    reset(cells, sigmap);
+  }
+
+  /// Re-target the engine at a new sub-graph, clearing all derived state
+  /// (`values_`, `worklist_`, `touching_`) without releasing the hash-table
+  /// allocations. Lets an oracle keep one engine per module instead of
+  /// constructing one per query — construction cost is pure malloc traffic.
+  void reset(const std::vector<rtlil::Cell*>& cells, const rtlil::SigMap& sigmap);
 
   /// Seed a known value (canonical bit). Returns false on contradiction.
   bool assume(rtlil::SigBit bit, bool value);
@@ -45,7 +56,7 @@ private:
 
   std::optional<bool> bit_value(const rtlil::SigBit& raw) const;
 
-  const rtlil::SigMap& sigmap_;
+  const rtlil::SigMap* sigmap_ = nullptr;
   std::vector<rtlil::Cell*> cells_;
   std::unordered_map<rtlil::SigBit, std::vector<rtlil::Cell*>> touching_; ///< bit -> cells
   std::unordered_map<rtlil::SigBit, bool> values_;

@@ -91,9 +91,14 @@ CtrlDecision InferenceOracle::decide(SigBit ctrl, const KnownMap& known) {
   // Stage 4a: exhaustive simulation ("for a smaller number of inputs,
   // simulation is more efficient").
   if (n_inputs <= options_.sim_max_inputs) {
-    const sim::Forced f =
-        sim::exhaustive_forced(cone.aig, constraints, *target_lit, options_.sim_max_inputs);
-    switch (f) {
+    sim::SimOptions sim_opts;
+    sim_opts.max_free_inputs = options_.sim_max_inputs;
+    const sim::SimResult sr =
+        sim::exhaustive_forced_ex(cone.aig, constraints, *target_lit, sim_opts);
+    ++stats_.sim_filter_kills;
+    if (sr.early_exit)
+      ++stats_.sim_filter_half;
+    switch (sr.forced) {
     case sim::Forced::Zero: ++stats_.decided_sim; return CtrlDecision::Zero;
     case sim::Forced::One: ++stats_.decided_sim; return CtrlDecision::One;
     case sim::Forced::Contradiction: ++stats_.dead_paths; return CtrlDecision::DeadPath;
@@ -118,10 +123,18 @@ CtrlDecision InferenceOracle::decide(SigBit ctrl, const KnownMap& known) {
   for (const auto& [l, v] : constraints)
     assumptions.push_back(v ? enc.lit(l) : ~enc.lit(l));
 
+  // Keep this decision tree in lockstep with IncrementalOracle::decide
+  // (incremental_oracle.cpp): the incremental oracle's correctness bar is
+  // returning bit-identical verdicts to this code on every query.
+  uint64_t conflicts_seen = 0;
   auto solve_with = [&](bool target_value) {
+    ++stats_.sat_calls;
     std::vector<sat::Lit> a = assumptions;
     a.push_back(target_value ? enc.lit(*target_lit) : ~enc.lit(*target_lit));
-    return solver.solve(a);
+    const sat::Result r = solver.solve(a);
+    stats_.solver_conflicts += solver.stats().conflicts - conflicts_seen;
+    conflicts_seen = solver.stats().conflicts;
+    return r;
   };
 
   const sat::Result r1 = solve_with(true);

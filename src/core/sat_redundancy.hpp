@@ -34,6 +34,10 @@ struct SatRedundancyStats {
   size_t skipped_too_large = 0;
   size_t gates_seen = 0;     ///< sub-graph gates before the relevance filter
   size_t gates_kept = 0;     ///< after the filter (paper: ~20% kept)
+  size_t sim_filter_kills = 0; ///< queries settled at the simulation stage
+  size_t sim_filter_half = 0;  ///< sim sweeps that early-exited (both polarities seen)
+  size_t sat_calls = 0;        ///< individual solve() invocations
+  uint64_t solver_conflicts = 0;
   opt::MuxtreeStats walker;  ///< removal statistics from the shared walker
 };
 

@@ -2,8 +2,7 @@
 
 #include "util/log.hpp"
 
-#include <deque>
-#include <unordered_map>
+#include <algorithm>
 
 namespace smartly::core {
 
@@ -27,31 +26,64 @@ void adjacent_cells(const NetlistIndex& index, const SigBit& bit, std::vector<Ce
 
 } // namespace
 
-Subgraph extract_subgraph(const rtlil::Module& module, const NetlistIndex& index,
-                          SigBit target, const std::vector<SigBit>& known,
-                          const SubgraphOptions& options) {
+uint64_t cell_content_hash(const rtlil::Cell& cell, const rtlil::SigMap& sigmap) {
+  uint64_t h = hash_mix(0x5eedc0de ^ static_cast<uint64_t>(cell.type()));
+  const auto& p = cell.params();
+  h = hash_combine(h, static_cast<uint64_t>(p.a_width));
+  h = hash_combine(h, static_cast<uint64_t>(p.b_width));
+  h = hash_combine(h, static_cast<uint64_t>(p.y_width));
+  h = hash_combine(h, static_cast<uint64_t>(p.width));
+  h = hash_combine(h, static_cast<uint64_t>(p.s_width));
+  h = hash_combine(h, static_cast<uint64_t>(p.a_signed) * 2 + static_cast<uint64_t>(p.b_signed));
+  for (int pi = 0; pi < rtlil::kPortCount; ++pi) {
+    const Port port = static_cast<Port>(pi);
+    if (!cell.has_port(port))
+      continue;
+    h = hash_combine(h, 0x1000u + static_cast<uint64_t>(pi));
+    for (const SigBit& raw : cell.port(port))
+      h = hash_combine(h, sigmap(raw).hash());
+  }
+  return h;
+}
+
+Hash128 Subgraph::fingerprint(const rtlil::SigMap& sigmap) const {
+  Hash128 fp = hash128_combine({}, cells.size());
+  for (const Cell* c : cells)
+    hash128_mix_unordered(fp, cell_content_hash(*c, sigmap));
+  return fp;
+}
+
+Subgraph SubgraphScratch::extract(const rtlil::Module& module, const NetlistIndex& index,
+                                  SigBit target, const std::vector<SigBit>& known,
+                                  const SubgraphOptions& options) {
   (void)module;
   Subgraph out;
 
+  depth_.clear();
+  queue_.clear();
+  seeds_.clear();
+  kept_.clear();
+  bitq_.clear();
+  seen_bits_.clear();
+  driven_.clear();
+  boundary_.clear();
+
   // --- stage 1: undirected ball of radius k around target + known ---------
   // ("all logical gates within a specified distance k from the control port")
-  std::unordered_map<Cell*, int> depth;
-  std::deque<Cell*> queue;
-  std::vector<Cell*> seed_cells;
-  adjacent_cells(index, target, seed_cells);
+  adjacent_cells(index, target, seeds_);
   for (const SigBit& kb : known)
-    adjacent_cells(index, kb, seed_cells);
-  for (Cell* c : seed_cells) {
-    if (depth.emplace(c, 0).second)
-      queue.push_back(c);
+    adjacent_cells(index, kb, seeds_);
+  for (Cell* c : seeds_) {
+    if (depth_.emplace(c, 0).second)
+      queue_.push_back(c);
   }
-  while (!queue.empty()) {
-    Cell* c = queue.front();
-    queue.pop_front();
-    const int d = depth[c];
+  while (!queue_.empty()) {
+    Cell* c = queue_.front();
+    queue_.pop_front();
+    const int d = depth_[c];
     if (d >= options.depth)
       continue;
-    std::vector<Cell*> next;
+    next_.clear();
     for (int pi = 0; pi < rtlil::kPortCount; ++pi) {
       const Port p = static_cast<Port>(pi);
       if (!c->has_port(p))
@@ -59,15 +91,24 @@ Subgraph extract_subgraph(const rtlil::Module& module, const NetlistIndex& index
       for (const SigBit& raw : c->port(p)) {
         const SigBit bit = index.sigmap()(raw);
         if (bit.is_wire())
-          adjacent_cells(index, bit, next);
+          adjacent_cells(index, bit, next_);
       }
     }
-    for (Cell* n : next) {
-      if (depth.emplace(n, d + 1).second)
-        queue.push_back(n);
+    for (Cell* n : next_) {
+      if (depth_.emplace(n, d + 1).second)
+        queue_.push_back(n);
     }
   }
-  out.gates_before_filter = depth.size();
+  out.gates_before_filter = depth_.size();
+  // The ball is the decision's *support*: the walker only ever shrinks cell
+  // ports, so a later query with the same target/known re-derives the same
+  // answer unless some ball cell was mutated or removed in between. Callers
+  // caching decisions key their invalidation on exactly this set.
+  out.ball.reserve(depth_.size());
+  for (const auto& [cell, d] : depth_) {
+    (void)d;
+    out.ball.push_back(cell);
+  }
 
   // --- stage 2: Theorem II.1 relevance filter ------------------------------
   // A signal can constrain or be constrained by {target} ∪ known only through
@@ -75,57 +116,59 @@ Subgraph extract_subgraph(const rtlil::Module& module, const NetlistIndex& index
   // "is target forced?" the gates that matter are exactly those whose output
   // is an ancestor of the target or of a known signal. Everything else in the
   // ball is dismissed (paper: "the method can dismiss about 80% gates").
-  std::unordered_set<Cell*> kept;
   if (options.relevance_filter) {
-    std::deque<SigBit> bitq;
-    std::unordered_set<SigBit> seen_bits;
     auto push_bit = [&](const SigBit& b) {
-      if (b.is_wire() && seen_bits.insert(b).second)
-        bitq.push_back(b);
+      if (b.is_wire() && seen_bits_.insert(b).second)
+        bitq_.push_back(b);
     };
     push_bit(target);
     for (const SigBit& kb : known)
       push_bit(kb);
-    while (!bitq.empty()) {
-      const SigBit bit = bitq.front();
-      bitq.pop_front();
+    while (!bitq_.empty()) {
+      const SigBit bit = bitq_.front();
+      bitq_.pop_front();
       Cell* d = index.driver(bit);
       if (!d || d->type() == CellType::Dff)
         continue;
-      if (!depth.count(d))
+      if (!depth_.count(d))
         continue; // outside the ball: becomes a boundary input
-      if (!kept.insert(d).second)
+      if (!kept_.insert(d).second)
         continue;
       for (Port p : d->input_ports())
         for (const SigBit& raw : d->port(p))
           push_bit(index.sigmap()(raw));
     }
   } else {
-    for (const auto& [cell, d] : depth) {
+    for (const auto& [cell, d] : depth_) {
       (void)d;
-      kept.insert(cell);
+      kept_.insert(cell);
     }
   }
 
-  out.cells.assign(kept.begin(), kept.end());
+  out.cells.assign(kept_.begin(), kept_.end());
 
   // --- boundary: bits read inside but not driven inside --------------------
-  std::unordered_set<SigBit> driven;
   for (Cell* c : out.cells)
     for (const SigBit& raw : c->port(c->output_port())) {
       const SigBit bit = index.sigmap()(raw);
       if (bit.is_wire())
-        driven.insert(bit);
+        driven_.insert(bit);
     }
-  std::unordered_set<SigBit> boundary;
   for (Cell* c : out.cells)
     for (Port p : c->input_ports())
       for (const SigBit& raw : c->port(p)) {
         const SigBit bit = index.sigmap()(raw);
-        if (bit.is_wire() && !driven.count(bit) && boundary.insert(bit).second)
+        if (bit.is_wire() && !driven_.count(bit) && boundary_.insert(bit).second)
           out.boundary.push_back(bit);
       }
   return out;
+}
+
+Subgraph extract_subgraph(const rtlil::Module& module, const NetlistIndex& index,
+                          SigBit target, const std::vector<SigBit>& known,
+                          const SubgraphOptions& options) {
+  SubgraphScratch scratch;
+  return scratch.extract(module, index, target, known, options);
 }
 
 } // namespace smartly::core

@@ -10,7 +10,10 @@
 
 #include "rtlil/module.hpp"
 #include "rtlil/topo.hpp"
+#include "util/hashing.hpp"
 
+#include <deque>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -26,13 +29,50 @@ struct SubgraphOptions {
 struct Subgraph {
   std::vector<rtlil::Cell*> cells;           ///< combinational, topo-closed subset
   std::vector<rtlil::SigBit> boundary;       ///< canonical bits read but not driven inside
-  size_t gates_before_filter = 0;            ///< cells gathered by the distance-k BFS
+  std::vector<rtlil::Cell*> ball;            ///< the full distance-k BFS ball
+  size_t gates_before_filter = 0;            ///< cells gathered by the distance-k BFS (= ball size)
+
+  /// Order-insensitive structural fingerprint of the cell set: cell types,
+  /// parameters, and every port's canonical bits. Two sub-graphs fingerprint
+  /// equal iff they contain content-identical cells over the same wires, so
+  /// the fingerprint content-addresses derived artifacts (AIG encodings, CNF
+  /// clause groups) across queries — no explicit invalidation needed: a
+  /// mutated cell changes its content and therefore the key.
+  Hash128 fingerprint(const rtlil::SigMap& sigmap) const;
 };
+
+/// Structural hash of one cell under `sigmap` (type, params, canonical bits
+/// of every connected port, outputs included).
+uint64_t cell_content_hash(const rtlil::Cell& cell, const rtlil::SigMap& sigmap);
 
 /// Extract the sub-graph around `target` (a control-port bit) and the
 /// already-known signals. All bits must be canonical w.r.t. `index.sigmap()`.
 Subgraph extract_subgraph(const rtlil::Module& module, const rtlil::NetlistIndex& index,
                           rtlil::SigBit target, const std::vector<rtlil::SigBit>& known,
                           const SubgraphOptions& options);
+
+/// Reusable scratch space for extract_subgraph: clears hash-table buckets
+/// instead of reallocating them. The §II oracle issues thousands of
+/// extractions per module; per-query container construction is measurable.
+/// Produces a Subgraph whose cell *set*, boundary set, and counters are
+/// identical to extract_subgraph's (vector order may differ — no consumer
+/// depends on it).
+class SubgraphScratch {
+public:
+  Subgraph extract(const rtlil::Module& module, const rtlil::NetlistIndex& index,
+                   rtlil::SigBit target, const std::vector<rtlil::SigBit>& known,
+                   const SubgraphOptions& options);
+
+private:
+  std::unordered_map<rtlil::Cell*, int> depth_;
+  std::deque<rtlil::Cell*> queue_;
+  std::vector<rtlil::Cell*> seeds_;
+  std::vector<rtlil::Cell*> next_;
+  std::unordered_set<rtlil::Cell*> kept_;
+  std::deque<rtlil::SigBit> bitq_;
+  std::unordered_set<rtlil::SigBit> seen_bits_;
+  std::unordered_set<rtlil::SigBit> driven_;
+  std::unordered_set<rtlil::SigBit> boundary_;
+};
 
 } // namespace smartly::core

@@ -126,6 +126,7 @@ private:
       }
       if (mutated) {
         c->set_port(p, sig);
+        oracle_.notify_cell_mutated(c);
         changed_ = true;
       }
     }
@@ -197,6 +198,7 @@ private:
         const SigSpec kept = c->port(pick);
         pending_connects_.emplace_back(c->port(Port::Y), kept);
         removed_.insert(c);
+        oracle_.notify_cell_removed(c);
         ++stats_.mux_collapsed;
         changed_ = true;
         descend_branches(c, known, {{kept, known}}); // no new constraint
@@ -277,11 +279,13 @@ private:
     if (new_s.empty()) {
       pending_connects_.emplace_back(c->port(Port::Y), new_a);
       removed_.insert(c);
+      oracle_.notify_cell_removed(c);
     } else {
       c->set_port(Port::A, new_a);
       c->set_port(Port::B, new_b);
       c->set_port(Port::S, new_s);
       c->infer_widths();
+      oracle_.notify_cell_mutated(c);
     }
   }
 

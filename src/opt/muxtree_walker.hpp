@@ -38,6 +38,15 @@ public:
   /// Decide the value of `ctrl` (a canonical SigBit) given the path
   /// conditions in `known` (canonical bits -> value).
   virtual CtrlDecision decide(rtlil::SigBit ctrl, const KnownMap& known) = 0;
+
+  /// Mutation notifications. The walker calls notify_cell_mutated immediately
+  /// after rewriting a cell's ports/params mid-sweep, and notify_cell_removed
+  /// when it schedules a cell for removal (the cell stays in the module until
+  /// the sweep's pending connects are applied at sweep end). Incremental
+  /// oracles use these to invalidate caches and retire solver clause groups;
+  /// the from-scratch oracles ignore them.
+  virtual void notify_cell_mutated(rtlil::Cell* cell) { (void)cell; }
+  virtual void notify_cell_removed(rtlil::Cell* cell) { (void)cell; }
 };
 
 /// Baseline oracle: a control bit is decided only when it is literally one

@@ -14,9 +14,10 @@ constexpr uint64_t kLaneMask[6] = {
 
 } // namespace
 
-Forced exhaustive_forced(const aig::Aig& aig,
-                         const std::vector<std::pair<aig::Lit, bool>>& constraints,
-                         aig::Lit target, int max_free_inputs) {
+SimResult exhaustive_forced_ex(const aig::Aig& aig,
+                               const std::vector<std::pair<aig::Lit, bool>>& constraints,
+                               aig::Lit target, const SimOptions& options) {
+  SimResult res;
   const size_t n_inputs = aig.num_inputs();
 
   // Split constraints into direct input fixings vs. internal checks.
@@ -30,11 +31,78 @@ Forced exhaustive_forced(const aig::Aig& aig,
     auto it = input_index.find(aig::lit_node(lit));
     if (it != input_index.end()) {
       const int want = (val != aig::lit_compl(lit)) ? 1 : 0;
-      if (fixed[it->second] >= 0 && fixed[it->second] != want)
-        return Forced::Contradiction;
+      if (fixed[it->second] >= 0 && fixed[it->second] != want) {
+        res.forced = Forced::Contradiction;
+        res.exhausted = true;
+        return res;
+      }
       fixed[it->second] = want;
     } else {
       internal.emplace_back(lit, val);
+    }
+  }
+
+  std::vector<uint64_t> local_values;
+  std::vector<uint64_t>& values = options.scratch ? *options.scratch : local_values;
+
+  bool seen0 = false, seen1 = false, any = false;
+  std::vector<uint64_t> input_words(n_inputs, 0);
+
+  auto capture = [&](std::vector<uint8_t>& w, int lane) {
+    if (!options.capture_witnesses)
+      return;
+    w.resize(n_inputs);
+    for (size_t i = 0; i < n_inputs; ++i)
+      w[i] = static_cast<uint8_t>((input_words[i] >> lane) & 1);
+  };
+
+  // --- stage 0: replay recycled candidate patterns, 64 per batch -----------
+  // Each candidate is *verified* against the current cone and constraints, so
+  // a both-polarity hit is a genuine pair of witnesses: the target is not
+  // forced, and neither enumeration nor SAT has anything left to prove.
+  if (options.recycled) {
+    const auto& cands = *options.recycled;
+    for (size_t base = 0; base < cands.size() && !(seen0 && seen1); base += 64) {
+      const size_t chunk = std::min<size_t>(64, cands.size() - base);
+      for (size_t i = 0; i < n_inputs; ++i)
+        input_words[i] = 0;
+      for (size_t lane = 0; lane < chunk; ++lane) {
+        const std::vector<uint8_t>& cand = cands[base + lane];
+        const size_t n = std::min(cand.size(), n_inputs);
+        for (size_t i = 0; i < n; ++i)
+          if (cand[i])
+            input_words[i] |= uint64_t(1) << lane;
+      }
+      aig.simulate_into(input_words, values);
+
+      uint64_t valid = chunk == 64 ? ~uint64_t(0) : (uint64_t(1) << chunk) - 1;
+      // Direct input constraints are checked too (replay does not pre-force
+      // inputs): a candidate disagreeing with a fixing is simply invalid.
+      for (const auto& [lit, val] : constraints) {
+        const uint64_t v = aig::Aig::sim_lit(values, lit);
+        valid &= val ? v : ~v;
+      }
+      if (!valid)
+        continue;
+      any = true;
+      res.patterns_recycled += static_cast<size_t>(__builtin_popcountll(valid));
+      const uint64_t t = aig::Aig::sim_lit(values, target);
+      if ((t & valid) && !seen1) {
+        seen1 = true;
+        res.has_witness1 = true;
+        capture(res.witness1, __builtin_ctzll(t & valid));
+      }
+      if ((~t & valid) && !seen0) {
+        seen0 = true;
+        res.has_witness0 = true;
+        capture(res.witness0, __builtin_ctzll(~t & valid));
+      }
+    }
+    if (seen0 && seen1) {
+      res.forced = Forced::None;
+      res.recycled_decisive = true;
+      res.early_exit = true;
+      return res;
     }
   }
 
@@ -42,18 +110,17 @@ Forced exhaustive_forced(const aig::Aig& aig,
   for (size_t i = 0; i < n_inputs; ++i)
     if (fixed[i] < 0)
       free_inputs.push_back(i);
-  if (static_cast<int>(free_inputs.size()) > max_free_inputs)
-    return Forced::None;
+  if (!options.enumerate || static_cast<int>(free_inputs.size()) > options.max_free_inputs) {
+    res.forced = Forced::None; // give-up / replay-only: not an exhaustive verdict
+    return res;
+  }
 
   const int k = static_cast<int>(free_inputs.size());
   const uint64_t n_patterns = uint64_t(1) << k;
   const uint64_t n_words = (n_patterns + 63) / 64;
 
-  bool seen0 = false, seen1 = false, any = false;
-  std::vector<uint64_t> input_words(n_inputs, 0);
   for (size_t i = 0; i < n_inputs; ++i)
-    if (fixed[i] == 1)
-      input_words[i] = ~uint64_t(0);
+    input_words[i] = fixed[i] == 1 ? ~uint64_t(0) : 0;
 
   for (uint64_t w = 0; w < n_words; ++w) {
     const uint64_t base = w * 64;
@@ -65,7 +132,7 @@ Forced exhaustive_forced(const aig::Aig& aig,
         word = ((base >> j) & 1) ? ~uint64_t(0) : 0;
       input_words[free_inputs[static_cast<size_t>(j)]] = word;
     }
-    const std::vector<uint64_t> values = aig.simulate(input_words);
+    aig.simulate_into(input_words, values);
 
     uint64_t valid = ~uint64_t(0);
     if (n_patterns - base < 64)
@@ -78,21 +145,43 @@ Forced exhaustive_forced(const aig::Aig& aig,
       continue;
     any = true;
     const uint64_t t = aig::Aig::sim_lit(values, target);
-    if (t & valid)
+    if ((t & valid) && !seen1) {
       seen1 = true;
-    if (~t & valid)
+      res.has_witness1 = true;
+      capture(res.witness1, __builtin_ctzll(t & valid));
+    }
+    if ((~t & valid) && !seen0) {
       seen0 = true;
-    if (seen0 && seen1)
-      return Forced::None;
+      res.has_witness0 = true;
+      capture(res.witness0, __builtin_ctzll(~t & valid));
+    }
+    if (seen0 && seen1) {
+      // Both polarities witnessed: the remaining patterns cannot change the
+      // verdict, so stop the sweep here instead of enumerating all 2^k.
+      res.forced = Forced::None;
+      res.early_exit = w + 1 < n_words;
+      return res;
+    }
   }
 
+  res.exhausted = true;
   if (!any)
-    return Forced::Contradiction;
-  if (seen1 && !seen0)
-    return Forced::One;
-  if (seen0 && !seen1)
-    return Forced::Zero;
-  return Forced::None;
+    res.forced = Forced::Contradiction;
+  else if (seen1 && !seen0)
+    res.forced = Forced::One;
+  else if (seen0 && !seen1)
+    res.forced = Forced::Zero;
+  else
+    res.forced = Forced::None;
+  return res;
+}
+
+Forced exhaustive_forced(const aig::Aig& aig,
+                         const std::vector<std::pair<aig::Lit, bool>>& constraints,
+                         aig::Lit target, int max_free_inputs) {
+  SimOptions options;
+  options.max_free_inputs = max_free_inputs;
+  return exhaustive_forced_ex(aig, constraints, target, options).forced;
 }
 
 } // namespace smartly::sim

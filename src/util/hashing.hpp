@@ -19,6 +19,37 @@ inline uint64_t hash_combine(uint64_t seed, uint64_t v) noexcept {
   return hash_mix(seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
 }
 
+/// 128-bit fingerprint for content-addressed caches (cone/sub-graph caches in
+/// the incremental oracle). Two independently-seeded 64-bit streams: with ~2^5
+/// cached entries per module a single 64-bit key would already be fine, but
+/// the oracle treats fingerprint equality as structural identity (no stored
+/// key to compare against), so collision probability must be negligible.
+struct Hash128 {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  bool operator==(const Hash128& o) const noexcept { return lo == o.lo && hi == o.hi; }
+  bool operator!=(const Hash128& o) const noexcept { return !(*this == o); }
+};
+
+/// Order-sensitive accumulation (sequence hashing).
+inline Hash128 hash128_combine(Hash128 seed, uint64_t v) noexcept {
+  return {hash_combine(seed.lo, v), hash_combine(seed.hi, hash_mix(v ^ 0x6a09e667f3bcc909ULL))};
+}
+
+/// Order-insensitive accumulation (set hashing): commutative and associative,
+/// so two containers holding the same elements in any order hash equally.
+inline void hash128_mix_unordered(Hash128& acc, uint64_t v) noexcept {
+  acc.lo += hash_mix(v);
+  acc.hi += hash_mix(v ^ 0xbb67ae8584caa73bULL);
+}
+
+struct Hash128Hasher {
+  size_t operator()(const Hash128& h) const noexcept {
+    return static_cast<size_t>(h.lo ^ (h.hi * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
 /// Deterministic xorshift RNG for generators & property tests
 /// (std::mt19937 is avoided so streams are stable across platforms).
 class Rng {
