@@ -3,13 +3,15 @@
 // schema (per-circuit speedup, cache hit rates, pattern recycling, and a
 // decisions_match differential).
 //
-//   ./bench_oracle [--smoke] [--json]
+//   ./bench_oracle [--smoke] [--json] [--filter <substr>]
 //
 //   --smoke   small circuit subset (<5 s) — the tier-2 CTest target. Exits
 //             nonzero if any circuit's incremental decisions diverge from the
 //             baseline's, or if the caches never hit (a dead cache is a
 //             regression even when decisions still match).
 //   --json    print the JSON document to stdout (human table otherwise).
+//   --filter  run only circuits whose name contains <substr> (the industrial
+//             rows dominate a full run; iterate on a subset instead).
 //
 // Both arms run the same walk (opt::optimize_muxtrees) on clones of the same
 // pre-optimized design; `*_seconds` is time spent inside oracle decide()
@@ -44,6 +46,9 @@ public:
   explicit RecordingOracle(opt::MuxtreeOracle& inner) : inner_(inner) {}
 
   void begin_module(rtlil::Module& module) override { inner_.begin_module(module); }
+  void begin_module(rtlil::Module& module, const rtlil::NetlistIndex& index) override {
+    inner_.begin_module(module, index);
+  }
 
   opt::CtrlDecision decide(rtlil::SigBit ctrl, const opt::KnownMap& known) override {
     const auto t0 = std::chrono::steady_clock::now();
@@ -163,11 +168,36 @@ void print_json_row(const Row& r, bool last) {
 
 int main(int argc, char** argv) {
   bool smoke = false, json = false;
+  std::string filter;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0)
       smoke = true;
     else if (std::strcmp(argv[i], "--json") == 0)
       json = true;
+    else if (std::strcmp(argv[i], "--filter") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_oracle: --filter requires a value\n");
+        return 2;
+      }
+      filter = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::printf(
+          "usage: bench_oracle [--smoke] [--json] [--filter <substr>]\n"
+          "\n"
+          "From-scratch InferenceOracle vs IncrementalOracle differential over the\n"
+          "public + industrial circuits (BENCH_oracle.json schema).\n"
+          "\n"
+          "  --smoke            small subset, <5 s; nonzero exit on decision\n"
+          "                     divergence or dead caches (the tier-2 CTest target)\n"
+          "  --json             emit the JSON document instead of the human table\n"
+          "  --filter <substr>  run only circuits whose name contains <substr>\n"
+          "                     (industrial runs dominate a full run; e.g.\n"
+          "                     --filter industrial or --filter tv80)\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "bench_oracle: unknown option '%s' (try --help)\n", argv[i]);
+      return 2;
+    }
   }
 
   std::vector<benchgen::BenchCircuit> circuits;
@@ -183,6 +213,17 @@ int main(int argc, char** argv) {
     const auto industrial = benchgen::industrial_suite();
     circuits.push_back(industrial[0]); // industrial_tp0
     circuits.push_back(industrial[1]); // industrial_tp1
+  }
+  if (!filter.empty()) {
+    std::vector<benchgen::BenchCircuit> kept;
+    for (auto& c : circuits)
+      if (c.name.find(filter) != std::string::npos)
+        kept.push_back(std::move(c));
+    circuits.swap(kept);
+    if (circuits.empty()) {
+      std::fprintf(stderr, "bench_oracle: --filter '%s' matches no circuit\n", filter.c_str());
+      return 2;
+    }
   }
 
   std::vector<Row> rows;
@@ -204,14 +245,21 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The total sums every listed row (a past release shipped a total that
+  // covered only a subset — keep the aggregate loop right next to the rows it
+  // aggregates). Pass-time totals ride along so the Amdahl gap between
+  // decide() time and whole-walk time is tracked release-over-release.
   size_t total_queries = 0;
   double total_base = 0, total_incr = 0;
+  double total_base_pass = 0, total_incr_pass = 0;
   bool all_match = true;
   size_t total_cache_hits = 0;
   for (const Row& r : rows) {
     total_queries += r.queries;
     total_base += r.baseline_seconds;
     total_incr += r.incremental_seconds;
+    total_base_pass += r.baseline_pass_seconds;
+    total_incr_pass += r.incremental_pass_seconds;
     all_match = all_match && r.decisions_match;
     total_cache_hits += r.incr_stats.cone_cache_hits + r.incr_stats.decision_cache_hits;
   }
@@ -222,12 +270,17 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < rows.size(); ++i)
       print_json_row(rows[i], i + 1 == rows.size());
     std::printf("  ],\n  \"total\": {\"queries\": %zu, \"baseline_seconds\": %.4f, "
-                "\"incremental_seconds\": %.4f, \"speedup\": %.3f}\n}\n",
-                total_queries, total_base, total_incr, ratio(total_base, total_incr));
+                "\"incremental_seconds\": %.4f, \"speedup\": %.3f, "
+                "\"baseline_pass_seconds\": %.4f, \"incremental_pass_seconds\": %.4f, "
+                "\"pass_speedup\": %.3f}\n}\n",
+                total_queries, total_base, total_incr, ratio(total_base, total_incr),
+                total_base_pass, total_incr_pass, ratio(total_base_pass, total_incr_pass));
   } else {
     std::printf("\nTotal: %zu queries, baseline %.4fs, incremental %.4fs, speedup %.2fx "
-                "(oracle trajectory: 2.7x)\n",
-                total_queries, total_base, total_incr, ratio(total_base, total_incr));
+                "(oracle trajectory: 2.7x)\n"
+                "       whole pass: baseline %.4fs, incremental %.4fs, speedup %.2fx\n",
+                total_queries, total_base, total_incr, ratio(total_base, total_incr),
+                total_base_pass, total_incr_pass, ratio(total_base_pass, total_incr_pass));
   }
 
   if (!all_match) {

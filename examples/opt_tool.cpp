@@ -5,6 +5,8 @@
 //     --flow yosys|smartly|original   optimization flow (default smartly)
 //     --no-sat                        disable §II SAT-based elimination
 //     --no-rebuild                    disable §III muxtree restructuring
+//     --threads N                     §II sweep workers (0 = hw threads; output
+//                                     is bit-identical for every value)
 //     --reduce                        also run opt_reduce (pmux/reduction merging)
 //     --check                         equivalence-check the result
 //     --stats                         print pass statistics
@@ -23,6 +25,7 @@
 #include "opt/pipeline.hpp"
 #include "verilog/elaborate.hpp"
 
+#include <cstdlib>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -37,8 +40,8 @@ namespace {
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: opt_tool [--flow yosys|smartly|original] [--no-sat] "
-               "[--no-rebuild] [--reduce] [--check] [--stats] [-o out.v] "
-               "[--write-aiger out.aag] [--dump-rtlil] [file.v]\n");
+               "[--no-rebuild] [--threads N] [--reduce] [--check] [--stats] "
+               "[-o out.v] [--write-aiger out.aag] [--dump-rtlil] [file.v]\n");
   std::exit(2);
 }
 
@@ -60,6 +63,17 @@ int main(int argc, char** argv) {
       options.enable_sat = false;
     } else if (arg == "--no-rebuild") {
       options.enable_rebuild = false;
+    } else if (arg == "--threads") {
+      if (++i >= argc)
+        usage();
+      char* end = nullptr;
+      const long n = std::strtol(argv[i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n < 0) {
+        std::fprintf(stderr, "opt_tool: --threads wants a non-negative integer, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      options.threads = static_cast<int>(n);
     } else if (arg == "--reduce") {
       reduce = true;
     } else if (arg == "--check") {

@@ -32,12 +32,7 @@ void IncrementalOracle::full_reset() {
   ++solver_generation_;
 }
 
-void IncrementalOracle::begin_module(rtlil::Module& module) {
-  if (module_ != &module) {
-    full_reset();
-    module_ = &module;
-  }
-  index_ = std::make_unique<rtlil::NetlistIndex>(module);
+void IncrementalOracle::flush_pending_removed() {
   // Cells removed last sweep only vanished (and their output classes only
   // merged) when the sweep's pending connects were applied — after queries
   // may have re-cached decisions depending on them. Kill those now.
@@ -61,6 +56,26 @@ void IncrementalOracle::begin_module(rtlil::Module& module) {
       }
     }
   }
+}
+
+void IncrementalOracle::begin_module(rtlil::Module& module) {
+  if (module_ != &module) {
+    full_reset();
+    module_ = &module;
+  }
+  owned_index_ = std::make_unique<rtlil::NetlistIndex>(module);
+  index_ = owned_index_.get();
+  flush_pending_removed();
+}
+
+void IncrementalOracle::begin_module(rtlil::Module& module, const rtlil::NetlistIndex& index) {
+  if (module_ != &module) {
+    full_reset();
+    module_ = &module;
+  }
+  owned_index_.reset();
+  index_ = &index;
+  flush_pending_removed();
 }
 
 void IncrementalOracle::invalidate_decision(uint64_t id) {
@@ -107,6 +122,16 @@ void IncrementalOracle::invalidate_cell(Cell* cell) {
     cone_cache_.erase(ce);
   }
   cell_to_cones_.erase(it);
+}
+
+void IncrementalOracle::notify_external_rewire(const std::vector<SigBit>& bits) {
+  for (const SigBit& bit : bits) {
+    if (auto it = bit_to_queries_.find(bit); it != bit_to_queries_.end()) {
+      for (const uint64_t id : it->second)
+        invalidate_decision(id);
+      bit_to_queries_.erase(it);
+    }
+  }
 }
 
 void IncrementalOracle::notify_cell_mutated(Cell* cell) {
@@ -299,6 +324,8 @@ CtrlDecision IncrementalOracle::decide(SigBit ctrl, const KnownMap& known) {
   // Stage 2: bounded sub-graph (same extraction, allocation-reusing scratch).
   const Subgraph sg =
       subgraph_scratch_.extract(*module_, *index_, ctrl, known_bits, options_.base.subgraph);
+  stats_.gates_seen += sg.gates_before_filter;
+  stats_.gates_kept += sg.cells.size();
   if (sg.cells.empty())
     return finish(key, sg, CtrlDecision::Unknown);
 

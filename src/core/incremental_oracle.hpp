@@ -71,6 +71,8 @@ struct IncrementalOracleStats {
   size_t decided_sat = 0;
   size_t dead_paths = 0;
   size_t skipped_too_large = 0;
+  size_t gates_seen = 0;          ///< sub-graph gates before the relevance filter
+  size_t gates_kept = 0;          ///< after the filter (cache hits skip extraction)
   size_t decision_cache_hits = 0; ///< exact-repeat queries ("subgraph cache")
   size_t cone_cache_hits = 0;     ///< AIG encodings reused
   size_t cone_cache_misses = 0;
@@ -90,10 +92,21 @@ public:
   explicit IncrementalOracle(const IncrementalOracleOptions& options = {});
   ~IncrementalOracle() override;
 
+  /// Legacy entry: builds a private NetlistIndex per sweep.
   void begin_module(rtlil::Module& module) override;
+  /// Index-sharing entry: binds the walker's incrementally-maintained index.
+  /// Also the per-region entry of the parallel sweep engine, which keeps one
+  /// oracle per region (state is a function of region content alone — the
+  /// thread-count determinism guarantee).
+  void begin_module(rtlil::Module& module, const rtlil::NetlistIndex& index) override;
   opt::CtrlDecision decide(rtlil::SigBit ctrl, const opt::KnownMap& known) override;
   void notify_cell_mutated(rtlil::Cell* cell) override;
   void notify_cell_removed(rtlil::Cell* cell) override;
+  /// Invalidate decisions whose cone read one of these (sweep-time canonical)
+  /// nets as a boundary input — the same bit_to_queries_ retraction the
+  /// oracle performs for its own removals' output classes, driven externally
+  /// by the parallel engine for other regions' removals.
+  void notify_external_rewire(const std::vector<rtlil::SigBit>& bits) override;
 
   /// Drop every cache and the persistent solver. The oracle only observes
   /// mutations the walker notifies it about; if anything else rewrites the
@@ -149,8 +162,11 @@ private:
   IncrementalOracleOptions options_;
   IncrementalOracleStats stats_;
 
+  void flush_pending_removed();
+
   rtlil::Module* module_ = nullptr;
-  std::unique_ptr<rtlil::NetlistIndex> index_;
+  const rtlil::NetlistIndex* index_ = nullptr;
+  std::unique_ptr<rtlil::NetlistIndex> owned_index_;
   SubgraphScratch subgraph_scratch_;
   InferenceEngine engine_;
   std::vector<uint64_t> sim_scratch_;

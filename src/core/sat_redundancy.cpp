@@ -2,6 +2,7 @@
 
 #include "aig/aigmap.hpp"
 #include "aig/cnf.hpp"
+#include "core/incremental_oracle.hpp"
 #include "core/inference.hpp"
 #include "sim/packed_sim.hpp"
 #include "util/log.hpp"
@@ -14,7 +15,14 @@ using rtlil::SigBit;
 
 void InferenceOracle::begin_module(rtlil::Module& module) {
   module_ = &module;
-  index_ = std::make_unique<rtlil::NetlistIndex>(module);
+  owned_index_ = std::make_unique<rtlil::NetlistIndex>(module);
+  index_ = owned_index_.get();
+}
+
+void InferenceOracle::begin_module(rtlil::Module& module, const rtlil::NetlistIndex& index) {
+  module_ = &module;
+  owned_index_.reset();
+  index_ = &index;
 }
 
 CtrlDecision InferenceOracle::decide(SigBit ctrl, const KnownMap& known) {
@@ -28,14 +36,15 @@ CtrlDecision InferenceOracle::decide(SigBit ctrl, const KnownMap& known) {
   if (known.empty())
     return CtrlDecision::Unknown; // no path condition: nothing to infer from
 
-  // Stage 2: bounded sub-graph around the control port and known signals.
-  std::vector<SigBit> known_bits;
-  known_bits.reserve(known.size());
+  // Stage 2: bounded sub-graph around the control port and known signals
+  // (scratch-reusing extraction: thousands of queries per module).
+  known_bits_.clear();
+  known_bits_.reserve(known.size());
   for (const auto& [bit, value] : known) {
     (void)value;
-    known_bits.push_back(bit);
+    known_bits_.push_back(bit);
   }
-  const Subgraph sg = extract_subgraph(*module_, *index_, ctrl, known_bits, options_.subgraph);
+  const Subgraph sg = scratch_.extract(*module_, *index_, ctrl, known_bits_, options_.subgraph);
   stats_.gates_seen += sg.gates_before_filter;
   stats_.gates_kept += sg.cells.size();
   if (sg.cells.empty())
@@ -64,7 +73,7 @@ CtrlDecision InferenceOracle::decide(SigBit ctrl, const KnownMap& known) {
   // path condition can be asserted even on sub-graph-internal signals.
   std::vector<SigBit> roots;
   roots.push_back(ctrl);
-  for (const SigBit& kb : known_bits)
+  for (const SigBit& kb : known_bits_)
     roots.push_back(kb);
   const aig::AigMap cone = aig::aigmap_cone(*module_, *index_, sg.cells, roots);
 
@@ -160,6 +169,48 @@ SatRedundancyStats sat_redundancy(rtlil::Module& module, const SatRedundancyOpti
   const opt::MuxtreeStats walker_stats = opt::optimize_muxtrees(module, oracle);
   SatRedundancyStats stats = oracle.stats();
   stats.walker = walker_stats;
+  return stats;
+}
+
+SatRedundancyStats sat_redundancy_parallel(rtlil::Module& module,
+                                           const SatRedundancyOptions& options, int threads,
+                                           opt::DecisionTrace* trace,
+                                           opt::ParallelSweepStats* sweep_out) {
+  opt::ParallelSweepOptions po;
+  po.threads = threads;
+  po.ball_radius = options.subgraph.depth;
+  IncrementalOracleOptions io;
+  io.base = options;
+  po.make_oracle = [&io]() -> std::unique_ptr<opt::MuxtreeOracle> {
+    return std::make_unique<IncrementalOracle>(io);
+  };
+
+  opt::ParallelSweepEngine engine(module, po);
+  const opt::ParallelSweepStats sweep = engine.run(trace);
+  if (sweep_out)
+    *sweep_out = sweep;
+
+  // Oracle state is per region, so every counter is a deterministic function
+  // of region content; the aggregate is the same for every thread count and
+  // region->worker assignment.
+  SatRedundancyStats stats;
+  for (const auto& oracle : engine.oracles()) {
+    const auto& os = static_cast<const IncrementalOracle&>(*oracle).stats();
+    stats.queries += os.queries;
+    stats.decided_syntactic += os.decided_syntactic;
+    stats.decided_inference += os.decided_inference;
+    stats.decided_sim += os.decided_sim;
+    stats.decided_sat += os.decided_sat;
+    stats.dead_paths += os.dead_paths;
+    stats.skipped_too_large += os.skipped_too_large;
+    stats.gates_seen += os.gates_seen;
+    stats.gates_kept += os.gates_kept;
+    stats.sim_filter_kills += os.sim_filter_kills;
+    stats.sim_filter_half += os.sim_filter_half;
+    stats.sat_calls += os.sat_calls;
+    stats.solver_conflicts += os.solver_conflicts;
+  }
+  stats.walker = sweep.walker;
   return stats;
 }
 

@@ -10,6 +10,7 @@
 
 #include "core/subgraph.hpp"
 #include "opt/muxtree_walker.hpp"
+#include "opt/parallel_sweep.hpp"
 
 #include <memory>
 
@@ -46,7 +47,11 @@ class InferenceOracle final : public opt::MuxtreeOracle {
 public:
   explicit InferenceOracle(const SatRedundancyOptions& options) : options_(options) {}
 
+  /// Legacy entry: builds a private NetlistIndex (direct oracle users).
   void begin_module(rtlil::Module& module) override;
+  /// Index-sharing entry: binds the walker's incrementally-maintained index
+  /// instead of rebuilding one per sweep.
+  void begin_module(rtlil::Module& module, const rtlil::NetlistIndex& index) override;
   opt::CtrlDecision decide(rtlil::SigBit ctrl, const opt::KnownMap& known) override;
 
   const SatRedundancyStats& stats() const noexcept { return stats_; }
@@ -55,12 +60,25 @@ private:
   SatRedundancyOptions options_;
   SatRedundancyStats stats_;
   rtlil::Module* module_ = nullptr;
-  std::unique_ptr<rtlil::NetlistIndex> index_;
+  const rtlil::NetlistIndex* index_ = nullptr;
+  std::unique_ptr<rtlil::NetlistIndex> owned_index_;
+  SubgraphScratch scratch_;
+  std::vector<rtlil::SigBit> known_bits_;
 };
 
 /// Run the full §II pass on a module (walker + oracle). Pair with
 /// opt_expr/opt_clean afterwards to sweep the disconnected logic.
 SatRedundancyStats sat_redundancy(rtlil::Module& module,
                                   const SatRedundancyOptions& options = {});
+
+/// §II pass over the parallel deterministic sweep engine: region-partitioned
+/// walks with one thread-local IncrementalOracle per worker (each reset at
+/// region boundaries, so results are bit-identical for every thread count).
+/// threads = 0 picks one worker per hardware thread.
+SatRedundancyStats sat_redundancy_parallel(rtlil::Module& module,
+                                           const SatRedundancyOptions& options,
+                                           int threads,
+                                           opt::DecisionTrace* trace = nullptr,
+                                           opt::ParallelSweepStats* sweep_out = nullptr);
 
 } // namespace smartly::core

@@ -16,7 +16,8 @@ SmartlyStats smartly_pass(rtlil::Module& module, const SmartlyOptions& options) 
     opt::opt_clean(module);
   }
   if (options.enable_sat) {
-    stats.sat = sat_redundancy(module, options.sat);
+    stats.sat = sat_redundancy_parallel(module, options.sat, options.threads,
+                                        /*trace=*/nullptr, &stats.sweep);
     opt::opt_expr(module);
     opt::opt_clean(module);
   } else {

@@ -14,6 +14,10 @@ namespace smartly::core {
 struct SmartlyOptions {
   bool enable_sat = true;      ///< §II SAT-based redundancy elimination
   bool enable_rebuild = true;  ///< §III muxtree restructuring
+  /// Worker threads for the §II parallel sweep engine (0 = one per hardware
+  /// thread). The engine is deterministic: netlist output and statistics are
+  /// bit-identical for every value of this knob.
+  int threads = 0;
   SatRedundancyOptions sat;
   MuxRestructureOptions rebuild;
 };
@@ -21,6 +25,9 @@ struct SmartlyOptions {
 struct SmartlyStats {
   SatRedundancyStats sat;
   MuxRestructureStats rebuild;
+  /// §II sweep-engine detail (regions, dispatches). threads_used reflects
+  /// the machine and is the one field excluded from determinism checks.
+  opt::ParallelSweepStats sweep;
 };
 
 /// Run smaRTLy on an already-coarse-optimized module (the pass itself, the

@@ -12,19 +12,10 @@ using rtlil::NetlistIndex;
 using rtlil::Port;
 using rtlil::SigBit;
 
-namespace {
-
-/// Cells adjacent to a bit in the undirected netlist graph: its driver plus
-/// all its readers (sequential cells excluded — they cut the sub-graph).
-void adjacent_cells(const NetlistIndex& index, const SigBit& bit, std::vector<Cell*>& out) {
-  if (Cell* d = index.driver(bit); d && d->type() != CellType::Dff)
-    out.push_back(d);
-  for (Cell* r : index.readers(bit))
-    if (r->type() != CellType::Dff)
-      out.push_back(r);
-}
-
-} // namespace
+// Adjacency comes from rtlil::combinational_adjacent_cells: region
+// partitioning (opt/region_partition.cpp) must over-approximate these balls,
+// so extraction and partitioning share one definition.
+using rtlil::combinational_adjacent_cells;
 
 uint64_t cell_content_hash(const rtlil::Cell& cell, const rtlil::SigMap& sigmap) {
   uint64_t h = hash_mix(0x5eedc0de ^ static_cast<uint64_t>(cell.type()));
@@ -70,9 +61,9 @@ Subgraph SubgraphScratch::extract(const rtlil::Module& module, const NetlistInde
 
   // --- stage 1: undirected ball of radius k around target + known ---------
   // ("all logical gates within a specified distance k from the control port")
-  adjacent_cells(index, target, seeds_);
+  combinational_adjacent_cells(index, target, seeds_);
   for (const SigBit& kb : known)
-    adjacent_cells(index, kb, seeds_);
+    combinational_adjacent_cells(index, kb, seeds_);
   for (Cell* c : seeds_) {
     if (depth_.emplace(c, 0).second)
       queue_.push_back(c);
@@ -91,7 +82,7 @@ Subgraph SubgraphScratch::extract(const rtlil::Module& module, const NetlistInde
       for (const SigBit& raw : c->port(p)) {
         const SigBit bit = index.sigmap()(raw);
         if (bit.is_wire())
-          adjacent_cells(index, bit, next_);
+          combinational_adjacent_cells(index, bit, next_);
       }
     }
     for (Cell* n : next_) {

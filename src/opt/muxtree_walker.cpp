@@ -1,8 +1,8 @@
 #include "opt/muxtree_walker.hpp"
 
-#include "rtlil/topo.hpp"
 #include "util/log.hpp"
 
+#include <algorithm>
 #include <unordered_set>
 
 namespace smartly::opt {
@@ -16,94 +16,152 @@ using rtlil::SigBit;
 using rtlil::SigSpec;
 using rtlil::State;
 
-namespace {
+uint64_t trace_hash(const SigBit& ctrl, CtrlDecision d) {
+  const uint64_t h = ctrl.is_wire()
+                         ? hash_combine(std::hash<std::string>{}(ctrl.wire->name()),
+                                        static_cast<uint64_t>(ctrl.offset))
+                         : hash_mix(static_cast<uint64_t>(ctrl.data));
+  return hash_combine(h, static_cast<uint64_t>(d));
+}
 
-class Walker {
-public:
-  Walker(Module& module, MuxtreeOracle& oracle, MuxtreeStats& stats)
-      : module_(module), oracle_(oracle), stats_(stats), index_(module) {}
-
-  /// One full sweep over all muxtree roots. Returns true if anything changed.
-  bool sweep() {
-    changed_ = false;
-
-    // `internal[c] = p` when every output bit of mux/pmux `c` is read only by
-    // mux/pmux `p`, through its A or B port. Such cells are tree-internal and
-    // safe to rewrite under the path condition of the unique path to them.
-    std::unordered_map<Cell*, Cell*> parent;
-    for (const auto& cptr : module_.cells()) {
-      Cell* c = cptr.get();
-      if (c->type() != CellType::Mux && c->type() != CellType::Pmux)
-        continue;
-      Cell* p = unique_mux_parent(c);
-      if (p)
-        parent.emplace(c, p);
-    }
-
-    // Snapshot roots first: visit() may add cells (pmux narrowing) and must
-    // not invalidate this iteration.
-    std::vector<Cell*> roots;
-    for (const auto& cptr : module_.cells()) {
-      Cell* c = cptr.get();
-      if (c->type() != CellType::Mux && c->type() != CellType::Pmux)
-        continue;
-      if (parent.count(c))
-        continue; // internal: reached from its root
-      roots.push_back(c);
-    }
-    for (Cell* c : roots) {
-      if (removed_.count(c))
-        continue;
-      KnownMap known;
-      visit(c, known);
-    }
-
-    // Apply structural edits only now: mid-sweep the module must stay
-    // internally consistent (the oracle bit-blasts sub-graphs of it, and a
-    // collapsed-but-not-removed mux whose Y is already aliased to one of its
-    // inputs would look like a combinational cycle).
-    for (auto& [lhs, rhs] : pending_connects_)
-      module_.connect(lhs, rhs);
-    pending_connects_.clear();
-    module_.remove_cells(std::vector<Cell*>(removed_.begin(), removed_.end()));
-    removed_.clear();
-    return changed_;
+std::vector<uint64_t> canonical_trace(const DecisionTrace& trace) {
+  // Group per root, preserving order (per root, iterations ascend because
+  // both engines append iteration-by-iteration).
+  std::unordered_map<uint32_t, std::vector<const DecisionTrace::Entry*>> by_root;
+  std::vector<uint32_t> roots;
+  for (const auto& e : trace.entries) {
+    auto [it, inserted] = by_root.try_emplace(e.root);
+    if (inserted)
+      roots.push_back(e.root);
+    it->second.push_back(&e);
   }
+  std::sort(roots.begin(), roots.end());
+
+  std::vector<uint64_t> out;
+  std::vector<uint64_t> block, prev;
+  for (uint32_t root : roots) {
+    const auto& entries = by_root[root];
+    prev.clear();
+    size_t i = 0;
+    while (i < entries.size()) {
+      const uint32_t iter = entries[i]->iteration;
+      block.clear();
+      for (; i < entries.size() && entries[i]->iteration == iter; ++i)
+        block.push_back(entries[i]->hash);
+      if (block == prev)
+        continue; // replay of an unchanged tree: schedule noise, drop it
+      uint64_t h = hash_mix(0xb10c0000u + root);
+      for (uint64_t v : block)
+        h = hash_combine(h, v);
+      out.push_back(h);
+      std::swap(prev, block);
+    }
+  }
+  return out;
+}
+
+/// Output-port bits and non-mux readers disqualify.
+Cell* unique_mux_parent(const NetlistIndex& index, Cell* c) {
+  Cell* parent = nullptr;
+  for (const SigBit& raw : c->port(c->output_port())) {
+    const SigBit bit = index.sigmap()(raw);
+    if (!bit.is_wire())
+      return nullptr;
+    if (index.drives_output_port(bit))
+      return nullptr;
+    const auto& readers = index.readers(bit);
+    if (readers.size() != 1)
+      return nullptr;
+    Cell* r = readers[0];
+    if (r->type() != CellType::Mux && r->type() != CellType::Pmux)
+      return nullptr;
+    // Must be read through a data port (A or B), not S.
+    for (const SigBit& sraw : r->port(Port::S))
+      if (index.sigmap()(sraw) == bit)
+        return nullptr;
+    if (parent && parent != r)
+      return nullptr;
+    parent = r;
+  }
+  return parent;
+}
+
+MuxtreeForest muxtree_forest(const Module& module, const NetlistIndex& index) {
+  MuxtreeForest forest;
+  // `parent[c] = p` when every output bit of mux/pmux `c` is read only by
+  // mux/pmux `p`, through its A or B port. Such cells are tree-internal and
+  // safe to rewrite under the path condition of the unique path to them.
+  for (const auto& cptr : module.cells()) {
+    Cell* c = cptr.get();
+    if (c->type() != CellType::Mux && c->type() != CellType::Pmux)
+      continue;
+    Cell* p = unique_mux_parent(index, c);
+    if (p)
+      forest.parent.emplace(c, p);
+  }
+  for (const auto& cptr : module.cells()) {
+    Cell* c = cptr.get();
+    if (c->type() != CellType::Mux && c->type() != CellType::Pmux)
+      continue;
+    if (forest.parent.count(c))
+      continue; // internal: reached from its root
+    forest.roots.push_back(c);
+  }
+  return forest;
+}
+
+class MuxtreeWalker::Impl {
+public:
+  Impl(const NetlistIndex& index, MuxtreeOracle& oracle, MuxtreeStats& stats,
+       SweepJournal& journal, DecisionTrace* trace, uint32_t iteration)
+      : index_(index), oracle_(oracle), stats_(stats), journal_(journal),
+        trace_(trace), iteration_(iteration) {}
+
+  void walk_root(Cell* root, uint32_t root_order) {
+    if (removed_.count(root))
+      return;
+    root_order_ = root_order;
+    KnownMap* known = acquire_known();
+    visit(root, *known);
+    release_known(known);
+  }
+
+  bool changed_ = false;
 
 private:
-  /// The unique mux/pmux cell reading all of c's output bits via A/B, or
-  /// nullptr. Output-port bits and non-mux readers disqualify.
-  Cell* unique_mux_parent(Cell* c) {
-    Cell* parent = nullptr;
-    for (const SigBit& raw : c->port(c->output_port())) {
-      const SigBit bit = index_.sigmap()(raw);
-      if (!bit.is_wire())
-        return nullptr;
-      if (index_.drives_output_port(bit))
-        return nullptr;
-      const auto& readers = index_.readers(bit);
-      if (readers.size() != 1)
-        return nullptr;
-      Cell* r = readers[0];
-      if (r->type() != CellType::Mux && r->type() != CellType::Pmux)
-        return nullptr;
-      // Must be read through a data port (A or B), not S.
-      for (const SigBit& sraw : r->port(Port::S))
-        if (index_.sigmap()(sraw) == bit)
-          return nullptr;
-      if (parent && parent != r)
-        return nullptr;
-      parent = r;
+  // --- known-map pool ------------------------------------------------------
+  // One KnownMap per live path-stack level, recycled across nodes and roots
+  // so the per-node cost is entry insertion, not hash-table construction.
+  // owned_ holds every map ever created (leak-free even if decide() throws
+  // mid-recursion); free_ is the recycling stack of checked-in maps.
+  KnownMap* acquire_known() {
+    if (free_.empty()) {
+      owned_.push_back(std::make_unique<KnownMap>());
+      return owned_.back().get();
     }
-    return parent;
+    KnownMap* m = free_.back();
+    free_.pop_back();
+    m->clear();
+    return m;
   }
+  void release_known(KnownMap* m) { free_.push_back(m); }
 
   CtrlDecision decide(SigBit ctrl_raw, const KnownMap& known) {
     const SigBit ctrl = index_.sigmap()(ctrl_raw);
     if (ctrl.is_const())
       return ctrl.data == State::S1 ? CtrlDecision::One : CtrlDecision::Zero;
     ++stats_.oracle_queries;
-    return oracle_.decide(ctrl, known);
+    const CtrlDecision d = oracle_.decide(ctrl, known);
+    if (trace_)
+      trace_->entries.push_back({iteration_, root_order_, trace_hash(ctrl, d)});
+    return d;
+  }
+
+  void journal_mutated(Cell* c) {
+    if (mutated_.insert(c).second)
+      journal_.mutated.push_back(c);
+    oracle_.notify_cell_mutated(c);
+    changed_ = true;
   }
 
   /// Replace known data-port bits with their constants (paper Fig. 2).
@@ -126,8 +184,7 @@ private:
       }
       if (mutated) {
         c->set_port(p, sig);
-        oracle_.notify_cell_mutated(c);
-        changed_ = true;
+        journal_mutated(c);
       }
     }
   }
@@ -170,7 +227,7 @@ private:
   /// conditions — i.e. the parent's own `known` — since each branch's extra
   /// constraint only holds on its own path.
   void descend_branches(Cell* reader, const KnownMap& parent_known,
-                        const std::vector<std::pair<SigSpec, KnownMap>>& branches) {
+                        const std::vector<std::pair<SigSpec, const KnownMap*>>& branches) {
     std::unordered_map<Cell*, int> hits; // child -> first branch index or -2 (multi)
     for (size_t i = 0; i < branches.size(); ++i) {
       for (Cell* child : branch_children(reader, branches[i].first)) {
@@ -180,7 +237,7 @@ private:
       }
     }
     for (const auto& [child, idx] : hits)
-      visit(child, idx == -2 ? parent_known : branches[static_cast<size_t>(idx)].second);
+      visit(child, idx == -2 ? parent_known : *branches[static_cast<size_t>(idx)].second);
   }
 
   void visit(Cell* c, const KnownMap& known) {
@@ -196,23 +253,27 @@ private:
         // either input is acceptable — pick A.
         const Port pick = (d == CtrlDecision::One) ? Port::B : Port::A;
         const SigSpec kept = c->port(pick);
-        pending_connects_.emplace_back(c->port(Port::Y), kept);
+        journal_.connects.emplace_back(c->port(Port::Y), kept);
         removed_.insert(c);
+        journal_.removed.push_back(c);
         oracle_.notify_cell_removed(c);
         ++stats_.mux_collapsed;
         changed_ = true;
-        descend_branches(c, known, {{kept, known}}); // no new constraint
+        descend_branches(c, known, {{kept, &known}}); // no new constraint
         return;
       }
       const SigBit s = index_.sigmap()(c->port(Port::S)[0]);
-      KnownMap k0 = known;
-      if (s.is_wire())
-        k0[s] = false;
-      KnownMap k1 = known;
-      if (s.is_wire())
-        k1[s] = true;
-      descend_branches(c, known,
-                       {{c->port(Port::A), k0}, {c->port(Port::B), k1}});
+      KnownMap* k0 = acquire_known();
+      KnownMap* k1 = acquire_known();
+      *k0 = known;
+      *k1 = known;
+      if (s.is_wire()) {
+        (*k0)[s] = false;
+        (*k1)[s] = true;
+      }
+      descend_branches(c, known, {{c->port(Port::A), k0}, {c->port(Port::B), k1}});
+      release_known(k1);
+      release_known(k0);
       return;
     }
 
@@ -251,25 +312,32 @@ private:
       changed_ = true;
 
     // Recurse into surviving branches with their path conditions.
-    std::vector<std::pair<SigSpec, KnownMap>> branches;
+    std::vector<KnownMap*> branch_known;
+    std::vector<std::pair<SigSpec, const KnownMap*>> branches;
     for (int i = 0; i < new_s.size(); ++i) {
-      KnownMap k = known;
+      KnownMap* k = acquire_known();
+      *k = known;
       for (int j = 0; j < i; ++j)
         if (kept_sel[static_cast<size_t>(j)].is_wire())
-          k[kept_sel[static_cast<size_t>(j)]] = false;
+          (*k)[kept_sel[static_cast<size_t>(j)]] = false;
       const SigBit si = index_.sigmap()(new_s[i]);
       if (si.is_wire())
-        k[si] = true;
-      branches.emplace_back(new_b.extract(i * width, width), std::move(k));
+        (*k)[si] = true;
+      branch_known.push_back(k);
+      branches.emplace_back(new_b.extract(i * width, width), k);
     }
     {
-      KnownMap k = known;
+      KnownMap* k = acquire_known();
+      *k = known;
       for (const SigBit& sb : kept_sel)
         if (sb.is_wire())
-          k[sb] = false;
-      branches.emplace_back(new_a, std::move(k));
+          (*k)[sb] = false;
+      branch_known.push_back(k);
+      branches.emplace_back(new_a, k);
     }
     descend_branches(c, known, branches);
+    for (auto it = branch_known.rbegin(); it != branch_known.rend(); ++it)
+      release_known(*it);
 
     if (!mutated)
       return;
@@ -277,38 +345,102 @@ private:
     // a pmux here (opt_expr converts it to $mux later): adding replacement
     // cells mid-sweep would leave the Y bits double-driven until removal.
     if (new_s.empty()) {
-      pending_connects_.emplace_back(c->port(Port::Y), new_a);
+      journal_.connects.emplace_back(c->port(Port::Y), new_a);
       removed_.insert(c);
+      journal_.removed.push_back(c);
       oracle_.notify_cell_removed(c);
     } else {
       c->set_port(Port::A, new_a);
       c->set_port(Port::B, new_b);
       c->set_port(Port::S, new_s);
       c->infer_widths();
-      oracle_.notify_cell_mutated(c);
+      journal_mutated(c);
     }
   }
 
-  Module& module_;
+private:
+  const NetlistIndex& index_;
   MuxtreeOracle& oracle_;
   MuxtreeStats& stats_;
-  NetlistIndex index_;
+  SweepJournal& journal_;
+  DecisionTrace* trace_;
+  uint32_t iteration_;
+  uint32_t root_order_ = 0;
   std::unordered_set<Cell*> removed_;
-  std::vector<std::pair<SigSpec, SigSpec>> pending_connects_;
-  bool changed_ = false;
+  std::unordered_set<Cell*> mutated_;
+  std::vector<std::unique_ptr<KnownMap>> owned_;
+  std::vector<KnownMap*> free_;
 };
 
-} // namespace
+MuxtreeWalker::MuxtreeWalker(const NetlistIndex& index, MuxtreeOracle& oracle,
+                             MuxtreeStats& stats, SweepJournal& journal,
+                             DecisionTrace* trace, uint32_t iteration)
+    : impl_(std::make_unique<Impl>(index, oracle, stats, journal, trace, iteration)) {}
 
-MuxtreeStats optimize_muxtrees(Module& module, MuxtreeOracle& oracle) {
+MuxtreeWalker::~MuxtreeWalker() = default;
+
+void MuxtreeWalker::walk_root(Cell* root, uint32_t root_order) {
+  impl_->walk_root(root, root_order);
+}
+
+bool MuxtreeWalker::changed() const noexcept { return impl_->changed_; }
+
+void apply_sweep_journal(Module& module, NetlistIndex& index, const SweepJournal& journal,
+                         bool finalize) {
+  // Removals first: their driver entries must be gone before aliasing merges
+  // their output class onto the kept input (a rebuild of the edited module
+  // sees exactly one driver per merged net).
+  for (Cell* c : journal.removed)
+    index.remove_cell(c);
+  // Connects next, mirrored 1:1 into the module so a from-scratch SigMap of
+  // the edited module replays the same union-find operations in the same
+  // order and lands on the same representatives.
+  for (const auto& [lhs, rhs] : journal.connects) {
+    index.add_alias(lhs, rhs);
+    module.connect(lhs, rhs);
+  }
+  // Mutated survivors last, so their fresh reader entries are keyed under
+  // the post-connect canonical bits.
+  std::unordered_set<Cell*> dead(journal.removed.begin(), journal.removed.end());
+  for (Cell* c : journal.mutated)
+    if (!dead.count(c))
+      index.refresh_cell_reads(c);
+  module.remove_cells(journal.removed);
+  if (finalize) {
+    index.compact_topo();
+    index.sigmap().flatten();
+  }
+}
+
+std::unordered_map<const Cell*, uint32_t> stable_cell_order(const Module& module) {
+  std::unordered_map<const Cell*, uint32_t> order;
+  order.reserve(module.cells().size());
+  uint32_t i = 0;
+  for (const auto& cptr : module.cells())
+    order.emplace(cptr.get(), i++);
+  return order;
+}
+
+MuxtreeStats optimize_muxtrees(Module& module, MuxtreeOracle& oracle, DecisionTrace* trace) {
   MuxtreeStats stats;
-  constexpr size_t kMaxIterations = 16;
-  for (size_t i = 0; i < kMaxIterations; ++i) {
+  NetlistIndex index(module);
+  index.sigmap().flatten();
+  // Trace roots by their position at engine start: removals shift later
+  // cells' per-iteration positions, which would make the same tree look like
+  // a different root in every iteration's trace blocks.
+  const auto stable_order = stable_cell_order(module);
+  SweepJournal journal;
+  for (size_t i = 0; i < kMaxSweepIterations; ++i) {
     ++stats.iterations;
-    oracle.begin_module(module);
-    Walker walker(module, oracle, stats);
-    if (!walker.sweep())
+    oracle.begin_module(module, index);
+    journal.clear();
+    MuxtreeWalker walker(index, oracle, stats, journal, trace, static_cast<uint32_t>(i));
+    const MuxtreeForest forest = muxtree_forest(module, index);
+    for (Cell* root : forest.roots)
+      walker.walk_root(root, stable_order.at(root));
+    if (!walker.changed())
       break;
+    apply_sweep_journal(module, index, journal);
   }
   return stats;
 }

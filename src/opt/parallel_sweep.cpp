@@ -1,0 +1,380 @@
+#include "opt/parallel_sweep.hpp"
+
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace smartly::opt {
+
+using rtlil::Cell;
+using rtlil::NetlistIndex;
+using rtlil::Port;
+using rtlil::SigBit;
+
+namespace {
+
+void accumulate(MuxtreeStats& into, const MuxtreeStats& from) {
+  into.mux_collapsed += from.mux_collapsed;
+  into.pmux_branches_removed += from.pmux_branches_removed;
+  into.data_bits_replaced += from.data_bits_replaced;
+  into.oracle_queries += from.oracle_queries;
+  // iterations counted by the engine loop, not per region walk
+}
+
+struct RegionState {
+  std::vector<Cell*> roots;      ///< stable_order ascending
+  std::vector<Cell*> tree_cells; ///< membership queries only (unordered)
+  /// Canonical port bits of every read-closure cell. A barrier net merge can
+  /// only influence this region if one of the merged bits is in here, so the
+  /// cross-region dirty test is pure hash lookups — no per-barrier BFS.
+  /// Conservative between recomputes: local edits only shrink the closure.
+  std::unordered_set<SigBit> closure_bits;
+  MuxtreeOracle* oracle = nullptr;
+  bool dirty = true;
+  bool alive = true;
+  /// Barrier scratch: closure recompute flagged / overlap results.
+  bool recompute = false;
+  std::vector<size_t> overlaps;
+};
+
+/// closure_bits of a freshly computed closure cell set.
+std::unordered_set<SigBit> closure_bit_set(const NetlistIndex& index,
+                                           const std::vector<Cell*>& closure_cells) {
+  std::unordered_set<SigBit> bits;
+  for (Cell* c : closure_cells)
+    for (int pi = 0; pi < rtlil::kPortCount; ++pi) {
+      const Port p = static_cast<Port>(pi);
+      if (!c->has_port(p))
+        continue;
+      for (const SigBit& raw : c->port(p)) {
+        const SigBit bit = index.sigmap()(raw);
+        if (bit.is_wire())
+          bits.insert(bit);
+      }
+    }
+  return bits;
+}
+
+/// Recompute region `self`'s read closure on the current index, refresh its
+/// closure_bits, and return the foreign regions whose trees the closure now
+/// reaches — the engine's safety invariant check.
+std::vector<size_t> refresh_closure(RegionState& r, size_t self, const NetlistIndex& index,
+                                    const std::unordered_map<const Cell*, size_t>& region_of,
+                                    int ball_radius) {
+  const std::vector<Cell*> closure = region_read_closure(index, r.tree_cells, ball_radius);
+  r.closure_bits = closure_bit_set(index, closure);
+  std::vector<size_t> overlaps;
+  std::unordered_set<size_t> seen;
+  for (Cell* c : closure) {
+    auto it = region_of.find(c);
+    if (it != region_of.end() && it->second != self && seen.insert(it->second).second)
+      overlaps.push_back(it->second);
+  }
+  return overlaps;
+}
+
+} // namespace
+
+ParallelSweepEngine::ParallelSweepEngine(rtlil::Module& module,
+                                         const ParallelSweepOptions& options)
+    : module_(module), options_(options) {
+  if (!options_.make_oracle)
+    throw std::logic_error("ParallelSweepEngine: make_oracle factory is required");
+}
+
+ParallelSweepEngine::~ParallelSweepEngine() = default;
+
+ParallelSweepStats ParallelSweepEngine::run(DecisionTrace* trace) {
+  ParallelSweepStats stats;
+  NetlistIndex index(module_);
+  index.sigmap().flatten();
+  oracles_.clear();
+
+  const bool debug_timing = std::getenv("SMARTLY_SWEEP_DEBUG") != nullptr;
+  auto now = [] { return std::chrono::steady_clock::now(); };
+  auto secs = [](std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  };
+
+  const auto stable_order = stable_cell_order(module_);
+  const MuxtreeForest forest = muxtree_forest(module_, index);
+  const RegionPartition partition =
+      partition_regions(module_, index, forest, options_.ball_radius);
+  stats.regions = partition.regions.size();
+
+  // More workers than regions can ever run is pure spawn/join overhead (a
+  // design with many small modules pays it once per module).
+  const int width = std::min<int>(util::resolve_thread_count(options_.threads),
+                                  std::max<size_t>(partition.regions.size(), 1));
+  util::ThreadPool pool(width);
+  stats.threads_used = pool.size();
+
+  std::vector<RegionState> regions(partition.regions.size());
+  std::unordered_map<const Cell*, size_t> region_of; // mux tree cell -> region id
+  for (size_t i = 0; i < partition.regions.size(); ++i) {
+    regions[i].roots = partition.regions[i].roots;
+    regions[i].tree_cells = partition.regions[i].tree_cells;
+    stats.largest_region_trees =
+        std::max(stats.largest_region_trees, partition.regions[i].roots.size());
+    for (Cell* c : regions[i].tree_cells)
+      region_of.emplace(c, i);
+  }
+  // Initial closure-bit sets from the closures the partitioner already
+  // walked; one parallel task per region.
+  pool.run_batch(regions.size(), [&](int, size_t i) {
+    regions[i].closure_bits = closure_bit_set(index, partition.closures[i]);
+  });
+
+  struct Slot {
+    SweepJournal journal;
+    MuxtreeStats stats;
+    DecisionTrace trace;
+  };
+
+  std::vector<SigBit> rewired_bits; ///< removed output classes of the last barrier
+  for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    ++stats.walker.iterations;
+    auto t_iter = now();
+
+    std::vector<RegionState*> work;
+    for (RegionState& r : regions) {
+      if (!r.alive)
+        continue;
+      if (!r.dirty) {
+        ++stats.regions_skipped_clean;
+        continue;
+      }
+      work.push_back(&r);
+    }
+    if (work.empty())
+      break;
+
+    // Oracle creation and cross-region invalidation stay on this thread:
+    // oracles_ grows here, and the rewired-net notification mirrors, for
+    // other regions' removals, what the oracle's own begin_module flush does
+    // for its own (see IncrementalOracle::notify_external_rewire).
+    for (RegionState* r : work) {
+      if (!r->oracle) {
+        oracles_.push_back(options_.make_oracle());
+        r->oracle = oracles_.back().get();
+      }
+      if (!rewired_bits.empty())
+        r->oracle->notify_external_rewire(rewired_bits);
+    }
+    rewired_bits.clear();
+
+    // Parallel phase: the module and index are frozen except for in-place
+    // input-port shrinks of each region's own tree cells, which no other
+    // region's read closure can reach (see region_partition.hpp).
+    auto t_walk = now();
+    std::vector<Slot> slots(work.size());
+    pool.run_batch(work.size(), [&](int, size_t i) {
+      RegionState& r = *work[i];
+      r.oracle->begin_module(module_, index);
+      Slot& slot = slots[i];
+      MuxtreeWalker walker(index, *r.oracle, slot.stats, slot.journal,
+                           trace ? &slot.trace : nullptr, static_cast<uint32_t>(iter));
+      for (Cell* root : r.roots)
+        walker.walk_root(root, stable_order.at(root));
+    });
+    const double walk_secs = secs(t_walk);
+
+    // Barrier: aggregate and apply in canonical region order, so the
+    // module's connection list, cell removals, and statistics are identical
+    // for every thread count.
+    auto t_apply = now();
+    bool any_change = false;
+    // Both sides of every applied connect, in sweep-time *and* post-apply
+    // canonicalization: the nets through which one region's edits can reach
+    // another (foreign mux cells are excluded from every extraction ball by
+    // the partition invariant, and foreign non-mux cells never change).
+    std::unordered_set<SigBit> merge_bits;
+    for (size_t i = 0; i < work.size(); ++i) {
+      ++stats.region_walks;
+      accumulate(stats.walker, slots[i].stats);
+      if (trace)
+        trace->entries.insert(trace->entries.end(), slots[i].trace.entries.begin(),
+                              slots[i].trace.entries.end());
+      if (slots[i].journal.empty()) {
+        work[i]->dirty = false;
+        continue;
+      }
+      any_change = true;
+      // A region that edited anything re-runs: its own connects/constants can
+      // enable further decisions, exactly like the serial fixpoint.
+      work[i]->dirty = true;
+      for (const auto& [lhs, rhs] : slots[i].journal.connects)
+        for (const auto* spec : {&lhs, &rhs})
+          for (const SigBit& raw : *spec) {
+            const SigBit bit = index.sigmap()(raw);
+            if (bit.is_wire())
+              merge_bits.insert(bit); // sweep-time representative
+          }
+      for (Cell* c : slots[i].journal.removed) {
+        for (const SigBit& raw : c->port(c->output_port())) {
+          const SigBit bit = index.sigmap()(raw);
+          if (bit.is_wire())
+            rewired_bits.push_back(bit);
+        }
+        region_of.erase(c);
+      }
+      if (!slots[i].journal.removed.empty()) {
+        std::unordered_set<Cell*> dead(slots[i].journal.removed.begin(),
+                                       slots[i].journal.removed.end());
+        auto& cells = work[i]->tree_cells;
+        cells.erase(std::remove_if(cells.begin(), cells.end(),
+                                   [&](Cell* c) { return dead.count(c) != 0; }),
+                    cells.end());
+      }
+      apply_sweep_journal(module_, index, slots[i].journal, /*finalize=*/false);
+    }
+    if (any_change) {
+      index.compact_topo();
+      index.sigmap().flatten();
+    } else {
+      break;
+    }
+    {
+      std::vector<SigBit> post;
+      post.reserve(merge_bits.size());
+      for (const SigBit& b : merge_bits)
+        post.push_back(index.sigmap()(b)); // post-apply representative
+      merge_bits.insert(post.begin(), post.end());
+    }
+    const double apply_secs = secs(t_apply);
+
+    // Re-derive the muxtree forest only inside regions that edited anything:
+    // tree edges never cross region boundaries, and an empty-journal region's
+    // parent relation cannot have changed (its cells' output readers can only
+    // gain/lose entries through its own connects/removals — a foreign mux
+    // adjacent enough to matter would have merged regions at partition time).
+    auto t_forest = now();
+    for (size_t i = 0; i < work.size(); ++i) {
+      if (slots[i].journal.empty())
+        continue;
+      RegionState& r = *work[i];
+      r.roots.clear();
+      for (Cell* c : r.tree_cells)
+        if (!unique_mux_parent(index, c))
+          r.roots.push_back(c);
+      std::sort(r.roots.begin(), r.roots.end(), [&](Cell* a, Cell* b) {
+        return stable_order.at(a) < stable_order.at(b);
+      });
+    }
+    const double forest_secs = secs(t_forest);
+
+    // Cross-region dirty propagation: a region whose closure reads one of
+    // the merged nets must re-run, and — since the merge can extend its
+    // closure by one hop through the merged class — gets its closure
+    // recomputed (parallel batch) and rechecked for new overlaps. Everything
+    // else was already marked dirty by its own journal; shrink-only edits
+    // cannot grow a closure, so their stale closure_bits stay conservative.
+    auto t_dirty = now();
+    std::vector<size_t> flagged;
+    for (size_t i = 0; i < regions.size(); ++i) {
+      RegionState& r = regions[i];
+      if (!r.alive)
+        continue;
+      r.recompute = false;
+      r.overlaps.clear();
+      if (r.tree_cells.empty()) {
+        // Every tree collapsed: nothing left to walk or to invalidate.
+        r.dirty = false;
+        r.closure_bits.clear();
+        continue;
+      }
+      for (const SigBit& b : merge_bits)
+        if (r.closure_bits.count(b)) {
+          r.dirty = true;
+          r.recompute = true;
+          flagged.push_back(i);
+          break;
+        }
+    }
+    pool.run_batch(flagged.size(), [&](int, size_t i) {
+      const size_t self = flagged[i];
+      regions[self].overlaps =
+          refresh_closure(regions[self], self, index, region_of, options_.ball_radius);
+    });
+
+    // Serial merge pass, ascending region id (deterministic). Merges are
+    // rare; merged regions start from a fresh oracle, which re-derives
+    // rather than re-uses — identical either way.
+    std::deque<size_t> recheck;
+    for (size_t i = 0; i < regions.size(); ++i)
+      if (regions[i].alive && regions[i].recompute && !regions[i].overlaps.empty())
+        recheck.push_back(i);
+    while (!recheck.empty()) {
+      const size_t rid = recheck.front();
+      recheck.pop_front();
+      RegionState& r = regions[rid];
+      if (!r.alive)
+        continue;
+      std::unordered_set<size_t> overlaps;
+      for (size_t o : r.overlaps)
+        if (regions[o].alive && o != rid)
+          overlaps.insert(o);
+      r.overlaps.clear();
+      if (overlaps.empty())
+        continue;
+      size_t target = rid;
+      for (size_t o : overlaps)
+        target = std::min(target, o);
+      overlaps.insert(rid);
+      overlaps.erase(target);
+      RegionState& into = regions[target];
+      for (size_t o : overlaps) {
+        RegionState& victim = regions[o];
+        victim.alive = false;
+        into.roots.insert(into.roots.end(), victim.roots.begin(), victim.roots.end());
+        into.tree_cells.insert(into.tree_cells.end(), victim.tree_cells.begin(),
+                               victim.tree_cells.end());
+        into.closure_bits.insert(victim.closure_bits.begin(), victim.closure_bits.end());
+        for (Cell* c : victim.tree_cells)
+          region_of[c] = target;
+        victim.roots.clear();
+        victim.tree_cells.clear();
+        victim.closure_bits.clear();
+        victim.oracle = nullptr; // retired oracle stays in oracles_ for stats
+        ++stats.region_merges;
+      }
+      std::sort(into.roots.begin(), into.roots.end(), [&](Cell* a, Cell* b) {
+        return stable_order.at(a) < stable_order.at(b);
+      });
+      into.oracle = nullptr; // constituents' caches cannot be merged
+      into.dirty = true;
+      // The union's closure needs its own overlap pass (rare path: serial).
+      into.overlaps = refresh_closure(into, target, index, region_of, options_.ball_radius);
+      if (!into.overlaps.empty())
+        recheck.push_back(target);
+    }
+    if (!options_.requeue_dirty_only) {
+      // Walk-everything fixpoint (differential/debug mode): clean-region
+      // walks are pure no-op replays, so this cannot change the result.
+      for (RegionState& r : regions)
+        if (r.alive && !r.tree_cells.empty())
+          r.dirty = true;
+    }
+    if (debug_timing)
+      std::fprintf(stderr,
+                   "sweep iter %zu: walks %zu, walk %.4fs, apply %.4fs, forest %.4fs, "
+                   "dirty %.4fs (flagged %zu), total %.4fs\n",
+                   iter, work.size(), walk_secs, apply_secs, forest_secs, secs(t_dirty),
+                   flagged.size(), secs(t_iter));
+  }
+  return stats;
+}
+
+ParallelSweepStats parallel_sweep(rtlil::Module& module, const ParallelSweepOptions& options,
+                                  DecisionTrace* trace) {
+  ParallelSweepEngine engine(module, options);
+  return engine.run(trace);
+}
+
+} // namespace smartly::opt

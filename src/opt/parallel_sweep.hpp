@@ -1,0 +1,83 @@
+// Parallel deterministic sweep engine (ISSUE 3 tentpole).
+//
+// Muxtrees with disjoint read closures are independent optimization
+// problems. The engine partitions the module into regions once
+// (region_partition.hpp), then iterates to fixpoint:
+//   1. dirty regions are dispatched to a work-stealing pool; each region
+//      owns a persistent oracle (state travels with the region, not the
+//      worker, so decisions depend only on region content — never on the
+//      thread count or which worker got which region — while cross-iteration
+//      caches keep paying off) and records its edits into a private
+//      SweepJournal;
+//   2. at the barrier, journals are applied in canonical region order and
+//      the shared NetlistIndex is updated incrementally from them;
+//   3. regions whose trees lie within the oracle ball radius of a changed
+//      net are re-queued; their read closures are recomputed on the updated
+//      index (an applied connect can extend a closure by one hop), and
+//      regions whose closures now overlap are merged (fresh oracle).
+// The resulting netlist, statistics, and decision traces are bit-identical
+// for every thread count.
+#pragma once
+
+#include "opt/muxtree_walker.hpp"
+#include "opt/region_partition.hpp"
+
+#include <functional>
+#include <memory>
+
+namespace smartly::opt {
+
+struct ParallelSweepOptions {
+  /// Worker threads. 0 = one per hardware thread.
+  int threads = 0;
+  /// Read-closure radius for region merging and dirty propagation; must be
+  /// >= the oracle's sub-graph extraction distance k (SubgraphOptions::depth).
+  int ball_radius = 4;
+  size_t max_iterations = kMaxSweepIterations; ///< keep equal to the serial cap
+  /// Re-queue only regions near a change for the next iteration. Walking a
+  /// clean region is a pure no-op replay, so disabling this cannot change
+  /// the result — it only mirrors the serial engine's walk-everything
+  /// fixpoint (used by the differential benches).
+  bool requeue_dirty_only = true;
+  /// Factory for per-region oracles, called lazily at first dispatch (and
+  /// again when regions merge).
+  std::function<std::unique_ptr<MuxtreeOracle>()> make_oracle;
+};
+
+struct ParallelSweepStats {
+  MuxtreeStats walker;
+  size_t regions = 0;                ///< regions in the initial partition
+  size_t largest_region_trees = 0;   ///< available parallelism indicator
+  size_t region_walks = 0;           ///< region dispatches over all iterations
+  size_t regions_skipped_clean = 0;  ///< dirty-only re-queue savings
+  size_t region_merges = 0;          ///< barrier-time closure-overlap merges
+  int threads_used = 0;              ///< schedule detail; excluded from determinism checks
+};
+
+class ParallelSweepEngine {
+public:
+  ParallelSweepEngine(rtlil::Module& module, const ParallelSweepOptions& options);
+  ~ParallelSweepEngine();
+
+  /// Run the sweep to fixpoint. Optionally records every oracle decision
+  /// (tagged iteration + root) for differential testing.
+  ParallelSweepStats run(DecisionTrace* trace = nullptr);
+
+  /// Every oracle the run created (active regions plus oracles retired by
+  /// region merges). Valid until destruction; callers aggregate
+  /// oracle-specific statistics from these after run().
+  const std::vector<std::unique_ptr<MuxtreeOracle>>& oracles() const noexcept {
+    return oracles_;
+  }
+
+private:
+  rtlil::Module& module_;
+  ParallelSweepOptions options_;
+  std::vector<std::unique_ptr<MuxtreeOracle>> oracles_;
+};
+
+/// Convenience wrapper: construct, run, discard oracles.
+ParallelSweepStats parallel_sweep(rtlil::Module& module, const ParallelSweepOptions& options,
+                                  DecisionTrace* trace = nullptr);
+
+} // namespace smartly::opt

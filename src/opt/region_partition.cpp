@@ -1,0 +1,197 @@
+#include "opt/region_partition.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace smartly::opt {
+
+using rtlil::Cell;
+using rtlil::CellType;
+using rtlil::NetlistIndex;
+using rtlil::Port;
+using rtlil::SigBit;
+
+namespace {
+
+using rtlil::combinational_adjacent_cells;
+
+struct UnionFind {
+  std::vector<size_t> parent;
+  explicit UnionFind(size_t n) : parent(n) {
+    for (size_t i = 0; i < n; ++i)
+      parent[i] = i;
+  }
+  size_t find(size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  bool unite(size_t a, size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b)
+      return false;
+    // Deterministic representative: the smaller tree id (regions are later
+    // ordered by first-root index, which ascends with tree id).
+    if (b < a)
+      std::swap(a, b);
+    parent[b] = a;
+    return true;
+  }
+};
+
+} // namespace
+
+std::vector<Cell*> cells_within_radius(const NetlistIndex& index,
+                                       const std::vector<SigBit>& seeds, int radius) {
+  std::unordered_map<Cell*, int> depth;
+  std::deque<Cell*> queue;
+  std::vector<Cell*> scratch;
+  for (const SigBit& b : seeds) {
+    if (!b.is_wire())
+      continue;
+    scratch.clear();
+    combinational_adjacent_cells(index, index.sigmap()(b), scratch);
+    for (Cell* c : scratch)
+      if (depth.emplace(c, 1).second)
+        queue.push_back(c);
+  }
+  while (!queue.empty()) {
+    Cell* c = queue.front();
+    queue.pop_front();
+    const int d = depth[c];
+    if (d >= radius)
+      continue;
+    scratch.clear();
+    for (int pi = 0; pi < rtlil::kPortCount; ++pi) {
+      const Port p = static_cast<Port>(pi);
+      if (!c->has_port(p))
+        continue;
+      for (const SigBit& raw : c->port(p)) {
+        const SigBit bit = index.sigmap()(raw);
+        if (bit.is_wire())
+          combinational_adjacent_cells(index, bit, scratch);
+      }
+    }
+    for (Cell* n : scratch)
+      if (depth.emplace(n, d + 1).second)
+        queue.push_back(n);
+  }
+  std::vector<Cell*> out;
+  out.reserve(depth.size());
+  for (const auto& [cell, d] : depth) {
+    (void)d;
+    out.push_back(cell);
+  }
+  return out;
+}
+
+std::vector<Cell*> region_read_closure(const NetlistIndex& index,
+                                       const std::vector<Cell*>& tree_cells,
+                                       int ball_radius) {
+  std::vector<SigBit> select_bits, all_bits;
+  for (Cell* c : tree_cells) {
+    for (int pi = 0; pi < rtlil::kPortCount; ++pi) {
+      const Port p = static_cast<Port>(pi);
+      if (!c->has_port(p))
+        continue;
+      for (const SigBit& raw : c->port(p)) {
+        const SigBit bit = index.sigmap()(raw);
+        if (!bit.is_wire())
+          continue;
+        all_bits.push_back(bit);
+        if (p == Port::S)
+          select_bits.push_back(bit);
+      }
+    }
+  }
+  std::unordered_set<Cell*> closure;
+  // Oracle balls: extraction seeds cells adjacent to ctrl/known (depth 0)
+  // and expands to distance k, i.e. k+1 cell layers from the select bits.
+  for (Cell* c : cells_within_radius(index, select_bits, ball_radius + 1))
+    closure.insert(c);
+  // Walker reads: parent/child checks touch the 1-neighbourhood of every
+  // tree bit (and read the S ports of mux readers found there).
+  for (Cell* c : cells_within_radius(index, all_bits, 1))
+    closure.insert(c);
+  return std::vector<Cell*>(closure.begin(), closure.end());
+}
+
+RegionPartition partition_regions(const rtlil::Module& module, const NetlistIndex& index,
+                                  const MuxtreeForest& forest, int ball_radius) {
+  (void)module;
+  RegionPartition out;
+  const size_t n_trees = forest.roots.size();
+  out.trees = n_trees;
+  if (n_trees == 0)
+    return out;
+
+  // Tree membership: chase parent chains (acyclic: data edges of a DAG).
+  std::unordered_map<const Cell*, size_t> tree_of;
+  std::unordered_map<const Cell*, size_t> root_id;
+  for (size_t i = 0; i < n_trees; ++i) {
+    root_id.emplace(forest.roots[i], i);
+    tree_of.emplace(forest.roots[i], i);
+  }
+  std::vector<std::vector<Cell*>> tree_cells(n_trees);
+  for (size_t i = 0; i < n_trees; ++i)
+    tree_cells[i].push_back(forest.roots[i]);
+  std::vector<Cell*> chain;
+  for (const auto& [cell, parent] : forest.parent) {
+    (void)parent;
+    Cell* c = cell;
+    chain.clear();
+    while (!tree_of.count(c)) {
+      chain.push_back(c);
+      c = forest.parent.at(c);
+    }
+    const size_t t = tree_of.at(c);
+    for (Cell* link : chain) {
+      tree_of.emplace(link, t);
+      tree_cells[t].push_back(link);
+    }
+  }
+
+  // Read closure per tree -> union trees that could read each other's cells.
+  UnionFind uf(n_trees);
+  std::vector<std::vector<Cell*>> tree_closures(n_trees);
+  for (size_t t = 0; t < n_trees; ++t) {
+    tree_closures[t] = region_read_closure(index, tree_cells[t], ball_radius);
+    for (Cell* c : tree_closures[t]) {
+      auto it = tree_of.find(c);
+      if (it != tree_of.end() && it->second != t)
+        out.merged_edges += uf.unite(t, it->second) ? 1 : 0;
+    }
+  }
+
+  // Emit regions in canonical order. Trees ascend by first-root module index
+  // (forest.roots is in module cell order), so grouping by representative and
+  // sorting by min tree id yields a schedule-independent ordering.
+  std::unordered_map<size_t, size_t> rep_to_region;
+  std::vector<std::unordered_set<Cell*>> closure_sets;
+  for (size_t t = 0; t < n_trees; ++t) {
+    const size_t rep = uf.find(t);
+    auto [it, inserted] = rep_to_region.try_emplace(rep, out.regions.size());
+    if (inserted) {
+      out.regions.emplace_back();
+      closure_sets.emplace_back();
+    }
+    Region& region = out.regions[it->second];
+    region.roots.push_back(forest.roots[t]);
+    region.tree_cells.insert(region.tree_cells.end(), tree_cells[t].begin(),
+                             tree_cells[t].end());
+    closure_sets[it->second].insert(tree_closures[t].begin(), tree_closures[t].end());
+  }
+  // rep_to_region assigns region ids in ascending first-tree order and trees
+  // ascend by first-root module index, so regions are already canonical.
+  out.closures.reserve(closure_sets.size());
+  for (const auto& s : closure_sets)
+    out.closures.emplace_back(s.begin(), s.end());
+  return out;
+}
+
+} // namespace smartly::opt

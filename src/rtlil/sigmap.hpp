@@ -4,6 +4,14 @@
 // net. Passes must compare signals modulo these aliases; SigMap is a
 // union-find over SigBits that returns a canonical representative
 // (constants win over wires so `sigmap(x)` of a tied-off bit is the constant).
+//
+// Concurrency contract: after flatten(), every stored parent points directly
+// at its class representative, so find() takes the write-free fast path and
+// the map may be read from many threads at once. add() (and the compressing
+// slow path of find(), which only runs on chains created by add()) must stay
+// single-threaded — the parallel sweep engine only mutates the sigmap at its
+// serial journal-application barriers and calls flatten() before releasing
+// worker threads back onto it.
 #pragma once
 
 #include "rtlil/module.hpp"
@@ -49,13 +57,43 @@ public:
     return out;
   }
 
+  /// Point every stored parent directly at its representative. Afterwards
+  /// find() never writes, making concurrent lookups race-free until the next
+  /// add(). Values are only overwritten in place (no insertion), so the loop
+  /// cannot invalidate its own iterator.
+  void flatten() const {
+    for (auto& [bit, par] : parent_) {
+      (void)bit;
+      SigBit root = par;
+      for (auto it = parent_.find(root); it != parent_.end(); it = parent_.find(root))
+        root = it->second;
+      par = root;
+    }
+  }
+
 private:
   SigBit find(SigBit bit) const {
     auto it = parent_.find(bit);
     if (it == parent_.end())
       return bit;
-    const SigBit root = find(it->second);
-    parent_[bit] = root; // path compression (mutable cache)
+    SigBit root = it->second;
+    auto next = parent_.find(root);
+    if (next == parent_.end())
+      return root; // already flat: no write (concurrent-read fast path)
+    do {
+      root = next->second;
+      next = parent_.find(root);
+    } while (next != parent_.end());
+    // Compress the chain. Only reached when add() created a multi-hop chain
+    // since the last flatten(), i.e. in single-threaded phases.
+    SigBit cur = bit;
+    while (true) {
+      auto link = parent_.find(cur);
+      if (link->second == root)
+        break;
+      cur = link->second;
+      link->second = root;
+    }
     return root;
   }
 

@@ -2,9 +2,19 @@
 
 #include "util/log.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace smartly::rtlil {
+
+void combinational_adjacent_cells(const NetlistIndex& index, const SigBit& bit,
+                                  std::vector<Cell*>& out) {
+  if (Cell* d = index.driver(bit); d && d->type() != CellType::Dff)
+    out.push_back(d);
+  for (Cell* r : index.readers(bit))
+    if (r->type() != CellType::Dff)
+      out.push_back(r);
+}
 
 NetlistIndex::NetlistIndex(const Module& module) : sigmap_(module) {
   for (const auto& w : module.wires()) {
@@ -34,12 +44,12 @@ NetlistIndex::NetlistIndex(const Module& module) : sigmap_(module) {
 
   for (const auto& cptr : module.cells()) {
     Cell* c = cptr.get();
+    index_cell_reads(c);
     for (Port p : c->input_ports()) {
       for (const SigBit& raw : c->port(p)) {
         const SigBit bit = sigmap_(raw);
         if (!bit.is_wire())
           continue;
-        readers_[bit].push_back(c);
         // Combinational dependency edge driver(bit) -> c, except into Dff.D
         // (sequential boundary) and from Dff.Q (handled as source).
         if (c->type() == CellType::Dff)
@@ -104,6 +114,110 @@ int NetlistIndex::fanout(SigBit bit) const {
 
 bool NetlistIndex::drives_output_port(SigBit bit) const {
   return output_port_bits_.count(sigmap_(bit)) > 0;
+}
+
+void NetlistIndex::index_cell_reads(Cell* cell) {
+  std::vector<SigBit>& reads = cell_reads_[cell];
+  reads.clear();
+  for (Port p : cell->input_ports())
+    for (const SigBit& raw : cell->port(p)) {
+      const SigBit bit = sigmap_(raw);
+      if (!bit.is_wire())
+        continue;
+      readers_[bit].push_back(cell);
+      reads.push_back(bit);
+    }
+}
+
+void NetlistIndex::erase_cell_reads(Cell* cell) {
+  auto it = cell_reads_.find(cell);
+  if (it == cell_reads_.end())
+    return;
+  for (const SigBit& stored : it->second) {
+    auto rit = readers_.find(sigmap_(stored)); // re-canonicalize: merges since
+    if (rit == readers_.end())
+      continue;
+    auto& list = rit->second;
+    auto pos = std::find(list.begin(), list.end(), cell);
+    if (pos != list.end())
+      list.erase(pos); // one occurrence per stored entry (multiset semantics)
+    if (list.empty())
+      readers_.erase(rit);
+  }
+  it->second.clear();
+}
+
+void NetlistIndex::remove_cell(Cell* cell) {
+  erase_cell_reads(cell);
+  cell_reads_.erase(cell);
+  for (const SigBit& raw : cell->port(cell->output_port())) {
+    const SigBit bit = sigmap_(raw);
+    if (!bit.is_wire())
+      continue;
+    auto it = driver_.find(bit);
+    if (it != driver_.end() && it->second == cell)
+      driver_.erase(it);
+  }
+  topo_pos_.erase(cell);
+}
+
+void NetlistIndex::add_alias(const SigSpec& lhs, const SigSpec& rhs) {
+  const int n = std::min(lhs.size(), rhs.size());
+  for (int i = 0; i < n; ++i) {
+    const SigBit a = sigmap_(lhs[i]);
+    const SigBit b = sigmap_(rhs[i]);
+    if (a == b)
+      continue;
+    sigmap_.add(lhs[i], rhs[i]);
+    const SigBit rep = sigmap_(lhs[i]);
+    for (const SigBit& old : {a, b}) {
+      if (old == rep)
+        continue;
+      // Reader entries / driver entries only exist for wire keys; a class
+      // whose representative became a constant sheds them, exactly as a
+      // rebuild (which never indexes constant-canonical bits) would.
+      // Take the old entries out by value before touching the rep's slots:
+      // inserting readers_[rep] / driver_[rep] can rehash and invalidate any
+      // iterator still pointing at the old keys.
+      if (old.is_wire()) {
+        if (auto rit = readers_.find(old); rit != readers_.end()) {
+          std::vector<Cell*> moved = std::move(rit->second);
+          readers_.erase(rit);
+          if (rep.is_wire()) {
+            auto& dst = readers_[rep];
+            dst.insert(dst.end(), moved.begin(), moved.end());
+          }
+        }
+        if (auto dit = driver_.find(old); dit != driver_.end()) {
+          Cell* moved = dit->second;
+          driver_.erase(dit);
+          if (rep.is_wire()) {
+            auto [pos, inserted] = driver_.emplace(rep, moved);
+            if (!inserted && pos->second != moved)
+              log_warn("alias merges two driven nets (cells %s, %s)",
+                       pos->second->name().c_str(), moved->name().c_str());
+          }
+        }
+      }
+      if (auto oit = output_port_bits_.find(old); oit != output_port_bits_.end()) {
+        output_port_bits_[rep] = true;
+        output_port_bits_.erase(old);
+      }
+    }
+  }
+}
+
+void NetlistIndex::refresh_cell_reads(Cell* cell) {
+  erase_cell_reads(cell);
+  index_cell_reads(cell);
+}
+
+void NetlistIndex::compact_topo() {
+  if (topo_.size() == topo_pos_.size())
+    return;
+  topo_.erase(std::remove_if(topo_.begin(), topo_.end(),
+                             [&](Cell* c) { return !topo_pos_.count(c); }),
+              topo_.end());
 }
 
 } // namespace smartly::rtlil

@@ -9,8 +9,29 @@
 
 namespace smartly::rtlil {
 
-/// Immutable snapshot of who drives / reads each canonical SigBit.
-/// Build once per pass iteration; rebuild after structural mutation.
+class NetlistIndex;
+
+/// Cells adjacent to a (canonical) bit in the undirected netlist graph: its
+/// driver plus all its readers, sequential cells excluded (they cut the
+/// combinational cone). This is the single adjacency relation shared by
+/// sub-graph extraction (core/subgraph.cpp) and region partitioning
+/// (opt/region_partition.cpp) — the parallel sweep's race-freedom argument
+/// requires region closures to over-approximate every extraction ball, which
+/// holds only while both sides use this exact definition.
+void combinational_adjacent_cells(const NetlistIndex& index, const SigBit& bit,
+                                  std::vector<Cell*>& out);
+
+/// Snapshot of who drives / reads each canonical SigBit.
+///
+/// Built once from a module, then either discarded after the pass iteration
+/// (the historical usage) or kept alive and *updated in place* from the
+/// sweep's structural edits via the incremental-maintenance API below — the
+/// muxtree sweep engines apply their journals through it so the index is
+/// never rebuilt from scratch between iterations.
+///
+/// Concurrency: all query methods are const and, provided `sigmap().flatten()`
+/// has run since the last mutation, safe to call from many threads at once.
+/// The maintenance methods are single-threaded (barrier-phase only).
 class NetlistIndex {
 public:
   explicit NetlistIndex(const Module& module);
@@ -21,7 +42,9 @@ public:
   /// inputs / constants / dff-driven bits when `through_dff` was false.
   Cell* driver(SigBit bit) const;
 
-  /// All cells reading this (canonical) bit.
+  /// All cells reading this (canonical) bit. One entry per (cell, port, bit
+  /// position) that reads the net, so a cell appears as many times as it
+  /// reads the bit.
   const std::vector<Cell*>& readers(SigBit bit) const;
 
   /// Number of reader cells plus 1 if the bit reaches a module output port.
@@ -31,21 +54,64 @@ public:
 
   /// Cells in topological order (combinational edges only; Dff cells are
   /// sources for their Q and sinks for their D). Throws if a combinational
-  /// cycle exists.
+  /// cycle exists. After incremental removals the order is compacted by
+  /// compact_topo(); surviving cells keep their original relative order.
   const std::vector<Cell*>& topo_order() const noexcept { return topo_; }
 
   /// Position of a cell within topo_order(), or -1 if unknown. Lets callers
   /// sort small cell subsets into evaluation order without a module rescan.
+  /// Positions are stable (never renumbered) across incremental updates, so
+  /// only their relative order is meaningful after a removal.
   int topo_position(const Cell* cell) const {
     auto it = topo_pos_.find(cell);
     return it == topo_pos_.end() ? -1 : it->second;
   }
 
+  // --- incremental maintenance (sweep-barrier journal application) ---------
+  //
+  // The muxtree walkers only ever *shrink* the netlist: input ports lose
+  // bits, cells disappear, and removed cells' outputs get aliased onto one of
+  // their data inputs. Applied in the order remove_cell* -> add_alias* ->
+  // refresh_cell_reads* -> compact_topo(), these primitives leave the index
+  // equal (as driver/reader/output-port *multisets* per canonical net, and as
+  // a valid topological order) to a from-scratch rebuild of the edited
+  // module. Aliasing never creates a dependency that contradicts the stored
+  // topo positions: a connect's lhs is the output of a removed cell that
+  // already sat between the rhs's driver and the lhs's readers.
+
+  /// Erase a cell that is being removed from the module: its driver entries,
+  /// its reader entries, and its topo bookkeeping. Call *before* add_alias
+  /// for the sweep's connects (keys are canonicalized with the current map).
+  void remove_cell(Cell* cell);
+
+  /// Record a module-level connect: merges the canonical classes bit-by-bit
+  /// and migrates reader lists, driver entries, and output-port flags onto
+  /// the surviving representative. Must mirror Module::connect calls 1:1 and
+  /// in the same order so the union-find state matches a rebuild.
+  void add_alias(const SigSpec& lhs, const SigSpec& rhs);
+
+  /// Re-derive the reader entries of a cell whose input ports were rewritten
+  /// in place during the sweep. Call after add_alias so the new entries are
+  /// keyed under the post-connect canonical bits, exactly like a rebuild.
+  void refresh_cell_reads(Cell* cell);
+
+  /// Drop removed cells from topo_order(). Positions of survivors keep their
+  /// old values (gaps are fine: only relative order is meaningful).
+  void compact_topo();
+
 private:
+  void index_cell_reads(Cell* cell);
+  void erase_cell_reads(Cell* cell);
+
   SigMap sigmap_;
   std::unordered_map<SigBit, Cell*> driver_;
   std::unordered_map<SigBit, std::vector<Cell*>> readers_;
   std::unordered_map<SigBit, bool> output_port_bits_;
+  /// Canonical-at-insertion read bits per cell, one entry per (port, bit
+  /// position) — the exact multiset of reader entries to retract when the
+  /// cell mutates or disappears. Keys are re-canonicalized at erase time so
+  /// alias merges in between are harmless.
+  std::unordered_map<const Cell*, std::vector<SigBit>> cell_reads_;
   std::vector<Cell*> topo_;
   std::unordered_map<const Cell*, int> topo_pos_;
   std::vector<Cell*> empty_;

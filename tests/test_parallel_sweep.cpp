@@ -1,0 +1,329 @@
+// Parallel deterministic sweep engine: thread-count determinism (byte-equal
+// netlists, identical stats), decision differentials against the serial
+// engine, region-partition safety invariants, incremental-index equivalence,
+// and a TSan-friendly work-stealing pool stress test.
+#include "backend/write_rtlil.hpp"
+#include "benchgen/public_bench.hpp"
+#include "benchgen/random_circuit.hpp"
+#include "cec/cec.hpp"
+#include "core/incremental_oracle.hpp"
+#include "core/sat_redundancy.hpp"
+#include "core/smartly_pass.hpp"
+#include "opt/parallel_sweep.hpp"
+#include "opt/pipeline.hpp"
+#include "opt/region_partition.hpp"
+#include "util/thread_pool.hpp"
+#include "verilog/elaborate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <unordered_set>
+
+using namespace smartly;
+
+namespace {
+
+std::unique_ptr<rtlil::Design> load(const std::string& verilog) {
+  return verilog::read_verilog(verilog);
+}
+
+struct FlowResult {
+  std::string netlist;
+  core::SmartlyStats stats;
+};
+
+FlowResult run_flow(const rtlil::Design& golden, int threads) {
+  auto design = rtlil::clone_design(golden);
+  core::SmartlyOptions opt;
+  opt.threads = threads;
+  FlowResult r;
+  r.stats = core::smartly_flow(*design->top(), opt);
+  r.netlist = backend::write_rtlil(*design->top());
+  return r;
+}
+
+void expect_same_stats(const core::SmartlyStats& a, const core::SmartlyStats& b) {
+  EXPECT_EQ(a.sat.queries, b.sat.queries);
+  EXPECT_EQ(a.sat.decided_syntactic, b.sat.decided_syntactic);
+  EXPECT_EQ(a.sat.decided_inference, b.sat.decided_inference);
+  EXPECT_EQ(a.sat.decided_sim, b.sat.decided_sim);
+  EXPECT_EQ(a.sat.decided_sat, b.sat.decided_sat);
+  EXPECT_EQ(a.sat.dead_paths, b.sat.dead_paths);
+  EXPECT_EQ(a.sat.skipped_too_large, b.sat.skipped_too_large);
+  EXPECT_EQ(a.sat.gates_seen, b.sat.gates_seen);
+  EXPECT_EQ(a.sat.gates_kept, b.sat.gates_kept);
+  EXPECT_EQ(a.sat.sim_filter_kills, b.sat.sim_filter_kills);
+  EXPECT_EQ(a.sat.sim_filter_half, b.sat.sim_filter_half);
+  EXPECT_EQ(a.sat.sat_calls, b.sat.sat_calls);
+  EXPECT_EQ(a.sat.solver_conflicts, b.sat.solver_conflicts);
+  EXPECT_EQ(a.sat.walker.mux_collapsed, b.sat.walker.mux_collapsed);
+  EXPECT_EQ(a.sat.walker.pmux_branches_removed, b.sat.walker.pmux_branches_removed);
+  EXPECT_EQ(a.sat.walker.data_bits_replaced, b.sat.walker.data_bits_replaced);
+  EXPECT_EQ(a.sat.walker.oracle_queries, b.sat.walker.oracle_queries);
+  EXPECT_EQ(a.sat.walker.iterations, b.sat.walker.iterations);
+  EXPECT_EQ(a.rebuild.trees_rebuilt, b.rebuild.trees_rebuilt);
+  EXPECT_EQ(a.sweep.regions, b.sweep.regions);
+  EXPECT_EQ(a.sweep.region_walks, b.sweep.region_walks);
+  EXPECT_EQ(a.sweep.regions_skipped_clean, b.sweep.regions_skipped_clean);
+  EXPECT_EQ(a.sweep.region_merges, b.sweep.region_merges);
+  // threads_used intentionally excluded: it reflects the knob, not the work.
+}
+
+void expect_thread_count_determinism(const std::string& verilog, const char* label) {
+  SCOPED_TRACE(label);
+  const auto golden = load(verilog);
+  const FlowResult t1 = run_flow(*golden, 1);
+  const FlowResult t2 = run_flow(*golden, 2);
+  const FlowResult t8 = run_flow(*golden, 8);
+  EXPECT_EQ(t1.netlist, t2.netlist);
+  EXPECT_EQ(t1.netlist, t8.netlist);
+  expect_same_stats(t1.stats, t2.stats);
+  expect_same_stats(t1.stats, t8.stats);
+}
+
+} // namespace
+
+TEST(ParallelSweep, ByteIdenticalAcrossThreadCountsOnPublicCircuits) {
+  for (const auto& c : benchgen::public_suite()) {
+    if (c.name != "pci_bridge32" && c.name != "mem_ctrl" && c.name != "tv80" &&
+        c.name != "wb_conmax")
+      continue; // small subset: determinism, not throughput
+    expect_thread_count_determinism(c.verilog, c.name.c_str());
+  }
+}
+
+TEST(ParallelSweep, ByteIdenticalAcrossThreadCountsOnRandomCircuits) {
+  for (uint64_t seed : {11u, 23u, 47u, 91u})
+    expect_thread_count_determinism(benchgen::random_verilog(seed, 8),
+                                    ("random_" + std::to_string(seed)).c_str());
+}
+
+TEST(ParallelSweep, DecisionsMatchSerialEngine) {
+  for (const auto& c : benchgen::public_suite()) {
+    if (c.name != "pci_bridge32" && c.name != "ac97_ctrl")
+      continue;
+    SCOPED_TRACE(c.name);
+    const auto golden = load(c.verilog);
+
+    auto serial_design = rtlil::clone_design(*golden);
+    opt::coarse_opt(*serial_design->top());
+    opt::DecisionTrace serial_trace;
+    core::IncrementalOracle oracle;
+    opt::optimize_muxtrees(*serial_design->top(), oracle, &serial_trace);
+
+    for (int threads : {1, 3}) {
+      auto parallel_design = rtlil::clone_design(*golden);
+      opt::coarse_opt(*parallel_design->top());
+      opt::DecisionTrace trace;
+      core::sat_redundancy_parallel(*parallel_design->top(), {}, threads, &trace);
+      EXPECT_EQ(opt::canonical_trace(trace), opt::canonical_trace(serial_trace))
+          << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelSweep, EquivalentAndSameRemovalsAsSerial) {
+  const auto golden = load(benchgen::public_suite().front().verilog);
+
+  auto serial_design = rtlil::clone_design(*golden);
+  opt::coarse_opt(*serial_design->top());
+  const core::SatRedundancyStats serial = core::sat_redundancy(*serial_design->top());
+
+  auto parallel_design = rtlil::clone_design(*golden);
+  opt::coarse_opt(*parallel_design->top());
+  const core::SatRedundancyStats parallel =
+      core::sat_redundancy_parallel(*parallel_design->top(), {}, 4);
+
+  EXPECT_EQ(parallel.walker.mux_collapsed, serial.walker.mux_collapsed);
+  EXPECT_EQ(parallel.walker.pmux_branches_removed, serial.walker.pmux_branches_removed);
+  EXPECT_EQ(parallel.walker.data_bits_replaced, serial.walker.data_bits_replaced);
+  EXPECT_TRUE(cec::check_equivalence(*golden->top(), *parallel_design->top()).equivalent);
+  EXPECT_TRUE(
+      cec::check_equivalence(*serial_design->top(), *parallel_design->top()).equivalent);
+}
+
+TEST(ParallelSweep, RegionClosuresNeverContainForeignTrees) {
+  // The safety invariant the whole engine rests on: no region's read closure
+  // may contain another region's (mutable) mux cells.
+  const auto design = load(benchgen::public_suite().front().verilog);
+  rtlil::Module& top = *design->top();
+  opt::coarse_opt(top);
+  rtlil::NetlistIndex index(top);
+  index.sigmap().flatten();
+  const opt::MuxtreeForest forest = opt::muxtree_forest(top, index);
+  const opt::RegionPartition partition = opt::partition_regions(top, index, forest, 4);
+  ASSERT_GT(partition.regions.size(), 1u);
+
+  std::unordered_map<const rtlil::Cell*, size_t> owner;
+  for (size_t i = 0; i < partition.regions.size(); ++i)
+    for (rtlil::Cell* c : partition.regions[i].tree_cells)
+      owner.emplace(c, i);
+  size_t trees = 0;
+  for (size_t i = 0; i < partition.regions.size(); ++i) {
+    trees += partition.regions[i].roots.size();
+    for (rtlil::Cell* c :
+         opt::region_read_closure(index, partition.regions[i].tree_cells, 4)) {
+      auto it = owner.find(c);
+      if (it != owner.end()) {
+        EXPECT_EQ(it->second, i) << "closure of region " << i << " reaches region "
+                                 << it->second;
+      }
+    }
+  }
+  EXPECT_EQ(trees, partition.trees);
+}
+
+TEST(ParallelSweep, IncrementalIndexMatchesRebuildAfterSweep) {
+  // Walk + journal application must leave the shared index equal to a
+  // from-scratch rebuild of the edited module: same driver, same fanout
+  // (reader-entry multiset size), same output-port flags per canonical net.
+  const auto design = load(benchgen::public_suite().front().verilog);
+  rtlil::Module& top = *design->top();
+  opt::coarse_opt(top);
+
+  rtlil::NetlistIndex incremental(top);
+  incremental.sigmap().flatten();
+  core::IncrementalOracle oracle;
+  opt::MuxtreeStats stats;
+  size_t sweeps = 0;
+  for (size_t iter = 0; iter < 16; ++iter) {
+    ++sweeps;
+    oracle.begin_module(top, incremental);
+    opt::SweepJournal journal;
+    opt::MuxtreeWalker walker(incremental, oracle, stats, journal);
+    const opt::MuxtreeForest forest = opt::muxtree_forest(top, incremental);
+    for (rtlil::Cell* root : forest.roots)
+      walker.walk_root(root, 0);
+    if (!walker.changed())
+      break;
+    opt::apply_sweep_journal(top, incremental, journal);
+  }
+  ASSERT_GT(sweeps, 1u); // the incremental path actually ran
+  EXPECT_GT(stats.mux_collapsed + stats.pmux_branches_removed, 0u);
+
+  const rtlil::NetlistIndex rebuilt(top);
+  for (const auto& w : top.wires())
+    for (int i = 0; i < w->width(); ++i) {
+      const rtlil::SigBit bit(w.get(), i);
+      EXPECT_EQ(incremental.driver(bit), rebuilt.driver(bit));
+      EXPECT_EQ(incremental.fanout(bit), rebuilt.fanout(bit));
+      EXPECT_EQ(incremental.drives_output_port(bit), rebuilt.drives_output_port(bit));
+      EXPECT_EQ(incremental.sigmap()(bit), rebuilt.sigmap()(bit));
+    }
+  // Topo positions must stay a valid linear extension: every combinational
+  // reader sits after its driver.
+  for (const auto& cptr : top.cells()) {
+    rtlil::Cell* c = cptr.get();
+    if (c->type() == rtlil::CellType::Dff)
+      continue;
+    for (rtlil::Port p : c->input_ports())
+      for (const rtlil::SigBit& raw : c->port(p)) {
+        rtlil::Cell* d = incremental.driver(raw);
+        if (d && d->type() != rtlil::CellType::Dff) {
+          EXPECT_LT(incremental.topo_position(d), incremental.topo_position(c));
+        }
+      }
+  }
+}
+
+TEST(ParallelSweep, WalkEverythingModeChangesNothingButTheSkips) {
+  // requeue_dirty_only=false mirrors the serial walk-everything fixpoint;
+  // clean-region walks are no-op replays, so the netlist must be identical.
+  const auto golden = load(benchgen::public_suite().front().verilog);
+  auto dirty_only = rtlil::clone_design(*golden);
+  opt::coarse_opt(*dirty_only->top());
+  auto walk_all = rtlil::clone_design(*golden);
+  opt::coarse_opt(*walk_all->top());
+
+  opt::ParallelSweepOptions po;
+  po.threads = 2;
+  po.make_oracle = [] { return std::make_unique<core::IncrementalOracle>(); };
+  const opt::ParallelSweepStats fast = opt::parallel_sweep(*dirty_only->top(), po);
+  po.requeue_dirty_only = false;
+  const opt::ParallelSweepStats full = opt::parallel_sweep(*walk_all->top(), po);
+
+  EXPECT_EQ(backend::write_rtlil(*dirty_only->top()), backend::write_rtlil(*walk_all->top()));
+  EXPECT_EQ(full.regions_skipped_clean, 0u);
+  EXPECT_GE(full.region_walks, fast.region_walks);
+  EXPECT_GT(fast.regions_skipped_clean, 0u);
+}
+
+TEST(ParallelSweep, EmptyAndMuxFreeModules) {
+  rtlil::Design d;
+  rtlil::Module* m = d.add_module("empty");
+  opt::ParallelSweepOptions po;
+  po.threads = 4;
+  po.make_oracle = [] { return std::make_unique<core::IncrementalOracle>(); };
+  const opt::ParallelSweepStats stats = opt::parallel_sweep(*m, po);
+  EXPECT_EQ(stats.regions, 0u);
+  EXPECT_EQ(stats.region_walks, 0u);
+  EXPECT_EQ(stats.walker.iterations, 1u);
+}
+
+TEST(ParallelSweep, RequiresOracleFactory) {
+  rtlil::Design d;
+  rtlil::Module* m = d.add_module("m");
+  EXPECT_THROW(opt::parallel_sweep(*m, {}), std::logic_error);
+}
+
+// --- thread pool ------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  util::ThreadPool pool(4);
+  constexpr size_t kTasks = 10000;
+  std::vector<std::atomic<int>> ran(kTasks);
+  pool.run_batch(kTasks, [&](int worker, size_t task) {
+    EXPECT_GE(worker, 0);
+    EXPECT_LT(worker, 4);
+    ran[task].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kTasks; ++i)
+    EXPECT_EQ(ran[i].load(), 1) << "task " << i;
+}
+
+TEST(ThreadPool, StressManyWorkersHammerOneQueue) {
+  // TSan target: 8 workers stealing from each other across repeated batches
+  // of tiny tasks, with a shared accumulation protected only by the pool's
+  // own synchronization (slot-per-task writes + the barrier).
+  util::ThreadPool pool(8);
+  constexpr size_t kTasks = 2000;
+  std::vector<uint64_t> out(kTasks);
+  for (int round = 0; round < 20; ++round) {
+    std::fill(out.begin(), out.end(), 0);
+    pool.run_batch(kTasks, [&](int, size_t task) { out[task] = hash_mix(task + 1); });
+    // Read results on the dispatching thread after the barrier: any missing
+    // happens-before edge between a worker's write and this read is a data
+    // race TSan will flag.
+    for (size_t i = 0; i < kTasks; ++i)
+      ASSERT_EQ(out[i], hash_mix(i + 1));
+  }
+}
+
+TEST(ThreadPool, SingleThreadDegeneratesToLoop) {
+  util::ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  std::vector<size_t> order;
+  pool.run_batch(16, [&](int worker, size_t task) {
+    EXPECT_EQ(worker, 0);
+    order.push_back(task);
+  });
+  ASSERT_EQ(order.size(), 16u);
+  for (size_t i = 0; i < order.size(); ++i)
+    EXPECT_EQ(order[i], i); // in-order on the calling thread
+}
+
+TEST(ThreadPool, ZeroTasksAndReuse) {
+  util::ThreadPool pool(3);
+  pool.run_batch(0, [&](int, size_t) { FAIL(); });
+  std::atomic<size_t> count{0};
+  pool.run_batch(7, [&](int, size_t) { count.fetch_add(1); });
+  pool.run_batch(5, [&](int, size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 12u);
+}
+
+TEST(ThreadPool, ResolveThreadCount) {
+  EXPECT_EQ(util::resolve_thread_count(3), 3);
+  EXPECT_GE(util::resolve_thread_count(0), 1);
+}
