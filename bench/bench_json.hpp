@@ -1,0 +1,150 @@
+// Shared helpers for the bench_* executables — timing, ratios, circuit
+// filtering, design preparation, and BENCH_*.json emission. Extracted from
+// the blocks bench_oracle.cpp and bench_pass.cpp used to duplicate;
+// bench_sweep.cpp builds on the same kit.
+#pragma once
+
+#include "benchgen/public_bench.hpp"
+#include "core/mux_restructure.hpp"
+#include "opt/opt_clean.hpp"
+#include "opt/opt_expr.hpp"
+#include "opt/pipeline.hpp"
+#include "rtlil/module.hpp"
+#include "verilog/elaborate.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace smartly::benchjson {
+
+inline double ratio(double num, double den) { return den > 0 ? num / den : 0.0; }
+
+inline double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Elaborate + the shared pre-pipeline (coarse opts and §III restructuring,
+/// as in smartly_flow) so the muxtree benchmarks see realistic muxtrees.
+inline std::unique_ptr<rtlil::Design> prepare_muxtree_design(const std::string& verilog) {
+  auto design = verilog::read_verilog(verilog);
+  rtlil::Module& top = *design->top();
+  opt::coarse_opt(top);
+  core::mux_restructure(top, {});
+  opt::opt_expr(top);
+  opt::opt_clean(top);
+  return design;
+}
+
+/// Keep only circuits whose name contains `filter` (no-op when empty);
+/// exits 2 with a message when nothing matches.
+inline void apply_name_filter(std::vector<benchgen::BenchCircuit>& circuits,
+                              const std::string& filter, const char* prog) {
+  if (filter.empty())
+    return;
+  std::vector<benchgen::BenchCircuit> kept;
+  for (auto& c : circuits)
+    if (c.name.find(filter) != std::string::npos)
+      kept.push_back(std::move(c));
+  circuits.swap(kept);
+  if (circuits.empty()) {
+    std::fprintf(stderr, "%s: --filter '%s' matches no circuit\n", prog, filter.c_str());
+    std::exit(2);
+  }
+}
+
+/// Parse a --threads CSV ("1,2,4,8") into positive ints; exits 2 with a
+/// message on malformed input (shared by bench_pass and bench_sweep).
+inline std::vector<int> parse_thread_counts(const char* csv, const char* prog) {
+  std::vector<int> counts;
+  const char* s = csv;
+  while (*s) {
+    char* end = nullptr;
+    const long n = std::strtol(s, &end, 10);
+    if (end == s || (*end != '\0' && *end != ',') || n <= 0) {
+      std::fprintf(stderr, "%s: --threads wants positive integers, got '%s'\n", prog, s);
+      std::exit(2);
+    }
+    counts.push_back(static_cast<int>(n));
+    if (*end == '\0')
+      break;
+    s = end + 1;
+  }
+  return counts;
+}
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+    case '"': out += "\\\""; break;
+    case '\\': out += "\\\\"; break;
+    case '\n': out += "\\n"; break;
+    case '\t': out += "\\t"; break;
+    default:
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+  }
+  return out;
+}
+
+/// Incremental JSON object builder: comma placement, string escaping, fixed
+/// double precision. Objects nest through put_raw (arrays are joined
+/// pre-rendered element strings).
+class JsonObject {
+public:
+  JsonObject& put(const char* key, const std::string& v) {
+    return put_raw(key, "\"" + json_escape(v) + "\"");
+  }
+  JsonObject& put(const char* key, const char* v) { return put(key, std::string(v)); }
+  JsonObject& put(const char* key, bool v) { return put_raw(key, v ? "true" : "false"); }
+  JsonObject& put(const char* key, size_t v) { return put_raw(key, std::to_string(v)); }
+  JsonObject& put(const char* key, int v) { return put_raw(key, std::to_string(v)); }
+  JsonObject& put(const char* key, unsigned v) { return put_raw(key, std::to_string(v)); }
+  JsonObject& put(const char* key, unsigned long long v) {
+    return put_raw(key, std::to_string(v));
+  }
+  JsonObject& putf(const char* key, double v, int decimals = 4) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+    return put_raw(key, buf);
+  }
+  JsonObject& put_raw(const char* key, const std::string& rendered) {
+    body_ += first_ ? "" : ", ";
+    first_ = false;
+    body_ += "\"";
+    body_ += key;
+    body_ += "\": ";
+    body_ += rendered;
+    return *this;
+  }
+
+  std::string str() const { return "{" + body_ + "}"; }
+
+private:
+  std::string body_;
+  bool first_ = true;
+};
+
+/// Render pre-built elements as a JSON array.
+inline std::string json_array(const std::vector<std::string>& elements) {
+  std::string out = "[";
+  for (size_t i = 0; i < elements.size(); ++i) {
+    out += elements[i];
+    if (i + 1 < elements.size())
+      out += ", ";
+  }
+  return out + "]";
+}
+
+} // namespace smartly::benchjson

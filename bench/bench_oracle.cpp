@@ -18,15 +18,11 @@
 // calls, `*_pass_seconds` the whole walk. Decisions are traced as
 // (control-bit name, verdict) hashes and compared element-wise, so
 // decisions_match certifies bit-identical verdicts in query order.
-#include "core/incremental_oracle.hpp"
-#include "core/mux_restructure.hpp"
-#include "core/sat_redundancy.hpp"
+#include "bench_json.hpp"
 #include "benchgen/industrial.hpp"
 #include "benchgen/public_bench.hpp"
-#include "opt/opt_clean.hpp"
-#include "opt/opt_expr.hpp"
-#include "opt/pipeline.hpp"
-#include "verilog/elaborate.hpp"
+#include "core/incremental_oracle.hpp"
+#include "core/sat_redundancy.hpp"
 
 #include <chrono>
 #include <cstdio>
@@ -35,6 +31,7 @@
 #include <vector>
 
 using namespace smartly;
+using benchjson::ratio;
 
 namespace {
 
@@ -82,23 +79,10 @@ struct Row {
   bool decisions_match = false;
 };
 
-/// Elaborate + shared pre-pipeline (coarse opts and §III restructuring, as in
-/// smartly_flow) so the oracle sees realistic muxtrees, then hand back the
-/// design ready for the muxtree walk.
-std::unique_ptr<rtlil::Design> prepare(const std::string& verilog) {
-  auto design = verilog::read_verilog(verilog);
-  rtlil::Module& top = *design->top();
-  opt::coarse_opt(top);
-  core::mux_restructure(top, {});
-  opt::opt_expr(top);
-  opt::opt_clean(top);
-  return design;
-}
-
 Row run_circuit(const benchgen::BenchCircuit& circuit) {
   Row row;
   row.name = circuit.name;
-  const auto prepared = prepare(circuit.verilog);
+  const auto prepared = benchjson::prepare_muxtree_design(circuit.verilog);
 
   const auto baseline_design = rtlil::clone_design(*prepared);
   core::InferenceOracle baseline_oracle({});
@@ -134,34 +118,34 @@ Row run_circuit(const benchgen::BenchCircuit& circuit) {
   return row;
 }
 
-double ratio(double num, double den) { return den > 0 ? num / den : 0.0; }
-
 void print_json_row(const Row& r, bool last) {
   const auto& is = r.incr_stats;
   const double cone_total = double(is.cone_cache_hits + is.cone_cache_misses);
-  std::printf(
-      "    {\"name\": \"%s\", \"queries\": %zu, \"baseline_seconds\": %.4f, "
-      "\"incremental_seconds\": %.4f, \"speedup\": %.3f, \"baseline_pass_seconds\": %.4f, "
-      "\"incremental_pass_seconds\": %.4f, \"queries_per_sec_baseline\": %.1f, "
-      "\"queries_per_sec_incremental\": %.1f, \"sim_filter_kill_rate\": %.4f, "
-      "\"cone_cache_hit_rate\": %.4f, \"subgraph_cache_hit_rate\": %.4f, "
-      "\"sim_filter_kills\": %zu, \"sim_filter_half\": %zu, \"sat_calls_baseline\": %zu, "
-      "\"sat_calls_incremental\": %zu, \"solver_conflicts_baseline\": %llu, "
-      "\"solver_conflicts_incremental\": %llu, \"patterns_recycled\": %zu, "
-      "\"cells_remapped\": %zu, \"engine_resets\": %zu, \"dropped_constraints\": %zu, "
-      "\"decisions_match\": %s}%s\n",
-      r.name.c_str(), r.queries, r.baseline_seconds, r.incremental_seconds,
-      ratio(r.baseline_seconds, r.incremental_seconds), r.baseline_pass_seconds,
-      r.incremental_pass_seconds, ratio(double(r.queries), r.baseline_seconds),
-      ratio(double(r.queries), r.incremental_seconds),
-      ratio(double(is.sim_filter_kills), double(is.queries)),
-      ratio(double(is.cone_cache_hits), cone_total),
-      ratio(double(is.decision_cache_hits), double(is.queries)), is.sim_filter_kills,
-      is.sim_filter_half, r.base_stats.sat_calls, is.sat_calls,
-      static_cast<unsigned long long>(r.base_stats.solver_conflicts),
-      static_cast<unsigned long long>(is.solver_conflicts), is.patterns_recycled,
-      is.cells_remapped, is.engine_resets, is.dropped_constraints,
-      r.decisions_match ? "true" : "false", last ? "" : ",");
+  benchjson::JsonObject o;
+  o.put("name", r.name)
+      .put("queries", r.queries)
+      .putf("baseline_seconds", r.baseline_seconds)
+      .putf("incremental_seconds", r.incremental_seconds)
+      .putf("speedup", ratio(r.baseline_seconds, r.incremental_seconds), 3)
+      .putf("baseline_pass_seconds", r.baseline_pass_seconds)
+      .putf("incremental_pass_seconds", r.incremental_pass_seconds)
+      .putf("queries_per_sec_baseline", ratio(double(r.queries), r.baseline_seconds), 1)
+      .putf("queries_per_sec_incremental", ratio(double(r.queries), r.incremental_seconds), 1)
+      .putf("sim_filter_kill_rate", ratio(double(is.sim_filter_kills), double(is.queries)))
+      .putf("cone_cache_hit_rate", ratio(double(is.cone_cache_hits), cone_total))
+      .putf("subgraph_cache_hit_rate", ratio(double(is.decision_cache_hits), double(is.queries)))
+      .put("sim_filter_kills", is.sim_filter_kills)
+      .put("sim_filter_half", is.sim_filter_half)
+      .put("sat_calls_baseline", r.base_stats.sat_calls)
+      .put("sat_calls_incremental", is.sat_calls)
+      .put("solver_conflicts_baseline", static_cast<unsigned long long>(r.base_stats.solver_conflicts))
+      .put("solver_conflicts_incremental", static_cast<unsigned long long>(is.solver_conflicts))
+      .put("patterns_recycled", is.patterns_recycled)
+      .put("cells_remapped", is.cells_remapped)
+      .put("engine_resets", is.engine_resets)
+      .put("dropped_constraints", is.dropped_constraints)
+      .put("decisions_match", r.decisions_match);
+  std::printf("    %s%s\n", o.str().c_str(), last ? "" : ",");
 }
 
 } // namespace
@@ -214,17 +198,7 @@ int main(int argc, char** argv) {
     circuits.push_back(industrial[0]); // industrial_tp0
     circuits.push_back(industrial[1]); // industrial_tp1
   }
-  if (!filter.empty()) {
-    std::vector<benchgen::BenchCircuit> kept;
-    for (auto& c : circuits)
-      if (c.name.find(filter) != std::string::npos)
-        kept.push_back(std::move(c));
-    circuits.swap(kept);
-    if (circuits.empty()) {
-      std::fprintf(stderr, "bench_oracle: --filter '%s' matches no circuit\n", filter.c_str());
-      return 2;
-    }
-  }
+  benchjson::apply_name_filter(circuits, filter, "bench_oracle");
 
   std::vector<Row> rows;
   rows.reserve(circuits.size());

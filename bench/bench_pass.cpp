@@ -19,15 +19,11 @@
 // netlist_deterministic / stats_deterministic require byte-identical
 // write_rtlil output and identical stats for every T.
 #include "backend/write_rtlil.hpp"
+#include "bench_json.hpp"
 #include "benchgen/industrial.hpp"
 #include "benchgen/public_bench.hpp"
 #include "core/incremental_oracle.hpp"
-#include "core/mux_restructure.hpp"
 #include "core/sat_redundancy.hpp"
-#include "opt/opt_clean.hpp"
-#include "opt/opt_expr.hpp"
-#include "opt/pipeline.hpp"
-#include "verilog/elaborate.hpp"
 
 #include <chrono>
 #include <cstdio>
@@ -38,22 +34,10 @@
 #include <vector>
 
 using namespace smartly;
+using benchjson::ratio;
+using benchjson::seconds_since;
 
 namespace {
-
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-}
-
-std::unique_ptr<rtlil::Design> prepare(const std::string& verilog) {
-  auto design = verilog::read_verilog(verilog);
-  rtlil::Module& top = *design->top();
-  opt::coarse_opt(top);
-  core::mux_restructure(top, {});
-  opt::opt_expr(top);
-  opt::opt_clean(top);
-  return design;
-}
 
 struct ScalingPoint {
   int threads = 0;
@@ -91,7 +75,7 @@ bool same_stats(const core::SatRedundancyStats& a, const core::SatRedundancyStat
 Row run_circuit(const benchgen::BenchCircuit& circuit, const std::vector<int>& thread_counts) {
   Row row;
   row.name = circuit.name;
-  const auto prepared = prepare(circuit.verilog);
+  const auto prepared = benchjson::prepare_muxtree_design(circuit.verilog);
 
   // Serial reference (PR-2 engine).
   opt::DecisionTrace serial_trace;
@@ -135,8 +119,6 @@ Row run_circuit(const benchgen::BenchCircuit& circuit, const std::vector<int>& t
   return row;
 }
 
-double ratio(double num, double den) { return den > 0 ? num / den : 0.0; }
-
 /// speedup_vs_1t anchors on the threads==1 point when the user's --threads
 /// list has one, falling back to the first point otherwise.
 double anchor_seconds(const Row& r) {
@@ -147,23 +129,30 @@ double anchor_seconds(const Row& r) {
 }
 
 void print_json_row(const Row& r, bool last) {
-  std::printf("    {\"name\": \"%s\", \"queries\": %zu, \"regions\": %zu, "
-              "\"largest_region_trees\": %zu, \"serial_seconds\": %.4f, \"scaling\": [",
-              r.name.c_str(), r.queries, r.regions, r.largest_region_trees,
-              r.serial_seconds);
   const double t1 = anchor_seconds(r);
-  for (size_t i = 0; i < r.scaling.size(); ++i) {
-    const ScalingPoint& p = r.scaling[i];
-    std::printf("{\"threads\": %d, \"seconds\": %.4f, \"speedup_vs_1t\": %.3f, "
-                "\"speedup_vs_serial\": %.3f, \"region_walks\": %zu, "
-                "\"regions_skipped_clean\": %zu, \"decisions_match\": %s}%s",
-                p.threads, p.seconds, ratio(t1, p.seconds), ratio(r.serial_seconds, p.seconds),
-                p.sweep.region_walks, p.sweep.regions_skipped_clean,
-                p.decisions_match ? "true" : "false", i + 1 == r.scaling.size() ? "" : ", ");
+  std::vector<std::string> points;
+  points.reserve(r.scaling.size());
+  for (const ScalingPoint& p : r.scaling) {
+    benchjson::JsonObject sp;
+    sp.put("threads", p.threads)
+        .putf("seconds", p.seconds)
+        .putf("speedup_vs_1t", ratio(t1, p.seconds), 3)
+        .putf("speedup_vs_serial", ratio(r.serial_seconds, p.seconds), 3)
+        .put("region_walks", p.sweep.region_walks)
+        .put("regions_skipped_clean", p.sweep.regions_skipped_clean)
+        .put("decisions_match", p.decisions_match);
+    points.push_back(sp.str());
   }
-  std::printf("], \"netlist_deterministic\": %s, \"stats_deterministic\": %s}%s\n",
-              r.netlist_deterministic ? "true" : "false",
-              r.stats_deterministic ? "true" : "false", last ? "" : ",");
+  benchjson::JsonObject o;
+  o.put("name", r.name)
+      .put("queries", r.queries)
+      .put("regions", r.regions)
+      .put("largest_region_trees", r.largest_region_trees)
+      .putf("serial_seconds", r.serial_seconds)
+      .put_raw("scaling", benchjson::json_array(points))
+      .put("netlist_deterministic", r.netlist_deterministic)
+      .put("stats_deterministic", r.stats_deterministic);
+  std::printf("    %s%s\n", o.str().c_str(), last ? "" : ",");
 }
 
 } // namespace
@@ -186,19 +175,7 @@ int main(int argc, char** argv) {
         filter = argv[++i];
         continue;
       }
-      const char* s = argv[++i];
-      while (*s) {
-        char* end = nullptr;
-        const long n = std::strtol(s, &end, 10);
-        if (end == s || (*end != '\0' && *end != ',') || n <= 0) {
-          std::fprintf(stderr, "bench_pass: --threads wants positive integers, got '%s'\n", s);
-          return 2;
-        }
-        thread_counts.push_back(static_cast<int>(n));
-        if (*end == '\0')
-          break;
-        s = end + 1;
-      }
+      thread_counts = benchjson::parse_thread_counts(argv[++i], "bench_pass");
     } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
       std::printf("usage: bench_pass [--smoke] [--json] [--filter <substr>] "
                   "[--threads <csv, default 1,2,4,8>]\n");
@@ -224,17 +201,7 @@ int main(int argc, char** argv) {
     for (int tp : {0, 1, 2, 3})
       circuits.push_back(industrial[static_cast<size_t>(tp)]);
   }
-  if (!filter.empty()) {
-    std::vector<benchgen::BenchCircuit> kept;
-    for (auto& c : circuits)
-      if (c.name.find(filter) != std::string::npos)
-        kept.push_back(std::move(c));
-    circuits.swap(kept);
-    if (circuits.empty()) {
-      std::fprintf(stderr, "bench_pass: --filter '%s' matches no circuit\n", filter.c_str());
-      return 2;
-    }
-  }
+  benchjson::apply_name_filter(circuits, filter, "bench_pass");
 
   std::vector<Row> rows;
   rows.reserve(circuits.size());

@@ -7,6 +7,9 @@
 //     --no-rebuild                    disable §III muxtree restructuring
 //     --threads N                     §II sweep workers (0 = hw threads; output
 //                                     is bit-identical for every value)
+//     --fraig                         SAT-sweeping stage after the flow (merges
+//                                     duplicate/complement/constant cones)
+//     --fraig-pre                     SAT-sweeping stage before the flow
 //     --reduce                        also run opt_reduce (pmux/reduction merging)
 //     --check                         equivalence-check the result
 //     --stats                         print pass statistics
@@ -40,8 +43,9 @@ namespace {
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: opt_tool [--flow yosys|smartly|original] [--no-sat] "
-               "[--no-rebuild] [--threads N] [--reduce] [--check] [--stats] "
-               "[-o out.v] [--write-aiger out.aag] [--dump-rtlil] [file.v]\n");
+               "[--no-rebuild] [--threads N] [--fraig] [--fraig-pre] [--reduce] "
+               "[--check] [--stats] [-o out.v] [--write-aiger out.aag] "
+               "[--dump-rtlil] [file.v]\n");
   std::exit(2);
 }
 
@@ -51,6 +55,7 @@ int main(int argc, char** argv) {
   std::string flow = "smartly";
   std::string path, out_verilog, out_aiger;
   bool check = false, stats = false, reduce = false, dump = false;
+  bool fraig_post = false, fraig_pre = false;
   core::SmartlyOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -74,6 +79,10 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.threads = static_cast<int>(n);
+    } else if (arg == "--fraig") {
+      fraig_post = true;
+    } else if (arg == "--fraig-pre") {
+      fraig_pre = true;
     } else if (arg == "--reduce") {
       reduce = true;
     } else if (arg == "--check") {
@@ -123,6 +132,12 @@ int main(int argc, char** argv) {
     const size_t original = aig::aig_area(top);
     auto golden = check ? rtlil::clone_design(*design) : nullptr;
 
+    sweep::FraigOptions fraig_options;
+    fraig_options.threads = options.threads;
+    sweep::FraigStats fraig_st;
+    if (fraig_pre)
+      fraig_st += opt::fraig_stage(top, fraig_options);
+
     core::SmartlyStats st;
     if (flow == "original") {
       opt::original_flow(top);
@@ -133,6 +148,8 @@ int main(int argc, char** argv) {
     } else {
       usage();
     }
+    if (fraig_post)
+      fraig_st += opt::fraig_stage(top, fraig_options);
     if (reduce) {
       opt::opt_reduce(top);
       opt::opt_clean(top);
@@ -158,6 +175,15 @@ int main(int argc, char** argv) {
                   st.sat.gates_seen
                       ? 100.0 * (1.0 - double(st.sat.gates_kept) / double(st.sat.gates_seen))
                       : 0.0);
+    }
+    if (stats && (fraig_pre || fraig_post)) {
+      std::printf("  fraig: %zu rounds, %zu classes, %zu sat queries "
+                  "(%zu equal, %zu const, %zu structural, %zu disproved, %zu unknown), "
+                  "%zu cells merged (%zu inverters), %zu pre-merged, %zu cex patterns\n",
+                  fraig_st.rounds, fraig_st.classes, fraig_st.sat_queries,
+                  fraig_st.proved_equal, fraig_st.proved_constant, fraig_st.proved_structural,
+                  fraig_st.disproved, fraig_st.unknown, fraig_st.merged_cells,
+                  fraig_st.inverter_cells, fraig_st.pre_merged, fraig_st.cex_patterns);
     }
 
     if (!out_verilog.empty()) {

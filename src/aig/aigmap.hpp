@@ -27,6 +27,11 @@ struct AigMap {
 /// AIG inputs = module input ports + undriven wires + dff Q outputs.
 AigMap aigmap(const rtlil::Module& module);
 
+/// Whole-module blast with a caller-maintained NetlistIndex. The fraig engine
+/// re-blasts the netlist every refinement round against the index it updates
+/// incrementally; rebuilding the index per round would dominate small rounds.
+AigMap aigmap(const rtlil::Module& module, const rtlil::NetlistIndex& index);
+
 /// Bit-blast only a sub-graph: the given `cells` are mapped (in topological
 /// order); any bit driven by a cell outside the set becomes an AIG input.
 /// AIG outputs are the requested `roots`. Used by the §II redundancy engine

@@ -30,6 +30,11 @@ SmartlyStats smartly_pass(rtlil::Module& module, const SmartlyOptions& options) 
     opt::opt_expr(module);
     opt::opt_clean(module);
   }
+  if (options.enable_fraig) {
+    sweep::FraigOptions fraig = options.fraig;
+    fraig.threads = options.threads;
+    stats.fraig = opt::fraig_stage(module, fraig);
+  }
   return stats;
 }
 

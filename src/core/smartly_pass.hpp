@@ -8,18 +8,25 @@
 #include "core/mux_restructure.hpp"
 #include "core/sat_redundancy.hpp"
 #include "rtlil/module.hpp"
+#include "sweep/fraig_engine.hpp"
 
 namespace smartly::core {
 
 struct SmartlyOptions {
   bool enable_sat = true;      ///< §II SAT-based redundancy elimination
   bool enable_rebuild = true;  ///< §III muxtree restructuring
-  /// Worker threads for the §II parallel sweep engine (0 = one per hardware
-  /// thread). The engine is deterministic: netlist output and statistics are
-  /// bit-identical for every value of this knob.
+  /// Run the SAT-sweeping (fraig) stage after the muxtree passes: removes
+  /// general combinational redundancy (duplicate cones, complement pairs,
+  /// constant nodes) that the per-muxtree oracle cannot see. Off by default
+  /// so the paper-reproduction flows keep their historical statistics.
+  bool enable_fraig = false;
+  /// Worker threads for the §II parallel sweep engine and the fraig engine
+  /// (0 = one per hardware thread). Both engines are deterministic: netlist
+  /// output and statistics are bit-identical for every value of this knob.
   int threads = 0;
   SatRedundancyOptions sat;
   MuxRestructureOptions rebuild;
+  sweep::FraigOptions fraig; ///< fraig.threads is overridden by `threads`
 };
 
 struct SmartlyStats {
@@ -28,6 +35,7 @@ struct SmartlyStats {
   /// §II sweep-engine detail (regions, dispatches). threads_used reflects
   /// the machine and is the one field excluded from determinism checks.
   opt::ParallelSweepStats sweep;
+  sweep::FraigStats fraig; ///< zeros unless enable_fraig
 };
 
 /// Run smaRTLy on an already-coarse-optimized module (the pass itself, the

@@ -392,6 +392,12 @@ void apply_sweep_journal(Module& module, NetlistIndex& index, const SweepJournal
   // sees exactly one driver per merged net).
   for (Cell* c : journal.removed)
     index.remove_cell(c);
+  // Added cells (fraig inverters) next: they read nets whose drivers the
+  // removals did not touch and take freed topo positions, so indexing them
+  // before the aliases keeps their reader entries keyed like a rebuild's
+  // (the connects below only merge classes *onto* surviving representatives).
+  for (const SweepJournal::AddedCell& a : journal.added)
+    index.add_cell(a.cell, a.topo_pos);
   // Connects next, mirrored 1:1 into the module so a from-scratch SigMap of
   // the edited module replays the same union-find operations in the same
   // order and lands on the same representatives.

@@ -114,17 +114,28 @@ struct MuxtreeStats {
 /// shrunk in place (data-bit substitution, pmux branch drops): the index
 /// maintenance needs to retract their stale reader entries.
 struct SweepJournal {
+  /// A cell created during the sweep (the fraig engine's complement-merge
+  /// inverters; the muxtree walkers never add cells). `topo_pos` is the index
+  /// position the cell takes — a freed position (from a cell in `removed`)
+  /// sitting after the new cell's fanin drivers and before its readers.
+  struct AddedCell {
+    rtlil::Cell* cell;
+    int topo_pos;
+  };
+
   std::vector<std::pair<rtlil::SigSpec, rtlil::SigSpec>> connects;
   std::vector<rtlil::Cell*> removed;
   std::vector<rtlil::Cell*> mutated; ///< deduplicated, walk order
+  std::vector<AddedCell> added;      ///< already in the module; indexed at apply
 
   bool empty() const noexcept {
-    return connects.empty() && removed.empty() && mutated.empty();
+    return connects.empty() && removed.empty() && mutated.empty() && added.empty();
   }
   void clear() {
     connects.clear();
     removed.clear();
     mutated.clear();
+    added.clear();
   }
 };
 

@@ -1,6 +1,7 @@
 #include "opt/opt_merge.hpp"
 
 #include "rtlil/sigmap.hpp"
+#include "sweep/equiv_classes.hpp"
 #include "util/hashing.hpp"
 #include "util/log.hpp"
 
@@ -9,86 +10,31 @@
 namespace smartly::opt {
 
 using rtlil::Cell;
-using rtlil::CellType;
 using rtlil::Module;
-using rtlil::Port;
-using rtlil::SigSpec;
-
-namespace {
-
-bool is_commutative(CellType t) {
-  switch (t) {
-  case CellType::And:
-  case CellType::Or:
-  case CellType::Xor:
-  case CellType::Xnor:
-  case CellType::Add:
-  case CellType::Mul:
-  case CellType::Eq:
-  case CellType::Ne:
-  case CellType::LogicAnd:
-  case CellType::LogicOr:
-    return true;
-  default:
-    return false;
-  }
-}
-
-struct CellKey {
-  CellType type;
-  std::vector<std::pair<int, SigSpec>> inputs; // (port, canonical signal)
-  int y_width;
-  bool a_signed, b_signed;
-
-  bool operator==(const CellKey& o) const {
-    return type == o.type && y_width == o.y_width && a_signed == o.a_signed &&
-           b_signed == o.b_signed && inputs == o.inputs;
-  }
-};
-
-struct CellKeyHash {
-  size_t operator()(const CellKey& k) const {
-    uint64_t h = hash_mix(static_cast<uint64_t>(k.type));
-    h = hash_combine(h, static_cast<uint64_t>(k.y_width));
-    h = hash_combine(h, (k.a_signed ? 2u : 0u) | (k.b_signed ? 1u : 0u));
-    for (const auto& [p, sig] : k.inputs)
-      h = hash_combine(h, hash_combine(static_cast<uint64_t>(p), sig.hash()));
-    return h;
-  }
-};
-
-} // namespace
 
 size_t opt_merge(Module& module) {
   size_t merged_total = 0;
   for (bool changed = true; changed;) {
     changed = false;
     const rtlil::SigMap sigmap(module);
-    std::unordered_map<CellKey, Cell*, CellKeyHash> seen;
+    // Keyed on the sweep subsystem's structural fingerprint (type, params,
+    // canonical inputs, commutative normalization) — the same "trivially
+    // identical" notion the fraig engine's pre-merge uses, so everything this
+    // pass leaves behind is genuine work for simulation + SAT. Hits are
+    // verified exactly: unlike the fraig engine's merges this pass has no
+    // SAT proof or CEC backstop, so a fingerprint collision must not alias
+    // two different cells.
+    std::unordered_map<Hash128, Cell*, Hash128Hasher> seen;
     std::vector<Cell*> dead;
 
     for (const auto& cptr : module.cells()) {
       Cell* cell = cptr.get();
-
-      CellKey key;
-      key.type = cell->type();
-      key.y_width = cell->port(cell->output_port()).size();
-      key.a_signed = cell->params().a_signed;
-      key.b_signed = cell->params().b_signed;
-      for (Port p : cell->input_ports())
-        key.inputs.emplace_back(static_cast<int>(p), sigmap(cell->port(p)));
-
-      if (is_commutative(cell->type()) && key.inputs.size() >= 2) {
-        // Normalize operand order by hash (A and B are the first two ports).
-        auto& a = key.inputs[0].second;
-        auto& b = key.inputs[1].second;
-        if (b.hash() < a.hash())
-          std::swap(key.inputs[0].second, key.inputs[1].second);
-      }
-
-      auto [it, inserted] = seen.emplace(std::move(key), cell);
+      const Hash128 key = sweep::cell_structural_key(*cell, sigmap);
+      auto [it, inserted] = seen.emplace(key, cell);
       if (inserted)
         continue;
+      if (!sweep::cell_structurally_identical(*cell, *it->second, sigmap))
+        continue; // fingerprint collision: leave both cells alone
       // Same computation: alias this cell's output to the first one's.
       module.connect(cell->port(cell->output_port()),
                      it->second->port(it->second->output_port()));

@@ -7,6 +7,12 @@
 
 namespace smartly::opt {
 
+sweep::FraigStats fraig_stage(rtlil::Module& module, const sweep::FraigOptions& options) {
+  const sweep::FraigStats stats = sweep::fraig_sweep(module, options);
+  opt_clean(module);
+  return stats;
+}
+
 void coarse_opt(rtlil::Module& module) {
   for (int iter = 0; iter < 8; ++iter) {
     const OptExprStats es = opt_expr(module);

@@ -8,11 +8,18 @@
 
 #include "opt/muxtree_walker.hpp"
 #include "rtlil/module.hpp"
+#include "sweep/fraig_engine.hpp"
 
 namespace smartly::opt {
 
 /// opt_expr + opt_merge + opt_clean to fixpoint (shared by both arms).
 void coarse_opt(rtlil::Module& module);
+
+/// SAT-sweeping stage: fraig the whole netlist, then sweep the cones the
+/// merges disconnected. Runnable before or after either muxtree flow — the
+/// engines are orthogonal (muxtree passes remove never-active branches,
+/// fraig removes duplicate/complement/constant cones).
+sweep::FraigStats fraig_stage(rtlil::Module& module, const sweep::FraigOptions& options = {});
 
 /// The baseline flow: coarse_opt, Yosys-style opt_muxtree, post cleanup.
 /// Returns the muxtree statistics.

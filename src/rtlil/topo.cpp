@@ -63,15 +63,23 @@ NetlistIndex::NetlistIndex(const Module& module) : sigmap_(module) {
     }
   }
 
-  // Kahn's algorithm over combinational edges.
+  // Kahn's algorithm over combinational edges, FIFO order. Two properties
+  // matter beyond validity:
+  //   * deterministic content function — the queue is seeded in module cell
+  //     order (indegree is keyed on cell pointers, whose iteration order
+  //     varies with heap layout), so design clones number their AIG/CNF
+  //     encodings identically; the fraig engine's solver_conflicts
+  //     determinism and every cross-clone bench differential depend on it;
+  //   * BFS layering — positions correlate with logic depth, so the fraig
+  //     engine's minimum-position class representative is the shallowest
+  //     member and merges collapse deep cones onto shallow ones.
   std::vector<Cell*> ready;
-  for (auto& [cell, deg] : indegree)
-    if (deg == 0)
-      ready.push_back(const_cast<Cell*>(cell));
+  for (const auto& cptr : module.cells())
+    if (indegree[cptr.get()] == 0)
+      ready.push_back(cptr.get());
   topo_.reserve(module.cells().size());
-  while (!ready.empty()) {
-    Cell* c = ready.back();
-    ready.pop_back();
+  for (size_t head = 0; head < ready.size();) {
+    Cell* c = ready[head++];
     topo_.push_back(c);
     if (c->type() == CellType::Dff)
       continue;
@@ -161,6 +169,22 @@ void NetlistIndex::remove_cell(Cell* cell) {
   topo_pos_.erase(cell);
 }
 
+void NetlistIndex::add_cell(Cell* cell, int topo_pos) {
+  for (const SigBit& raw : cell->port(cell->output_port())) {
+    const SigBit bit = sigmap_(raw);
+    if (!bit.is_wire())
+      continue;
+    auto [it, inserted] = driver_.emplace(bit, cell);
+    if (!inserted && it->second != cell)
+      log_warn("add_cell: %s[%d] already driven by %s (adding %s)", bit.wire->name().c_str(),
+               bit.offset, it->second->name().c_str(), cell->name().c_str());
+  }
+  index_cell_reads(cell);
+  topo_pos_.emplace(cell, topo_pos);
+  topo_.push_back(cell);
+  topo_needs_sort_ = true;
+}
+
 void NetlistIndex::add_alias(const SigSpec& lhs, const SigSpec& rhs) {
   const int n = std::min(lhs.size(), rhs.size());
   for (int i = 0; i < n; ++i) {
@@ -213,11 +237,20 @@ void NetlistIndex::refresh_cell_reads(Cell* cell) {
 }
 
 void NetlistIndex::compact_topo() {
-  if (topo_.size() == topo_pos_.size())
+  if (topo_.size() == topo_pos_.size() && !topo_needs_sort_)
     return;
   topo_.erase(std::remove_if(topo_.begin(), topo_.end(),
                              [&](Cell* c) { return !topo_pos_.count(c); }),
               topo_.end());
+  if (topo_needs_sort_) {
+    // Added cells were appended out of place; restore position order. Ties
+    // are possible (several added cells can take the same freed position —
+    // they never depend on each other) and stable_sort keeps them in append
+    // order, which callers make deterministic (journal order).
+    std::stable_sort(topo_.begin(), topo_.end(),
+                     [&](const Cell* a, const Cell* b) { return topo_pos_.at(a) < topo_pos_.at(b); });
+    topo_needs_sort_ = false;
+  }
 }
 
 } // namespace smartly::rtlil

@@ -84,6 +84,14 @@ public:
   /// for the sweep's connects (keys are canonicalized with the current map).
   void remove_cell(Cell* cell);
 
+  /// Register a cell added to the module mid-maintenance (the fraig engine
+  /// inserts inverters for complement-pair merges). `topo_pos` slots the cell
+  /// into the stored order — callers pass a freed position (typically the one
+  /// a just-removed cell held) that sits after the new cell's fanin drivers
+  /// and before its readers. topo_order() reflects the insertion only after
+  /// the next compact_topo().
+  void add_cell(Cell* cell, int topo_pos);
+
   /// Record a module-level connect: merges the canonical classes bit-by-bit
   /// and migrates reader lists, driver entries, and output-port flags onto
   /// the surviving representative. Must mirror Module::connect calls 1:1 and
@@ -95,8 +103,9 @@ public:
   /// keyed under the post-connect canonical bits, exactly like a rebuild.
   void refresh_cell_reads(Cell* cell);
 
-  /// Drop removed cells from topo_order(). Positions of survivors keep their
-  /// old values (gaps are fine: only relative order is meaningful).
+  /// Drop removed cells from topo_order() and slot added cells into position
+  /// order. Positions of survivors keep their old values (gaps are fine: only
+  /// relative order is meaningful).
   void compact_topo();
 
 private:
@@ -114,6 +123,7 @@ private:
   std::unordered_map<const Cell*, std::vector<SigBit>> cell_reads_;
   std::vector<Cell*> topo_;
   std::unordered_map<const Cell*, int> topo_pos_;
+  bool topo_needs_sort_ = false; ///< an add_cell broke topo_'s position order
   std::vector<Cell*> empty_;
 };
 

@@ -1,5 +1,8 @@
 #include "sim/packed_sim.hpp"
 
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
 #include <unordered_map>
 
 namespace smartly::sim {
@@ -182,6 +185,34 @@ Forced exhaustive_forced(const aig::Aig& aig,
   SimOptions options;
   options.max_free_inputs = max_free_inputs;
   return exhaustive_forced_ex(aig, constraints, target, options).forced;
+}
+
+SignatureTable simulate_signatures(const aig::Aig& aig,
+                                   const std::vector<std::vector<uint64_t>>& batch_inputs,
+                                   util::ThreadPool* pool) {
+  SignatureTable table;
+  table.words = batch_inputs.size();
+  table.nodes = aig.num_nodes();
+  table.node_words.resize(table.words * table.nodes);
+
+  // One reusable node-sized scratch per worker (whole-netlist AIGs make a
+  // per-batch allocation megabytes of churn across refinement rounds).
+  const int workers = pool && pool->size() > 1 && table.words > 1 ? pool->size() : 1;
+  std::vector<std::vector<uint64_t>> scratch(static_cast<size_t>(workers));
+
+  auto run_batch = [&](int worker, size_t w) {
+    std::vector<uint64_t>& values = scratch[static_cast<size_t>(worker)];
+    aig.simulate_into(batch_inputs[w], values);
+    std::copy(values.begin(), values.end(), table.node_words.begin() +
+                                                static_cast<ptrdiff_t>(w * table.nodes));
+  };
+
+  if (workers > 1)
+    pool->run_batch(table.words, run_batch);
+  else
+    for (size_t w = 0; w < table.words; ++w)
+      run_batch(0, w);
+  return table;
 }
 
 } // namespace smartly::sim

@@ -25,6 +25,10 @@
 #include <utility>
 #include <vector>
 
+namespace smartly::util {
+class ThreadPool;
+}
+
 namespace smartly::sim {
 
 enum class Forced {
@@ -92,5 +96,35 @@ SimResult exhaustive_forced_ex(const aig::Aig& aig,
 Forced exhaustive_forced(const aig::Aig& aig,
                          const std::vector<std::pair<aig::Lit, bool>>& constraints,
                          aig::Lit target, int max_free_inputs = 14);
+
+// --- multi-word signature simulation (SAT-sweeping support) ----------------
+//
+// The fraig engine classifies every combinational bit of a whole-netlist AIG
+// by its behaviour over W×64 packed patterns. Word batches are independent
+// simulations, so the table is computed batch-parallel on the caller's
+// thread pool; each batch writes only its own block, which makes the result
+// bit-identical for every thread count.
+
+/// Per-node simulation words over W independent 64-pattern batches, stored
+/// batch-major: word(node, w) is batch w's 64 pattern results for `node`.
+struct SignatureTable {
+  size_t words = 0;                 ///< number of 64-pattern batches (W)
+  size_t nodes = 0;                 ///< aig.num_nodes() at simulation time
+  std::vector<uint64_t> node_words; ///< [w * nodes + node]
+
+  uint64_t word(uint32_t node, size_t w) const { return node_words[w * nodes + node]; }
+  uint64_t lit_word(aig::Lit l, size_t w) const {
+    const uint64_t v = word(aig::lit_node(l), w);
+    return aig::lit_compl(l) ? ~v : v;
+  }
+};
+
+/// Simulate all nodes of `aig` over the given batches. `batch_inputs[w]` is
+/// one word per AIG input (Aig::inputs() order). Batches run in parallel on
+/// `pool` when given (deterministic: slot-per-batch outputs); serially
+/// otherwise.
+SignatureTable simulate_signatures(const aig::Aig& aig,
+                                   const std::vector<std::vector<uint64_t>>& batch_inputs,
+                                   util::ThreadPool* pool = nullptr);
 
 } // namespace smartly::sim

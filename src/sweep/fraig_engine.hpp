@@ -1,0 +1,88 @@
+// SAT-sweeping equivalence engine ("fraig", after ABC's fraig/&fraig).
+//
+// The §II oracle removes redundancy *inside muxtrees*; general combinational
+// redundancy — duplicate cones, complement pairs, constant nodes — survives
+// smartly_pass untouched. This engine removes it netlist-wide:
+//
+//   signature   whole-module packed simulation partitions every combinational
+//               bit into candidate classes (sweep/equiv_classes);
+//   refine      counterexamples from disproved miters re-enter the pattern
+//               pool and split the classes they distinguish;
+//   SAT-confirm each class owns a solver in which the joint fanin cone of its
+//               members is encoded once (aig::ConeCnfEncoder); each member is
+//               proved against the class representative under an
+//               activation-literal clause group — polarity-aware, so
+//               complement pairs merge through an inserted inverter;
+//   commit      proven merges are journaled (SweepJournal) and applied at
+//               round barriers in canonical class order through the
+//               NetlistIndex incremental-maintenance API.
+//
+// Determinism: class proof tasks run on a work-stealing pool, but each class
+// owns its solver (state is a function of class content alone, as the
+// parallel sweep engine's per-region oracles), results land in
+// slot-per-class outputs, and all module mutation happens at single-threaded
+// barriers in canonical order — netlist bytes and statistics are
+// bit-identical for every thread count.
+//
+// Correctness bar: merges are only committed on an UNSAT proof over the full
+// fanin cones, and every caller-facing flow CECs the result
+// (tests/test_fraig.cpp, bench/bench_sweep.cpp).
+#pragma once
+
+#include "rtlil/module.hpp"
+#include "sweep/equiv_classes.hpp"
+
+#include <cstdint>
+
+namespace smartly::sweep {
+
+struct FraigOptions {
+  /// Worker threads for class proofs and signature batches (0 = one per
+  /// hardware thread). Output is bit-identical for every value.
+  int threads = 0;
+  /// Conflict cap per SAT query; Unknown leaves the pair unmerged. Outcomes
+  /// stay deterministic: each class's solver sees the same query sequence
+  /// regardless of scheduling.
+  int64_t sat_conflict_budget = 4000;
+  size_t max_rounds = 16; ///< signature -> SAT -> commit fixpoint cap
+  /// Structural pre-pass: merge trivially-identical cells (opt_merge, which
+  /// shares cell_structural_key) before any simulation or SAT.
+  bool pre_merge = true;
+  EquivClassOptions classes;
+};
+
+struct FraigStats {
+  size_t rounds = 0;
+  size_t candidate_bits = 0;   ///< classified bits (first round)
+  size_t classes = 0;          ///< candidate classes dispatched (all rounds)
+  size_t sat_queries = 0;      ///< solve() calls issued
+  size_t proved_equal = 0;     ///< UNSAT pair miters (incl. complement pairs)
+  size_t proved_complement = 0;///< subset of proved_equal merged via inverter
+  size_t proved_constant = 0;  ///< bits proven stuck at 0/1
+  size_t proved_structural = 0;///< identical blast literals: no solver needed
+  size_t disproved = 0;        ///< SAT miters (counterexample learned)
+  size_t unknown = 0;          ///< conflict budget exhausted
+  size_t cex_patterns = 0;     ///< counterexamples accepted into the pool
+  size_t merged_cells = 0;     ///< duplicate driver cells removed
+  size_t inverter_cells = 0;   ///< Not cells inserted for complement merges
+  size_t pre_merged = 0;       ///< cells merged by the structural pre-pass
+  uint64_t solver_conflicts = 0;
+  int threads_used = 0;        ///< machine detail; excluded from determinism checks
+};
+
+/// Accumulate work counters (multi-stage flows like opt_tool's
+/// --fraig-pre + --fraig). threads_used keeps the left-hand value — it
+/// reflects the machine, not the work. Maintained next to the struct so a
+/// new counter cannot be silently dropped from the aggregations.
+FraigStats& operator+=(FraigStats& acc, const FraigStats& s);
+
+/// Equality of every work counter, excluding threads_used — the relation the
+/// thread-count determinism checks assert (bench_sweep, tests).
+bool same_work(const FraigStats& a, const FraigStats& b);
+
+/// Run the SAT-sweeping engine on `module` to fixpoint. Pair with opt_clean
+/// afterwards to remove the cones the merges disconnected (opt/pipeline's
+/// fraig_stage does both).
+FraigStats fraig_sweep(rtlil::Module& module, const FraigOptions& options = {});
+
+} // namespace smartly::sweep
