@@ -1,0 +1,316 @@
+// DAG-aware cut-rewriting engine benchmark: AIG area and cell counts on top
+// of the fraig stage, NPN/cut statistics, CEC verification, and thread-count
+// determinism, emitting the BENCH_rewrite.json schema.
+//
+//   ./bench_rewrite [--smoke] [--json] [--filter <substr>] [--threads <csv>]
+//
+//   --smoke    small circuit subset, threads {1,2} — the tier-2 CTest target.
+//              Exits nonzero if any rewritten netlist fails CEC, any circuit
+//              is non-deterministic across thread counts, or no benchmark
+//              family shows a strict AIG-area reduction over the fraig stage
+//              alone.
+//   --json     print the JSON document to stdout (human table otherwise).
+//   --filter   run only circuits whose name contains <substr>.
+//   --threads  comma-separated worker counts (default 1,2,4,8).
+//
+// Flow per circuit (three families: public, industrial, random):
+//   1. elaborate, keep a golden clone for CEC;
+//   2. smartly_flow + fraig_stage -> cells_fraig / aig_fraig (the baseline
+//      the rewrite must improve on);
+//   3. for every thread count: clone the fraiged design, rewrite_stage, then
+//      a fraig harvest pass (merges the restructuring exposed). All rewritten
+//      netlists must be byte-identical and their statistics equal; the first
+//      one is CEC'd against the golden design.
+//
+// The gated metric is AIG area (reachable AND gates after aigmap) — the
+// paper's cell count. Word-level cell counts are also reported and must
+// never increase (the engine's commit gate enforces it).
+#include "aig/aigmap.hpp"
+#include "backend/write_rtlil.hpp"
+#include "bench_json.hpp"
+#include "benchgen/industrial.hpp"
+#include "benchgen/random_circuit.hpp"
+#include "cec/cec.hpp"
+#include "core/smartly_pass.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+using namespace smartly;
+using benchjson::seconds_since;
+
+namespace {
+
+std::string family_of(const std::string& name) {
+  if (name.rfind("industrial", 0) == 0)
+    return "industrial";
+  if (name.rfind("random_", 0) == 0)
+    return "random";
+  return "public";
+}
+
+struct Row {
+  std::string name, family;
+  size_t cells_original = 0, cells_fraig = 0, cells_rewrite = 0;
+  size_t aig_fraig = 0, aig_rewrite = 0;
+  double rewrite_seconds = 0; ///< rewrite_stage + fraig harvest, first thread count
+  rewrite::RewriteStats stats;
+  bool cec_ok = false;
+  bool deterministic = true;
+  bool reduced_aig = false;   ///< strictly smaller AIG than the fraig stage alone
+  bool reduced_cells = false; ///< strictly fewer word-level cells
+};
+
+Row run_circuit(const benchgen::BenchCircuit& circuit, const std::vector<int>& thread_counts) {
+  Row row;
+  row.name = circuit.name;
+  row.family = family_of(circuit.name);
+
+  const auto golden = verilog::read_verilog(circuit.verilog);
+  row.cells_original = golden->top()->cell_count();
+
+  // Baseline: the full muxtree pipeline plus the fraig stage.
+  const auto base = rtlil::clone_design(*golden);
+  core::smartly_flow(*base->top(), {});
+  sweep::FraigOptions fraig_base;
+  fraig_base.threads = 1;
+  opt::fraig_stage(*base->top(), fraig_base);
+  row.cells_fraig = base->top()->cell_count();
+  row.aig_fraig = aig::aig_area(*base->top());
+
+  std::string first_netlist;
+  for (size_t i = 0; i < thread_counts.size(); ++i) {
+    const auto design = rtlil::clone_design(*base);
+    rewrite::RewriteOptions options;
+    options.threads = thread_counts[i];
+    sweep::FraigOptions harvest;
+    harvest.threads = thread_counts[i];
+    auto t0 = std::chrono::steady_clock::now();
+    const rewrite::RewriteStats stats = opt::rewrite_stage(*design->top(), options);
+    opt::fraig_stage(*design->top(), harvest);
+    const double seconds = seconds_since(t0);
+    const std::string netlist = backend::write_rtlil(*design->top());
+    if (i == 0) {
+      row.stats = stats;
+      row.rewrite_seconds = seconds;
+      first_netlist = netlist;
+      row.cells_rewrite = design->top()->cell_count();
+      row.aig_rewrite = aig::aig_area(*design->top());
+      row.cec_ok = cec::check_equivalence(*golden->top(), *design->top()).equivalent;
+    } else {
+      row.deterministic = row.deterministic && netlist == first_netlist &&
+                          rewrite::same_work(stats, row.stats);
+    }
+  }
+  row.reduced_aig = row.aig_rewrite < row.aig_fraig;
+  row.reduced_cells = row.cells_rewrite < row.cells_fraig;
+  return row;
+}
+
+std::string json_row(const Row& r) {
+  benchjson::JsonObject o;
+  o.put("name", r.name)
+      .put("family", r.family)
+      .put("cells_original", r.cells_original)
+      .put("cells_fraig", r.cells_fraig)
+      .put("cells_rewrite", r.cells_rewrite)
+      .put("aig_fraig", r.aig_fraig)
+      .put("aig_rewrite", r.aig_rewrite)
+      .put("rounds", r.stats.rounds)
+      .put("aig_nodes", r.stats.aig_nodes)
+      .put("cuts", r.stats.cuts)
+      .put("roots_evaluated", r.stats.roots_evaluated)
+      .put("candidates", r.stats.candidates)
+      .put("npn_classes", r.stats.npn_classes)
+      .put("rewrites", r.stats.rewrites)
+      .put("zero_gain_rewrites", r.stats.zero_gain_rewrites)
+      .put("plans_rejected", r.stats.plans_rejected)
+      .put("plans_noop", r.stats.plans_noop)
+      .put("cells_added", r.stats.cells_added)
+      .put("gates_reused", r.stats.gates_reused)
+      .put("cells_shared", r.stats.cells_shared)
+      .put("predicted_dead", r.stats.predicted_dead)
+      .putf("rewrite_seconds", r.rewrite_seconds)
+      .put("cec_ok", r.cec_ok)
+      .put("deterministic", r.deterministic)
+      .put("reduced_aig", r.reduced_aig)
+      .put("reduced_cells", r.reduced_cells);
+  return o.str();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false, json = false;
+  std::string filter;
+  std::vector<int> thread_counts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0)
+      smoke = true;
+    else if (std::strcmp(argv[i], "--json") == 0)
+      json = true;
+    else if (std::strcmp(argv[i], "--filter") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_rewrite: --filter requires a value\n");
+        return 2;
+      }
+      filter = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_rewrite: --threads requires a value\n");
+        return 2;
+      }
+      thread_counts = benchjson::parse_thread_counts(argv[++i], "bench_rewrite");
+    } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::printf(
+          "usage: bench_rewrite [--smoke] [--json] [--filter <substr>] "
+          "[--threads <csv, default 1,2,4,8>]\n"
+          "\n"
+          "DAG-aware cut-rewriting engine benchmark over the public + industrial\n"
+          "+ random circuit families (BENCH_rewrite.json schema). Every rewritten\n"
+          "netlist is CEC-verified and must be byte-identical across thread\n"
+          "counts; the AIG area (the paper's cell metric) must shrink strictly\n"
+          "below the fraig stage alone in at least one family (--smoke) or in\n"
+          "every family (full run).\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "bench_rewrite: unknown option '%s' (try --help)\n", argv[i]);
+      return 2;
+    }
+  }
+  if (thread_counts.empty())
+    thread_counts = smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+
+  std::vector<benchgen::BenchCircuit> circuits;
+  {
+    for (auto& c : benchgen::public_suite())
+      if (!smoke || c.name == "pci_bridge32" || c.name == "tv80")
+        circuits.push_back(std::move(c));
+    if (!smoke) {
+      const auto industrial = benchgen::industrial_suite();
+      circuits.push_back(industrial[0]);
+      circuits.push_back(industrial[1]);
+    }
+    const std::vector<uint64_t> seeds =
+        smoke ? std::vector<uint64_t>{1, 2} : std::vector<uint64_t>{1, 2, 3, 4};
+    for (const uint64_t seed : seeds) {
+      benchgen::BenchCircuit c;
+      c.name = "random_s" + std::to_string(seed);
+      c.verilog = benchgen::random_verilog(seed, smoke ? 6 : 8);
+      circuits.push_back(std::move(c));
+    }
+  }
+  benchjson::apply_name_filter(circuits, filter, "bench_rewrite");
+
+  std::vector<Row> rows;
+  rows.reserve(circuits.size());
+  for (const auto& circuit : circuits) {
+    rows.push_back(run_circuit(circuit, thread_counts));
+    if (!json) {
+      const Row& r = rows.back();
+      std::printf("%-16s %-10s aig %6zu -> %6zu  cells %5zu -> %5zu  "
+                  "(%zu rw, %zu zg, %zu add, %zu shared)  %.4fs  cec %s det %s\n",
+                  r.name.c_str(), r.family.c_str(), r.aig_fraig, r.aig_rewrite,
+                  r.cells_fraig, r.cells_rewrite, r.stats.rewrites,
+                  r.stats.zero_gain_rewrites, r.stats.cells_added, r.stats.cells_shared,
+                  r.rewrite_seconds, r.cec_ok ? "ok" : "FAIL",
+                  r.deterministic ? "yes" : "NO");
+    }
+  }
+
+  size_t total_cells_fraig = 0, total_cells_rewrite = 0, total_aig_fraig = 0,
+         total_aig_rewrite = 0, total_rewrites = 0, total_added = 0, total_shared = 0;
+  double total_seconds = 0;
+  bool cec_all = true, det_all = true, cells_grew = false;
+  std::vector<std::string> run_families, reduced_families;
+  for (const Row& r : rows) {
+    total_cells_fraig += r.cells_fraig;
+    total_cells_rewrite += r.cells_rewrite;
+    total_aig_fraig += r.aig_fraig;
+    total_aig_rewrite += r.aig_rewrite;
+    total_rewrites += r.stats.rewrites;
+    total_added += r.stats.cells_added;
+    total_shared += r.stats.cells_shared;
+    total_seconds += r.rewrite_seconds;
+    cec_all = cec_all && r.cec_ok;
+    det_all = det_all && r.deterministic;
+    cells_grew = cells_grew || r.cells_rewrite > r.cells_fraig;
+    if (std::find(run_families.begin(), run_families.end(), r.family) == run_families.end())
+      run_families.push_back(r.family);
+    if (r.reduced_aig &&
+        std::find(reduced_families.begin(), reduced_families.end(), r.family) ==
+            reduced_families.end())
+      reduced_families.push_back(r.family);
+  }
+
+  if (json) {
+    std::vector<std::string> row_json;
+    row_json.reserve(rows.size());
+    for (const Row& r : rows)
+      row_json.push_back("    " + json_row(r));
+    std::string circuits_array = "[\n";
+    for (size_t i = 0; i < row_json.size(); ++i)
+      circuits_array += row_json[i] + (i + 1 == row_json.size() ? "\n" : ",\n");
+    circuits_array += "  ]";
+
+    std::vector<std::string> families;
+    families.reserve(reduced_families.size());
+    for (const std::string& f : reduced_families)
+      families.push_back("\"" + benchjson::json_escape(f) + "\"");
+
+    benchjson::JsonObject total;
+    total.put("cells_fraig", total_cells_fraig)
+        .put("cells_rewrite", total_cells_rewrite)
+        .put("aig_fraig", total_aig_fraig)
+        .put("aig_rewrite", total_aig_rewrite)
+        .put("rewrites", total_rewrites)
+        .put("cells_added", total_added)
+        .put("cells_shared", total_shared)
+        .putf("rewrite_seconds", total_seconds)
+        .put_raw("families_reduced", benchjson::json_array(families))
+        .put("cec_all", cec_all)
+        .put("deterministic_all", det_all);
+
+    std::printf("{\n  \"bench\": \"rewrite\",\n  \"metric\": \"aig_area\",\n"
+                "  \"hardware_threads\": %u,\n  \"circuits\": %s,\n  \"total\": %s\n}\n",
+                std::thread::hardware_concurrency(), circuits_array.c_str(),
+                total.str().c_str());
+  } else {
+    std::printf("\nTotal: aig %zu -> %zu (%.2f%%), cells %zu -> %zu, %zu rewrites, "
+                "%.4fs; families reduced: %zu/%zu\n",
+                total_aig_fraig, total_aig_rewrite,
+                total_aig_fraig ? 100.0 * (double(total_aig_fraig) - double(total_aig_rewrite)) /
+                                      double(total_aig_fraig)
+                                : 0.0,
+                total_cells_fraig, total_cells_rewrite, total_rewrites, total_seconds,
+                reduced_families.size(), run_families.size());
+  }
+
+  if (!cec_all) {
+    std::fprintf(stderr, "FAIL: a rewritten netlist is not equivalent to its source\n");
+    return 1;
+  }
+  if (!det_all) {
+    std::fprintf(stderr, "FAIL: rewrite diverged across thread counts\n");
+    return 1;
+  }
+  if (cells_grew) {
+    std::fprintf(stderr, "FAIL: a rewrite grew the word-level cell count\n");
+    return 1;
+  }
+  // Family gates are suite-level acceptance criteria; a --filter subset is an
+  // inspection run where "this circuit didn't reduce" is a valid answer.
+  if (filter.empty()) {
+    if (smoke && reduced_families.empty()) {
+      std::fprintf(stderr, "FAIL: no benchmark family reduced AIG area below fraig alone\n");
+      return 1;
+    }
+    if (!smoke && reduced_families.size() != run_families.size()) {
+      std::fprintf(stderr, "FAIL: only %zu of %zu families reduced AIG area below fraig\n",
+                   reduced_families.size(), run_families.size());
+      return 1;
+    }
+  }
+  return 0;
+}

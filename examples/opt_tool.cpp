@@ -10,6 +10,9 @@
 //     --fraig                         SAT-sweeping stage after the flow (merges
 //                                     duplicate/complement/constant cones)
 //     --fraig-pre                     SAT-sweeping stage before the flow
+//     --rewrite                       deep-optimization loop after the flow:
+//                                     fraig -> DAG-aware cut rewriting -> fraig
+//                                     (subsumes --fraig)
 //     --reduce                        also run opt_reduce (pmux/reduction merging)
 //     --check                         equivalence-check the result
 //     --stats                         print pass statistics
@@ -43,8 +46,8 @@ namespace {
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: opt_tool [--flow yosys|smartly|original] [--no-sat] "
-               "[--no-rebuild] [--threads N] [--fraig] [--fraig-pre] [--reduce] "
-               "[--check] [--stats] [-o out.v] [--write-aiger out.aag] "
+               "[--no-rebuild] [--threads N] [--fraig] [--fraig-pre] [--rewrite] "
+               "[--reduce] [--check] [--stats] [-o out.v] [--write-aiger out.aag] "
                "[--dump-rtlil] [file.v]\n");
   std::exit(2);
 }
@@ -55,7 +58,7 @@ int main(int argc, char** argv) {
   std::string flow = "smartly";
   std::string path, out_verilog, out_aiger;
   bool check = false, stats = false, reduce = false, dump = false;
-  bool fraig_post = false, fraig_pre = false;
+  bool fraig_post = false, fraig_pre = false, rewrite_post = false;
   core::SmartlyOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -83,6 +86,8 @@ int main(int argc, char** argv) {
       fraig_post = true;
     } else if (arg == "--fraig-pre") {
       fraig_pre = true;
+    } else if (arg == "--rewrite") {
+      rewrite_post = true;
     } else if (arg == "--reduce") {
       reduce = true;
     } else if (arg == "--check") {
@@ -148,8 +153,19 @@ int main(int argc, char** argv) {
     } else {
       usage();
     }
-    if (fraig_post)
+    // --rewrite subsumes --fraig: the loop below opens with its own fraig
+    // stage, so a standalone post-flow fraig would just re-sweep a fixpoint.
+    if (fraig_post && !rewrite_post)
       fraig_st += opt::fraig_stage(top, fraig_options);
+    rewrite::RewriteStats rewrite_st;
+    if (rewrite_post) {
+      opt::DeepOptOptions deep;
+      deep.fraig = fraig_options;
+      deep.rewrite.threads = options.threads;
+      const opt::DeepOptStats ds = opt::fraig_rewrite_loop(top, deep);
+      fraig_st += ds.fraig;
+      rewrite_st += ds.rewrite;
+    }
     if (reduce) {
       opt::opt_reduce(top);
       opt::opt_clean(top);
@@ -176,7 +192,7 @@ int main(int argc, char** argv) {
                       ? 100.0 * (1.0 - double(st.sat.gates_kept) / double(st.sat.gates_seen))
                       : 0.0);
     }
-    if (stats && (fraig_pre || fraig_post)) {
+    if (stats && (fraig_pre || fraig_post || rewrite_post)) {
       std::printf("  fraig: %zu rounds, %zu classes, %zu sat queries "
                   "(%zu equal, %zu const, %zu structural, %zu disproved, %zu unknown), "
                   "%zu cells merged (%zu inverters), %zu pre-merged, %zu cex patterns\n",
@@ -184,6 +200,17 @@ int main(int argc, char** argv) {
                   fraig_st.proved_equal, fraig_st.proved_constant, fraig_st.proved_structural,
                   fraig_st.disproved, fraig_st.unknown, fraig_st.merged_cells,
                   fraig_st.inverter_cells, fraig_st.pre_merged, fraig_st.cex_patterns);
+    }
+    if (stats && rewrite_post) {
+      std::printf("  rewrite: %zu rounds, %zu cuts, %zu roots, %zu candidates "
+                  "(%zu npn classes), %zu rewrites (%zu zero-gain), "
+                  "%zu cells added, %zu gates reused, %zu cells shared, "
+                  "%zu predicted dead\n",
+                  rewrite_st.rounds, rewrite_st.cuts, rewrite_st.roots_evaluated,
+                  rewrite_st.candidates, rewrite_st.npn_classes, rewrite_st.rewrites,
+                  rewrite_st.zero_gain_rewrites, rewrite_st.cells_added,
+                  rewrite_st.gates_reused, rewrite_st.cells_shared,
+                  rewrite_st.predicted_dead);
     }
 
     if (!out_verilog.empty()) {

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate for the bench-regression CI job.
+
+Usage:
+    check_bench_regression.py <baselines.json> <bench_output.json>...
+
+Each bench output is a BENCH_*.json document produced by a bench_* binary's
+``--smoke --json`` run (they identify themselves through their "bench" key).
+The script fails (exit 1) when
+
+  * a correctness flag is false anywhere (CEC, decision match, thread-count
+    determinism) — the smokes also fail on these themselves, but the gate
+    re-checks the artifacts it archives so a silently-truncated JSON cannot
+    pass;
+  * a gated quality metric regresses past its checked-in baseline
+    (ci/bench_baselines.json). Gated metrics are "smaller is better" totals
+    (cell counts, AIG area, oracle query counts), so improvements pass; the
+    script prints a note suggesting a baseline refresh when a metric is
+    strictly better than its baseline.
+
+Baselines are exact by default; a per-metric tolerance can be added as
+``{"value": N, "tolerance": 0.02}`` (2% slack) if a metric ever turns out to
+be machine-dependent. All gated metrics today are deterministic by
+construction (seeded generators, thread-count-invariant engines).
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    return 1
+
+
+def check_flag(doc, path, errors):
+    node = doc
+    for key in path[:-1]:
+        node = node.get(key, {})
+    value = node.get(path[-1])
+    if value is not True:
+        errors.append(f"{doc.get('bench', '?')}: flag {'.'.join(path)} is {value!r}, want true")
+
+
+def check_rows_flag(doc, key, errors):
+    for row in doc.get("circuits", []):
+        if row.get(key) is not True:
+            errors.append(
+                f"{doc.get('bench', '?')}: circuit {row.get('name', '?')} has {key}="
+                f"{row.get(key)!r}, want true"
+            )
+
+
+def check_metric(doc, metric_path, baseline_entry, errors, notes):
+    node = doc
+    for key in metric_path:
+        if key not in node:
+            errors.append(f"{doc.get('bench', '?')}: missing metric {'.'.join(metric_path)}")
+            return
+        node = node[key]
+    current = node
+    if isinstance(baseline_entry, dict):
+        baseline = baseline_entry["value"]
+        tolerance = baseline_entry.get("tolerance", 0.0)
+    else:
+        baseline = baseline_entry
+        tolerance = 0.0
+    limit = baseline * (1.0 + tolerance)
+    name = f"{doc.get('bench', '?')}.{'.'.join(metric_path)}"
+    if current > limit:
+        errors.append(f"{name} regressed: {current} > baseline {baseline} (tol {tolerance})")
+    elif current < baseline:
+        notes.append(f"{name} improved: {current} < baseline {baseline} — consider refreshing "
+                     f"ci/bench_baselines.json")
+    else:
+        print(f"ok: {name} = {current} (baseline {baseline})")
+
+
+# Per-bench gated flags and "smaller is better" metrics. Metric paths are
+# into the bench JSON; baseline keys into ci/bench_baselines.json.
+CHECKS = {
+    "oracle": {
+        "row_flags": ["decisions_match"],
+        "metrics": {"total_queries": ["total", "queries"]},
+    },
+    "pass": {
+        "row_flags": ["netlist_deterministic", "stats_deterministic"],
+        "metrics": {},
+    },
+    "sweep": {
+        "flags": [["total", "cec_all"], ["total", "deterministic_all"]],
+        "row_flags": ["cec_ok", "deterministic"],
+        "metrics": {"total_cells_fraig": ["total", "cells_fraig"]},
+    },
+    "rewrite": {
+        "flags": [["total", "cec_all"], ["total", "deterministic_all"]],
+        "row_flags": ["cec_ok", "deterministic"],
+        "metrics": {
+            "total_cells_rewrite": ["total", "cells_rewrite"],
+            "total_aig_rewrite": ["total", "aig_rewrite"],
+        },
+    },
+}
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__)
+        return 2
+    with open(argv[1]) as f:
+        baselines = json.load(f)
+
+    errors, notes = [], []
+    seen = []
+    for path in argv[2:]:
+        with open(path) as f:
+            doc = json.load(f)
+        bench = doc.get("bench")
+        if bench not in CHECKS:
+            errors.append(f"{path}: unknown bench {bench!r}")
+            continue
+        seen.append(bench)
+        spec = CHECKS[bench]
+        for flag_path in spec.get("flags", []):
+            check_flag(doc, flag_path, errors)
+        for key in spec.get("row_flags", []):
+            check_rows_flag(doc, key, errors)
+        bench_baselines = baselines.get(bench, {})
+        for baseline_key, metric_path in spec.get("metrics", {}).items():
+            if baseline_key not in bench_baselines:
+                errors.append(f"ci/bench_baselines.json: missing {bench}.{baseline_key}")
+                continue
+            check_metric(doc, metric_path, bench_baselines[baseline_key], errors, notes)
+
+    for bench in baselines:
+        if bench not in seen:
+            errors.append(f"baseline bench {bench!r} has no corresponding output file")
+
+    for note in notes:
+        print(f"note: {note}")
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}")
+        return 1
+    print(f"bench regression gate passed ({len(seen)} benches)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -48,6 +48,28 @@ Lit Aig::and_(Lit a, Lit b) {
   return mk_lit(node);
 }
 
+Lit Aig::find_and(Lit a, Lit b) const {
+  if (a > b)
+    std::swap(a, b);
+  if (a == kFalse)
+    return kFalse;
+  if (a == kTrue)
+    return b;
+  if (a == b)
+    return a;
+  if (a == lit_not(b))
+    return kFalse;
+
+  const auto it = strash_.find(hash_combine(a, b));
+  if (it == strash_.end())
+    return kNoLit;
+  for (uint32_t node : it->second) {
+    if (nodes_[node].fanin0 == a && nodes_[node].fanin1 == b)
+      return mk_lit(node);
+  }
+  return kNoLit;
+}
+
 Lit Aig::xor_(Lit a, Lit b) {
   if (a == kFalse)
     return b;

@@ -22,6 +22,9 @@ using Lit = uint32_t;
 constexpr Lit kFalse = 0;
 constexpr Lit kTrue = 1;
 
+/// "No such node" sentinel returned by the non-mutating strash probes.
+constexpr Lit kNoLit = 0xffffffffu;
+
 inline Lit mk_lit(uint32_t node, bool complement = false) { return node * 2 + (complement ? 1 : 0); }
 inline uint32_t lit_node(Lit l) noexcept { return l >> 1; }
 inline bool lit_compl(Lit l) noexcept { return l & 1; }
@@ -39,6 +42,13 @@ public:
 
   // --- construction (with constant folding + structural hashing) ----------
   Lit and_(Lit a, Lit b);
+  /// Non-mutating probe: the literal and_(a, b) *would* return, or kNoLit if
+  /// it would have to create a node. Applies the same normalization and
+  /// constant folding as and_, so folded cases (constants, a == b, a == ~b)
+  /// always resolve. The DAG-aware rewrite engine uses this to price
+  /// candidate structures against logic the graph already contains without
+  /// polluting the strash table.
+  Lit find_and(Lit a, Lit b) const;
   Lit or_(Lit a, Lit b) { return lit_not(and_(lit_not(a), lit_not(b))); }
   Lit xor_(Lit a, Lit b);
   Lit xnor_(Lit a, Lit b) { return lit_not(xor_(a, b)); }

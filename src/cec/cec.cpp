@@ -88,38 +88,40 @@ CecResult check_equivalence(const rtlil::Module& gold, const rtlil::Module& gate
     return result;
   }
 
+  // Prove the surviving miter legs one output at a time on a persistent
+  // solver with cone-restricted encoding: each query touches only the two
+  // implementations of one output (plus whatever earlier queries shared),
+  // and learned clauses carry across outputs. This is dramatically cheaper
+  // than one monolithic whole-graph miter once an optimization (the rewrite
+  // engine especially) has restructured cones out of strash-equality — the
+  // monolithic OR forced the solver to reason about every output at once.
   sat::Solver solver;
-  aig::CnfEncoder enc(solver);
-  enc.encode(graph);
-  std::vector<sat::Lit> any_diff;
-  for (const Pair& p : pairs)
-    any_diff.push_back(enc.lit(p.diff));
-  if (!solver.add_clause(std::move(any_diff))) {
-    result.equivalent = true;
-    return result;
-  }
-
-  const sat::Result r = solver.solve();
-  if (r == sat::Result::Unsat) {
-    result.equivalent = true;
-    return result;
-  }
-  if (r == sat::Result::Unknown)
-    throw std::runtime_error("CEC: solver budget exhausted");
-
-  result.equivalent = false;
+  aig::ConeCnfEncoder enc(solver, graph);
   for (const Pair& p : pairs) {
-    const sat::Lit l = enc.lit(p.diff);
-    if (solver.model_value(sat::var(l)) != sat::sign(l)) {
-      result.failing_output = p.name;
-      break;
+    const sat::Lit d = enc.ensure(p.diff);
+    const sat::Result r = solver.solve({d});
+    if (r == sat::Result::Unsat)
+      continue;
+    if (r == sat::Result::Unknown)
+      throw std::runtime_error("CEC: solver budget exhausted");
+
+    result.equivalent = false;
+    result.failing_output = p.name;
+    // Inputs outside the encoded cone are unconstrained; report them as 0.
+    std::unordered_map<uint32_t, bool> encoded;
+    for (const uint32_t node : enc.encoded_inputs())
+      encoded.emplace(node, true);
+    for (const auto& [name, lit] : inputs.by_name) {
+      bool value = false;
+      if (encoded.count(aig::lit_node(lit))) {
+        const sat::Lit l = enc.lit(lit);
+        value = solver.model_value(sat::var(l)) != sat::sign(l);
+      }
+      result.counterexample.emplace_back(name, value);
     }
+    return result;
   }
-  for (const auto& [name, lit] : inputs.by_name) {
-    const sat::Lit l = enc.lit(lit);
-    result.counterexample.emplace_back(name,
-                                       solver.model_value(sat::var(l)) != sat::sign(l));
-  }
+  result.equivalent = true;
   return result;
 }
 

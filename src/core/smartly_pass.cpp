@@ -30,7 +30,18 @@ SmartlyStats smartly_pass(rtlil::Module& module, const SmartlyOptions& options) 
     opt::opt_expr(module);
     opt::opt_clean(module);
   }
-  if (options.enable_fraig) {
+  if (options.enable_rewrite) {
+    // The deep-optimization loop subsumes the plain fraig stage: fraig ->
+    // rewrite pairs to convergence, closing fraig included.
+    opt::DeepOptOptions deep;
+    deep.fraig = options.fraig;
+    deep.fraig.threads = options.threads;
+    deep.rewrite = options.rewrite;
+    deep.rewrite.threads = options.threads;
+    const opt::DeepOptStats ds = opt::fraig_rewrite_loop(module, deep);
+    stats.fraig = ds.fraig;
+    stats.rewrite = ds.rewrite;
+  } else if (options.enable_fraig) {
     sweep::FraigOptions fraig = options.fraig;
     fraig.threads = options.threads;
     stats.fraig = opt::fraig_stage(module, fraig);

@@ -7,6 +7,7 @@
 
 #include "core/mux_restructure.hpp"
 #include "core/sat_redundancy.hpp"
+#include "rewrite/rewrite_engine.hpp"
 #include "rtlil/module.hpp"
 #include "sweep/fraig_engine.hpp"
 
@@ -20,13 +21,21 @@ struct SmartlyOptions {
   /// constant nodes) that the per-muxtree oracle cannot see. Off by default
   /// so the paper-reproduction flows keep their historical statistics.
   bool enable_fraig = false;
-  /// Worker threads for the §II parallel sweep engine and the fraig engine
-  /// (0 = one per hardware thread). Both engines are deterministic: netlist
-  /// output and statistics are bit-identical for every value of this knob.
+  /// Run the deep-optimization convergence loop (fraig -> rewrite -> fraig,
+  /// opt/pipeline's fraig_rewrite_loop) after the muxtree passes: the
+  /// DAG-aware cut-rewriting engine restructures 4-feasible cones through
+  /// the NPN replacement library, and the surrounding fraig stages harvest
+  /// the merges it exposes. Subsumes enable_fraig when set.
+  bool enable_rewrite = false;
+  /// Worker threads for the §II parallel sweep engine, the fraig engine and
+  /// the rewrite engine (0 = one per hardware thread). All engines are
+  /// deterministic: netlist output and statistics are bit-identical for
+  /// every value of this knob.
   int threads = 0;
   SatRedundancyOptions sat;
   MuxRestructureOptions rebuild;
-  sweep::FraigOptions fraig; ///< fraig.threads is overridden by `threads`
+  sweep::FraigOptions fraig;         ///< fraig.threads is overridden by `threads`
+  rewrite::RewriteOptions rewrite;   ///< rewrite.threads is overridden by `threads`
 };
 
 struct SmartlyStats {
@@ -35,7 +44,8 @@ struct SmartlyStats {
   /// §II sweep-engine detail (regions, dispatches). threads_used reflects
   /// the machine and is the one field excluded from determinism checks.
   opt::ParallelSweepStats sweep;
-  sweep::FraigStats fraig; ///< zeros unless enable_fraig
+  sweep::FraigStats fraig;        ///< zeros unless enable_fraig/enable_rewrite
+  rewrite::RewriteStats rewrite;  ///< zeros unless enable_rewrite
 };
 
 /// Run smaRTLy on an already-coarse-optimized module (the pass itself, the

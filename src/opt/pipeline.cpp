@@ -13,6 +13,28 @@ sweep::FraigStats fraig_stage(rtlil::Module& module, const sweep::FraigOptions& 
   return stats;
 }
 
+rewrite::RewriteStats rewrite_stage(rtlil::Module& module,
+                                    const rewrite::RewriteOptions& options) {
+  const rewrite::RewriteStats stats = rewrite::rewrite_sweep(module, options);
+  opt_clean(module);
+  return stats;
+}
+
+DeepOptStats fraig_rewrite_loop(rtlil::Module& module, const DeepOptOptions& options) {
+  DeepOptStats stats;
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    stats.fraig += fraig_stage(module, options.fraig);
+    const rewrite::RewriteStats rw = rewrite_stage(module, options.rewrite);
+    const bool committed = rw.rewrites > 0;
+    stats.rewrite += rw;
+    ++stats.iterations;
+    if (!committed)
+      return stats; // nothing restructured: the closing fraig would be idle
+  }
+  stats.fraig += fraig_stage(module, options.fraig);
+  return stats;
+}
+
 void coarse_opt(rtlil::Module& module) {
   for (int iter = 0; iter < 8; ++iter) {
     const OptExprStats es = opt_expr(module);

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "opt/muxtree_walker.hpp"
+#include "rewrite/rewrite_engine.hpp"
 #include "rtlil/module.hpp"
 #include "sweep/fraig_engine.hpp"
 
@@ -20,6 +21,31 @@ void coarse_opt(rtlil::Module& module);
 /// engines are orthogonal (muxtree passes remove never-active branches,
 /// fraig removes duplicate/complement/constant cones).
 sweep::FraigStats fraig_stage(rtlil::Module& module, const sweep::FraigOptions& options = {});
+
+/// DAG-aware cut-rewriting stage: restructure 4-feasible cones through the
+/// NPN replacement library, then sweep the predicted-dead cones the commits
+/// disconnected. Orthogonal to fraig: fraig merges logic that is already
+/// equivalent, rewrite re-expresses logic that is merely suboptimal.
+rewrite::RewriteStats rewrite_stage(rtlil::Module& module,
+                                    const rewrite::RewriteOptions& options = {});
+
+/// The deep-optimization convergence loop: fraig -> rewrite, repeated while
+/// the rewrite stage still commits, with a final fraig pass so merges the
+/// restructuring exposed are harvested. Every stage is deterministic, so the
+/// loop is too.
+struct DeepOptOptions {
+  sweep::FraigOptions fraig;
+  rewrite::RewriteOptions rewrite;
+  size_t max_iterations = 2; ///< fraig+rewrite pairs before the final fraig
+};
+
+struct DeepOptStats {
+  sweep::FraigStats fraig;
+  rewrite::RewriteStats rewrite;
+  size_t iterations = 0; ///< fraig+rewrite pairs executed
+};
+
+DeepOptStats fraig_rewrite_loop(rtlil::Module& module, const DeepOptOptions& options = {});
 
 /// The baseline flow: coarse_opt, Yosys-style opt_muxtree, post cleanup.
 /// Returns the muxtree statistics.

@@ -1,0 +1,113 @@
+#include "rewrite/cut_enum.hpp"
+
+#include <algorithm>
+
+namespace smartly::rewrite {
+
+bool Cut::subset_of(const Cut& o) const noexcept {
+  if ((sign & ~o.sign) != 0 || size > o.size)
+    return false;
+  size_t j = 0;
+  for (size_t i = 0; i < size; ++i) {
+    while (j < o.size && o.leaves[j] < leaves[i])
+      ++j;
+    if (j == o.size || o.leaves[j] != leaves[i])
+      return false;
+    ++j;
+  }
+  return true;
+}
+
+namespace {
+
+Cut trivial_cut(uint32_t node) {
+  Cut c;
+  c.leaves[0] = node;
+  c.size = 1;
+  c.sign = 1u << (node & 31);
+  return c;
+}
+
+/// Merge two cuts into `out` (sorted union); false if more than 4 leaves.
+bool merge_cuts(const Cut& a, const Cut& b, Cut& out) {
+  size_t i = 0, j = 0, n = 0;
+  while (i < a.size || j < b.size) {
+    uint32_t next;
+    if (j == b.size || (i < a.size && a.leaves[i] < b.leaves[j]))
+      next = a.leaves[i++];
+    else if (i == a.size || b.leaves[j] < a.leaves[i])
+      next = b.leaves[j++];
+    else {
+      next = a.leaves[i];
+      ++i, ++j;
+    }
+    if (n == 4)
+      return false;
+    out.leaves[n++] = next;
+  }
+  out.size = static_cast<uint8_t>(n);
+  out.sign = a.sign | b.sign;
+  for (size_t k = n; k < 4; ++k)
+    out.leaves[k] = 0;
+  return true;
+}
+
+} // namespace
+
+CutSet enumerate_cuts(const aig::Aig& aig, const CutOptions& options) {
+  CutSet result;
+  result.cuts.resize(aig.num_nodes());
+  const size_t limit = options.cut_limit > 0 ? static_cast<size_t>(options.cut_limit) : 1;
+
+  std::vector<Cut> merged;
+  for (uint32_t n = 0; n < aig.num_nodes(); ++n) {
+    std::vector<Cut>& set = result.cuts[n];
+    if (!aig.is_and(n)) { // constant node 0 and primary inputs
+      set.push_back(trivial_cut(n));
+      continue;
+    }
+
+    // Pairwise fanin merge (fanin sets already include their trivial cuts,
+    // and fanin node ids are < n, so sets are final).
+    merged.clear();
+    const std::vector<Cut>& c0 = result.cuts[aig::lit_node(aig.fanin0(n))];
+    const std::vector<Cut>& c1 = result.cuts[aig::lit_node(aig.fanin1(n))];
+    for (const Cut& a : c0) {
+      for (const Cut& b : c1) {
+        // 4-leaf bound pre-check on the signature union (popcount of the
+        // bloom word underestimates the union size, never overestimates it).
+        Cut m;
+        if ((a.sign | b.sign) != 0 &&
+            __builtin_popcount(a.sign | b.sign) > 4)
+          continue;
+        if (merge_cuts(a, b, m))
+          merged.push_back(m);
+      }
+    }
+
+    std::sort(merged.begin(), merged.end());
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+
+    // Dominated-cut pruning: in (size, lex) order a dominating cut sorts
+    // before every cut it dominates, so one backward scan against the kept
+    // prefix suffices.
+    for (const Cut& c : merged) {
+      if (set.size() >= limit)
+        break;
+      bool dominated = false;
+      for (const Cut& kept : set) {
+        if (kept.subset_of(c)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated)
+        set.push_back(c);
+    }
+    result.total += set.size();
+    set.push_back(trivial_cut(n));
+  }
+  return result;
+}
+
+} // namespace smartly::rewrite

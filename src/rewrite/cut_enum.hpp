@@ -1,0 +1,60 @@
+// k-feasible cut enumeration (k = 4) with dominated-cut pruning.
+//
+// A cut of node n is a set of nodes ("leaves") such that every path from a
+// primary input to n passes through a leaf; n is then a function of the
+// leaves, and for |leaves| <= 4 that function is a 16-bit truth table the
+// rewriting engine can classify and resynthesize. Cuts are built bottom-up
+// in one topological pass (AIG node ids are topologically increasing): the
+// cut set of an AND node is the pairwise merge of its fanin cut sets plus
+// the trivial cut {n}, pruned in two ways —
+//
+//   dominance   a cut whose leaves are a superset of another cut's leaves is
+//               dropped (the dominating cut yields the same or a larger cone
+//               for fewer leaves);
+//   priority    at most `cut_limit` non-trivial cuts survive per node, kept
+//               in (size, leaves) lexicographic order — deterministic, and
+//               biased toward small cuts whose cones merge further up.
+//
+// The 32-bit leaf signature (1 << (leaf & 31)) makes subset tests and the
+// 4-leaf bound cheap before any array comparison.
+#pragma once
+
+#include "aig/aig.hpp"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace smartly::rewrite {
+
+struct Cut {
+  std::array<uint32_t, 4> leaves{}; ///< sorted ascending; [0, size) valid
+  uint8_t size = 0;
+  uint32_t sign = 0; ///< bloom signature: OR of 1 << (leaf & 31)
+
+  bool operator==(const Cut& o) const noexcept {
+    return size == o.size && leaves == o.leaves;
+  }
+  /// Deterministic priority order: smaller first, then leaf-lexicographic.
+  bool operator<(const Cut& o) const noexcept {
+    if (size != o.size)
+      return size < o.size;
+    return leaves < o.leaves;
+  }
+  /// True when this cut's leaves are a subset of `o`'s (it dominates o).
+  bool subset_of(const Cut& o) const noexcept;
+};
+
+struct CutOptions {
+  int cut_limit = 8; ///< non-trivial cuts kept per node
+};
+
+struct CutSet {
+  /// cuts[n]: the node's cut set; the trivial cut {n} is always last.
+  std::vector<std::vector<Cut>> cuts;
+  size_t total = 0; ///< non-trivial cuts enumerated (kept)
+};
+
+CutSet enumerate_cuts(const aig::Aig& aig, const CutOptions& options = {});
+
+} // namespace smartly::rewrite

@@ -1,0 +1,68 @@
+// NPN canonicalization of 4-input truth tables.
+//
+// The cut-rewriting engine classifies every 4-feasible cut function by its
+// NPN class: two functions are NPN-equivalent when one can be obtained from
+// the other by permuting inputs (P), complementing inputs (N), and/or
+// complementing the output (N). The 65536 4-input functions fall into exactly
+// 222 classes; the table below precomputes, for every truth table, its class
+// representative (the numerically smallest member of the orbit) plus the
+// transform that maps the representative back onto the table, so lookups are
+// two array reads.
+//
+// Transform encoding: index t in [0, 768) decodes as
+//   perm  = t / 32          (index into perms(), 24 input permutations)
+//   neg   = (t / 2) & 15    (input complement mask, bit i complements input i)
+//   out   = t & 1           (output complement)
+// and apply(f, t) is g with g(x0..x3) = f(y0..y3) ^ out where input i of f
+// reads y_i = x_{perm[i]} ^ neg_i. Index 0 is the identity.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace smartly::rewrite {
+
+/// 4-input truth table: bit m is f(m_0, m_1, m_2, m_3) with m_i = (m >> i) & 1.
+using TruthTable = uint16_t;
+
+/// Truth table of the projection onto input i (f = x_i).
+constexpr TruthTable kProjection[4] = {0xaaaa, 0xcccc, 0xf0f0, 0xff00};
+
+constexpr size_t kNumTransforms = 24 * 16 * 2; // 768
+
+class NpnTable {
+public:
+  /// The process-wide table (built once, ~0.4 MB, thread-safe after return).
+  static const NpnTable& instance();
+
+  /// Smallest truth table NPN-equivalent to `tt`.
+  TruthTable canonical(TruthTable tt) const { return canon_[tt]; }
+
+  /// Dense class index in [0, num_classes()), ordered by representative.
+  uint16_t class_id(TruthTable tt) const { return class_id_[tt]; }
+
+  /// A transform u with apply(canonical(tt), u) == tt.
+  uint16_t from_canonical(TruthTable tt) const { return from_canon_[tt]; }
+
+  size_t num_classes() const { return representatives_.size(); } ///< 222
+  const std::vector<TruthTable>& representatives() const { return representatives_; }
+
+  /// Apply transform `t` (see the encoding above) to `tt`.
+  static TruthTable apply(TruthTable tt, uint16_t t);
+
+  /// The 24 input permutations, lexicographic; perms()[p][i] is the x index
+  /// feeding input i of the transformed function.
+  static const std::array<std::array<uint8_t, 4>, 24>& perms();
+
+private:
+  NpnTable();
+
+  std::vector<TruthTable> canon_;
+  std::vector<uint16_t> class_id_;
+  std::vector<uint16_t> from_canon_;
+  std::vector<TruthTable> representatives_;
+};
+
+} // namespace smartly::rewrite

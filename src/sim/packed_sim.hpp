@@ -127,4 +127,24 @@ SignatureTable simulate_signatures(const aig::Aig& aig,
                                    const std::vector<std::vector<uint64_t>>& batch_inputs,
                                    util::ThreadPool* pool = nullptr);
 
+// --- cut truth-table extraction (DAG-aware rewriting support) --------------
+
+/// Projection word of cut input `i` (i < 4): bit m of the word is the value
+/// of input i in minterm m — the packed-simulation pattern set that makes one
+/// 16-pattern sweep of a 4-leaf cone yield the cone's full truth table.
+constexpr uint16_t cut_projection(size_t i) {
+  constexpr uint16_t proj[4] = {0xaaaa, 0xcccc, 0xf0f0, 0xff00};
+  return proj[i];
+}
+
+/// Truth table of `root` as a function of up to four cut leaves, extracted by
+/// packed simulation of the cone over the 16 projection patterns: leaf i's
+/// *literal* takes cut_projection(i) (so a complemented leaf literal models
+/// the complement anchor bit), interior nodes evaluate bitwise. Returns false
+/// — and leaves `tt` untouched — if the cone escapes the leaf set (reaches a
+/// primary input or the constant node that is not listed as a leaf), which
+/// marks the cut unusable rather than being an error.
+bool cut_truth_table(const aig::Aig& aig, aig::Lit root, const aig::Lit* leaves,
+                     size_t num_leaves, uint16_t& tt);
+
 } // namespace smartly::sim

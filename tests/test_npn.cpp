@@ -1,0 +1,73 @@
+// NPN canonicalization table: the 222 4-input classes, transform round-trips
+// over every truth table, class invariance under arbitrary transforms, and
+// representative minimality.
+#include "rewrite/npn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace smartly::rewrite;
+
+TEST(Npn, Exactly222Classes) {
+  EXPECT_EQ(NpnTable::instance().num_classes(), 222u);
+  EXPECT_EQ(NpnTable::instance().representatives().size(), 222u);
+}
+
+TEST(Npn, CanonicalIsIdempotentAndRepresentative) {
+  const NpnTable& t = NpnTable::instance();
+  for (uint32_t tt = 0; tt < 65536; ++tt) {
+    const TruthTable c = t.canonical(static_cast<TruthTable>(tt));
+    EXPECT_EQ(t.canonical(c), c);
+    EXPECT_EQ(t.representatives()[t.class_id(static_cast<TruthTable>(tt))], c);
+    EXPECT_LE(c, tt); // the representative is the smallest orbit member
+  }
+}
+
+TEST(Npn, FromCanonicalRoundTripsEveryTable) {
+  const NpnTable& t = NpnTable::instance();
+  for (uint32_t tt = 0; tt < 65536; ++tt) {
+    const TruthTable c = t.canonical(static_cast<TruthTable>(tt));
+    EXPECT_EQ(NpnTable::apply(c, t.from_canonical(static_cast<TruthTable>(tt))),
+              static_cast<TruthTable>(tt));
+  }
+}
+
+TEST(Npn, IdentityTransformIsZero) {
+  for (const TruthTable tt : {TruthTable(0x8000), TruthTable(0x1234), TruthTable(0xcafe)})
+    EXPECT_EQ(NpnTable::apply(tt, 0), tt);
+}
+
+TEST(Npn, ClassInvariantUnderTransforms) {
+  const NpnTable& t = NpnTable::instance();
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const TruthTable tt = static_cast<TruthTable>(rng());
+    const uint16_t u = static_cast<uint16_t>(rng() % kNumTransforms);
+    EXPECT_EQ(t.class_id(NpnTable::apply(tt, u)), t.class_id(tt));
+    EXPECT_EQ(t.canonical(NpnTable::apply(tt, u)), t.canonical(tt));
+  }
+}
+
+TEST(Npn, RepresentativesAreOrbitMinima) {
+  const NpnTable& t = NpnTable::instance();
+  // Exhaustive on a sample of classes: no transform may produce anything
+  // smaller than the representative.
+  for (size_t i = 0; i < t.representatives().size(); i += 17) {
+    const TruthTable rep = t.representatives()[i];
+    for (uint16_t u = 0; u < kNumTransforms; ++u)
+      EXPECT_GE(NpnTable::apply(rep, u), rep);
+  }
+}
+
+TEST(Npn, ProjectionsShareOneClass) {
+  const NpnTable& t = NpnTable::instance();
+  const uint16_t cls = t.class_id(kProjection[0]);
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(t.class_id(kProjection[i]), cls);
+    EXPECT_EQ(t.class_id(static_cast<TruthTable>(~kProjection[i])), cls);
+  }
+  // Constants form their own (single) class.
+  EXPECT_EQ(t.class_id(0), t.class_id(0xffff));
+  EXPECT_EQ(t.canonical(0xffff), 0);
+}
