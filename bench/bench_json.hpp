@@ -10,6 +10,7 @@
 #include "opt/opt_expr.hpp"
 #include "opt/pipeline.hpp"
 #include "rtlil/module.hpp"
+#include "util/budget.hpp"
 #include "verilog/elaborate.hpp"
 
 #include <chrono>
@@ -135,6 +136,23 @@ private:
   std::string body_;
   bool first_ = true;
 };
+
+/// Render a guard's ResourceReport as the shared `resource` block every
+/// BENCH_*.json carries: what the run charged (deterministic totals) and
+/// whether a budget halted it (never, for the unbudgeted bench runs — the
+/// block exists so budgeted reruns are diffable against the archives).
+inline std::string resource_json(const util::ResourceReport& r) {
+  JsonObject o;
+  o.put("tripped", util::budget_kind_name(r.tripped))
+      .put("conflicts", static_cast<unsigned long long>(r.conflicts))
+      .put("propagations", static_cast<unsigned long long>(r.propagations))
+      .put("skipped_solves", static_cast<unsigned long long>(r.skipped_solves))
+      .put("skipped_merges", static_cast<unsigned long long>(r.skipped_merges))
+      .put("skipped_rewrites", static_cast<unsigned long long>(r.skipped_rewrites))
+      .put("skipped_regions", static_cast<unsigned long long>(r.skipped_regions))
+      .put("halted_engines", static_cast<unsigned long long>(r.halted_engines));
+  return o.str();
+}
 
 /// Render pre-built elements as a JSON array.
 inline std::string json_array(const std::vector<std::string>& elements) {

@@ -79,13 +79,15 @@ struct Row {
   bool decisions_match = false;
 };
 
-Row run_circuit(const benchgen::BenchCircuit& circuit) {
+Row run_circuit(const benchgen::BenchCircuit& circuit, util::ResourceGuard& guard) {
   Row row;
   row.name = circuit.name;
   const auto prepared = benchjson::prepare_muxtree_design(circuit.verilog);
 
   const auto baseline_design = rtlil::clone_design(*prepared);
-  core::InferenceOracle baseline_oracle({});
+  core::SatRedundancyOptions base_options;
+  base_options.guard = &guard; // unlimited: charges totals for the resource block
+  core::InferenceOracle baseline_oracle(base_options);
   RecordingOracle baseline(baseline_oracle);
   auto t0 = std::chrono::steady_clock::now();
   opt::optimize_muxtrees(*baseline_design->top(), baseline);
@@ -93,7 +95,9 @@ Row run_circuit(const benchgen::BenchCircuit& circuit) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
   const auto incremental_design = rtlil::clone_design(*prepared);
-  core::IncrementalOracle incremental_oracle;
+  core::IncrementalOracleOptions incr_options;
+  incr_options.base = base_options;
+  core::IncrementalOracle incremental_oracle(incr_options);
   RecordingOracle incremental(incremental_oracle);
   t0 = std::chrono::steady_clock::now();
   opt::optimize_muxtrees(*incremental_design->top(), incremental);
@@ -200,10 +204,11 @@ int main(int argc, char** argv) {
   }
   benchjson::apply_name_filter(circuits, filter, "bench_oracle");
 
+  util::ResourceGuard guard; // unbudgeted: the resource block reports charged totals
   std::vector<Row> rows;
   rows.reserve(circuits.size());
   for (const auto& c : circuits) {
-    rows.push_back(run_circuit(c));
+    rows.push_back(run_circuit(c, guard));
     if (!json) {
       const Row& r = rows.back();
       std::printf("%-16s %6zu queries  base %.4fs  incr %.4fs  speedup %5.2fx  "
@@ -246,9 +251,10 @@ int main(int argc, char** argv) {
     std::printf("  ],\n  \"total\": {\"queries\": %zu, \"baseline_seconds\": %.4f, "
                 "\"incremental_seconds\": %.4f, \"speedup\": %.3f, "
                 "\"baseline_pass_seconds\": %.4f, \"incremental_pass_seconds\": %.4f, "
-                "\"pass_speedup\": %.3f}\n}\n",
+                "\"pass_speedup\": %.3f},\n  \"resource\": %s\n}\n",
                 total_queries, total_base, total_incr, ratio(total_base, total_incr),
-                total_base_pass, total_incr_pass, ratio(total_base_pass, total_incr_pass));
+                total_base_pass, total_incr_pass, ratio(total_base_pass, total_incr_pass),
+                benchjson::resource_json(guard.report()).c_str());
   } else {
     std::printf("\nTotal: %zu queries, baseline %.4fs, incremental %.4fs, speedup %.2fx "
                 "(oracle trajectory: 2.7x)\n"

@@ -72,7 +72,8 @@ bool same_stats(const core::SatRedundancyStats& a, const core::SatRedundancyStat
          a.walker.iterations == b.walker.iterations;
 }
 
-Row run_circuit(const benchgen::BenchCircuit& circuit, const std::vector<int>& thread_counts) {
+Row run_circuit(const benchgen::BenchCircuit& circuit, const std::vector<int>& thread_counts,
+                util::ResourceGuard& guard) {
   Row row;
   row.name = circuit.name;
   const auto prepared = benchjson::prepare_muxtree_design(circuit.verilog);
@@ -98,9 +99,11 @@ Row run_circuit(const benchgen::BenchCircuit& circuit, const std::vector<int>& t
     ScalingPoint point;
     point.threads = threads;
     opt::DecisionTrace trace;
+    core::SatRedundancyOptions sat_options;
+    sat_options.guard = &guard; // unlimited: charges totals for the resource block
     const auto t0 = std::chrono::steady_clock::now();
     const core::SatRedundancyStats stats = core::sat_redundancy_parallel(
-        *design->top(), {}, threads, &trace, &point.sweep);
+        *design->top(), sat_options, threads, &trace, &point.sweep);
     point.seconds = seconds_since(t0);
     point.decisions_match = opt::canonical_trace(trace) == serial_canonical;
 
@@ -203,10 +206,11 @@ int main(int argc, char** argv) {
   }
   benchjson::apply_name_filter(circuits, filter, "bench_pass");
 
+  util::ResourceGuard guard; // unbudgeted: the resource block reports charged totals
   std::vector<Row> rows;
   rows.reserve(circuits.size());
   for (const auto& c : circuits) {
-    rows.push_back(run_circuit(c, thread_counts));
+    rows.push_back(run_circuit(c, thread_counts, guard));
     if (!json) {
       const Row& r = rows.back();
       std::printf("%-16s %5zu queries  %4zu regions (max %zu trees)  serial %.4fs ",
@@ -243,9 +247,11 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < rows.size(); ++i)
       print_json_row(rows[i], i + 1 == rows.size());
     std::printf("  ],\n  \"total\": {\"serial_seconds\": %.4f, \"seconds_1t\": %.4f, "
-                "\"seconds_%dt\": %.4f, \"speedup_%dt_vs_1t\": %.3f}\n}\n",
+                "\"seconds_%dt\": %.4f, \"speedup_%dt_vs_1t\": %.3f},\n"
+                "  \"resource\": %s\n}\n",
                 total_serial, total_1t, max_threads, total_max, max_threads,
-                ratio(total_1t, total_max));
+                ratio(total_1t, total_max),
+                benchjson::resource_json(guard.report()).c_str());
   } else {
     std::printf("\nTotal: serial %.4fs, 1t %.4fs, %dt %.4fs (%.2fx vs 1t)\n", total_serial,
                 total_1t, max_threads, total_max, ratio(total_1t, total_max));

@@ -62,7 +62,8 @@ struct Row {
   bool reduced_cells = false; ///< strictly fewer word-level cells
 };
 
-Row run_circuit(const benchgen::BenchCircuit& circuit, const std::vector<int>& thread_counts) {
+Row run_circuit(const benchgen::BenchCircuit& circuit, const std::vector<int>& thread_counts,
+                util::ResourceGuard& guard) {
   Row row;
   row.name = circuit.name;
   row.family = family_of(circuit.name);
@@ -84,8 +85,10 @@ Row run_circuit(const benchgen::BenchCircuit& circuit, const std::vector<int>& t
     const auto design = rtlil::clone_design(*base);
     rewrite::RewriteOptions options;
     options.threads = thread_counts[i];
+    options.guard = &guard; // unlimited: charges totals for the resource block
     sweep::FraigOptions harvest;
     harvest.threads = thread_counts[i];
+    harvest.guard = &guard;
     auto t0 = std::chrono::steady_clock::now();
     const rewrite::RewriteStats stats = opt::rewrite_stage(*design->top(), options);
     opt::fraig_stage(*design->top(), harvest);
@@ -203,10 +206,12 @@ int main(int argc, char** argv) {
   }
   benchjson::apply_name_filter(circuits, filter, "bench_rewrite");
 
+  util::ResourceGuard guard; // unbudgeted: the resource block reports charged totals
+
   std::vector<Row> rows;
   rows.reserve(circuits.size());
   for (const auto& circuit : circuits) {
-    rows.push_back(run_circuit(circuit, thread_counts));
+    rows.push_back(run_circuit(circuit, thread_counts, guard));
     if (!json) {
       const Row& r = rows.back();
       std::printf("%-16s %-10s aig %6zu -> %6zu  cells %5zu -> %5zu  "
@@ -273,9 +278,10 @@ int main(int argc, char** argv) {
         .put("deterministic_all", det_all);
 
     std::printf("{\n  \"bench\": \"rewrite\",\n  \"metric\": \"aig_area\",\n"
-                "  \"hardware_threads\": %u,\n  \"circuits\": %s,\n  \"total\": %s\n}\n",
+                "  \"hardware_threads\": %u,\n  \"circuits\": %s,\n  \"total\": %s,\n"
+                "  \"resource\": %s\n}\n",
                 std::thread::hardware_concurrency(), circuits_array.c_str(),
-                total.str().c_str());
+                total.str().c_str(), benchjson::resource_json(guard.report()).c_str());
   } else {
     std::printf("\nTotal: aig %zu -> %zu (%.2f%%), cells %zu -> %zu, %zu rewrites, "
                 "%.4fs; families reduced: %zu/%zu\n",

@@ -57,7 +57,8 @@ struct Row {
   bool reduced = false; ///< strictly fewer cells than smartly_pass alone
 };
 
-Row run_circuit(const benchgen::BenchCircuit& circuit, const std::vector<int>& thread_counts) {
+Row run_circuit(const benchgen::BenchCircuit& circuit, const std::vector<int>& thread_counts,
+                util::ResourceGuard& guard) {
   Row row;
   row.name = circuit.name;
   row.family = family_of(circuit.name);
@@ -77,6 +78,7 @@ Row run_circuit(const benchgen::BenchCircuit& circuit, const std::vector<int>& t
     const auto design = rtlil::clone_design(*smartly_design);
     sweep::FraigOptions options;
     options.threads = thread_counts[i];
+    options.guard = &guard; // unlimited: charges totals for the resource block
     t0 = std::chrono::steady_clock::now();
     const sweep::FraigStats stats = opt::fraig_stage(*design->top(), options);
     const double seconds = seconds_since(t0);
@@ -192,10 +194,11 @@ int main(int argc, char** argv) {
   }
   benchjson::apply_name_filter(circuits, filter, "bench_sweep");
 
+  util::ResourceGuard guard; // unbudgeted: the resource block reports charged totals
   std::vector<Row> rows;
   rows.reserve(circuits.size());
   for (const auto& circuit : circuits) {
-    rows.push_back(run_circuit(circuit, thread_counts));
+    rows.push_back(run_circuit(circuit, thread_counts, guard));
     if (!json) {
       const Row& r = rows.back();
       std::printf("%-16s %-10s cells %5zu -> smartly %5zu -> fraig %5zu  "
@@ -256,9 +259,10 @@ int main(int argc, char** argv) {
         .put("deterministic_all", det_all);
 
     std::printf("{\n  \"bench\": \"sweep\",\n  \"metric\": \"fraig_cells\",\n"
-                "  \"hardware_threads\": %u,\n  \"circuits\": %s,\n  \"total\": %s\n}\n",
+                "  \"hardware_threads\": %u,\n  \"circuits\": %s,\n  \"total\": %s,\n"
+                "  \"resource\": %s\n}\n",
                 std::thread::hardware_concurrency(), circuits_array.c_str(),
-                total.str().c_str());
+                total.str().c_str(), benchjson::resource_json(guard.report()).c_str());
   } else {
     std::printf("\nTotal: smartly %zu cells -> fraig %zu cells (%zu merged), "
                 "%zu sat queries, %zu cex, %.4fs; families reduced: %zu\n",

@@ -14,6 +14,12 @@
 //                                     fraig -> DAG-aware cut rewriting -> fraig
 //                                     (subsumes --fraig)
 //     --reduce                        also run opt_reduce (pmux/reduction merging)
+//     --budget-conflicts N            cap total CDCL conflicts across the run
+//                                     (deterministic: same halt at every thread
+//                                     count; engines degrade, output stays
+//                                     CEC-equivalent)
+//     --deadline-ms N                 wall-clock deadline (nondeterministic!)
+//     --max-growth PCT                cap netlist growth over the input, percent
 //     --check                         equivalence-check the result
 //     --stats                         print pass statistics
 //     -o out.v                        write the optimized netlist as Verilog
@@ -29,7 +35,9 @@
 #include "opt/opt_clean.hpp"
 #include "opt/opt_reduce.hpp"
 #include "opt/pipeline.hpp"
+#include "util/budget.hpp"
 #include "verilog/elaborate.hpp"
+#include "verilog/parse_error.hpp"
 
 #include <cstdlib>
 #include <cstdio>
@@ -47,8 +55,13 @@ namespace {
   std::fprintf(stderr,
                "usage: opt_tool [--flow yosys|smartly|original] [--no-sat] "
                "[--no-rebuild] [--threads N] [--fraig] [--fraig-pre] [--rewrite] "
-               "[--reduce] [--check] [--stats] [-o out.v] [--write-aiger out.aag] "
-               "[--dump-rtlil] [file.v]\n");
+               "[--reduce] [--budget-conflicts N] [--deadline-ms N] [--max-growth PCT] "
+               "[--check] [--stats] [-o out.v] [--write-aiger out.aag] "
+               "[--dump-rtlil] [file.v]\n"
+               "  resource governance: --budget-conflicts caps total CDCL conflicts\n"
+               "  (deterministic; engines degrade and the output stays CEC-equivalent),\n"
+               "  --max-growth caps cell-count growth over the input in percent,\n"
+               "  --deadline-ms sets a wall-clock deadline (nondeterministic).\n");
   std::exit(2);
 }
 
@@ -60,6 +73,18 @@ int main(int argc, char** argv) {
   bool check = false, stats = false, reduce = false, dump = false;
   bool fraig_post = false, fraig_pre = false, rewrite_post = false;
   core::SmartlyOptions options;
+  util::ResourceBudgets budgets;
+
+  auto int_flag = [&](const char* flag, int i, int64_t min) -> int64_t {
+    char* end = nullptr;
+    const long long n = std::strtoll(argv[i], &end, 10);
+    if (end == argv[i] || *end != '\0' || n < min) {
+      std::fprintf(stderr, "opt_tool: %s wants an integer >= %lld, got '%s'\n", flag,
+                   static_cast<long long>(min), argv[i]);
+      std::exit(2);
+    }
+    return static_cast<int64_t>(n);
+  };
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -88,6 +113,18 @@ int main(int argc, char** argv) {
       fraig_pre = true;
     } else if (arg == "--rewrite") {
       rewrite_post = true;
+    } else if (arg == "--budget-conflicts") {
+      if (++i >= argc)
+        usage();
+      budgets.solver_conflicts = int_flag("--budget-conflicts", i, 0);
+    } else if (arg == "--deadline-ms") {
+      if (++i >= argc)
+        usage();
+      budgets.deadline_ms = int_flag("--deadline-ms", i, 0);
+    } else if (arg == "--max-growth") {
+      if (++i >= argc)
+        usage();
+      budgets.max_growth_pct = int_flag("--max-growth", i, 0);
     } else if (arg == "--reduce") {
       reduce = true;
     } else if (arg == "--check") {
@@ -127,8 +164,20 @@ int main(int argc, char** argv) {
     source = ss.str();
   }
 
+  // One governor for the whole invocation: the smartly flow's engines and the
+  // standalone --fraig/--rewrite stages all charge the same counters, so the
+  // budgets cap the run end to end. CEC stays ungoverned on purpose — the
+  // point of --check is to verify whatever the degraded run produced.
+  util::ResourceGuard guard(budgets);
+  const bool governed = budgets.any();
+  if (governed) {
+    options.sat.guard = &guard;
+    options.fraig.guard = &guard;
+    options.rewrite.guard = &guard;
+  }
+
   try {
-    auto design = verilog::read_verilog(source);
+    auto design = verilog::read_verilog(source, path.empty() ? "<stdin>" : path);
     if (!design->top()) {
       std::fprintf(stderr, "opt_tool: no module found\n");
       return 1;
@@ -136,9 +185,13 @@ int main(int argc, char** argv) {
     rtlil::Module& top = *design->top();
     const size_t original = aig::aig_area(top);
     auto golden = check ? rtlil::clone_design(*design) : nullptr;
+    if (governed)
+      guard.set_growth_baseline(top.cells().size());
 
     sweep::FraigOptions fraig_options;
     fraig_options.threads = options.threads;
+    if (governed)
+      fraig_options.guard = &guard;
     sweep::FraigStats fraig_st;
     if (fraig_pre)
       fraig_st += opt::fraig_stage(top, fraig_options);
@@ -162,6 +215,8 @@ int main(int argc, char** argv) {
       opt::DeepOptOptions deep;
       deep.fraig = fraig_options;
       deep.rewrite.threads = options.threads;
+      if (governed)
+        deep.rewrite.guard = &guard;
       const opt::DeepOptStats ds = opt::fraig_rewrite_loop(top, deep);
       fraig_st += ds.fraig;
       rewrite_st += ds.rewrite;
@@ -213,6 +268,23 @@ int main(int argc, char** argv) {
                   rewrite_st.predicted_dead);
     }
 
+    if (governed) {
+      const util::ResourceReport rr = guard.report();
+      std::printf("  resource: %llu conflicts, %llu propagations%s%s\n",
+                  static_cast<unsigned long long>(rr.conflicts),
+                  static_cast<unsigned long long>(rr.propagations),
+                  rr.halted() ? ", halted by " : "",
+                  rr.halted() ? util::budget_kind_name(rr.tripped) : "");
+      if (rr.halted())
+        std::printf("  resource: %llu solves, %llu merges, %llu rewrites, %llu regions "
+                    "skipped after the halt (%llu engines stopped early)\n",
+                    static_cast<unsigned long long>(rr.skipped_solves),
+                    static_cast<unsigned long long>(rr.skipped_merges),
+                    static_cast<unsigned long long>(rr.skipped_rewrites),
+                    static_cast<unsigned long long>(rr.skipped_regions),
+                    static_cast<unsigned long long>(rr.halted_engines));
+    }
+
     if (!out_verilog.empty()) {
       std::ofstream f(out_verilog);
       f << backend::write_verilog(top);
@@ -233,6 +305,10 @@ int main(int argc, char** argv) {
       if (!cec.equivalent)
         return 1;
     }
+  } catch (const verilog::ParseError& e) {
+    // Editor-friendly diagnostic: file:line:col: message.
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "opt_tool: %s\n", e.what());
     return 1;

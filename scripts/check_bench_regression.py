@@ -33,6 +33,27 @@ def fail(msg):
     return 1
 
 
+def load_json(path, what):
+    """Load a JSON file with an actionable diagnostic instead of a traceback."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        sys.exit(fail(
+            f"{what} {path!r} does not exist — pass the ci/bench_baselines.json "
+            f"checked into the repo and the BENCH_*.json files produced by the "
+            f"bench binaries' --smoke --json runs"))
+    except IsADirectoryError:
+        sys.exit(fail(f"{what} {path!r} is a directory, want a JSON file"))
+    except json.JSONDecodeError as e:
+        sys.exit(fail(
+            f"{what} {path!r} is not valid JSON (line {e.lineno}, column {e.colno}: "
+            f"{e.msg}) — a truncated file usually means the producing bench run "
+            f"was killed; re-run it"))
+    except OSError as e:
+        sys.exit(fail(f"cannot read {what} {path!r}: {e.strerror or e}"))
+
+
 def check_flag(doc, path, errors):
     node = doc
     for key in path[:-1]:
@@ -59,12 +80,31 @@ def check_metric(doc, metric_path, baseline_entry, errors, notes):
             return
         node = node[key]
     current = node
+    if not isinstance(current, (int, float)) or isinstance(current, bool):
+        errors.append(
+            f"{doc.get('bench', '?')}: metric {'.'.join(metric_path)} is {current!r}, "
+            f"want a number — the bench output schema changed; update this script's "
+            f"CHECKS table or fix the bench"
+        )
+        return
     if isinstance(baseline_entry, dict):
+        if "value" not in baseline_entry:
+            errors.append(
+                f"ci/bench_baselines.json: entry for {'.'.join(metric_path)} is a dict "
+                f"without a 'value' key — write it as {{\"value\": N, \"tolerance\": 0.02}}"
+            )
+            return
         baseline = baseline_entry["value"]
         tolerance = baseline_entry.get("tolerance", 0.0)
     else:
         baseline = baseline_entry
         tolerance = 0.0
+    if not isinstance(baseline, (int, float)) or isinstance(baseline, bool):
+        errors.append(
+            f"ci/bench_baselines.json: baseline for {'.'.join(metric_path)} is "
+            f"{baseline!r}, want a number"
+        )
+        return
     limit = baseline * (1.0 + tolerance)
     name = f"{doc.get('bench', '?')}.{'.'.join(metric_path)}"
     if current > limit:
@@ -107,17 +147,25 @@ def main(argv):
     if len(argv) < 3:
         print(__doc__)
         return 2
-    with open(argv[1]) as f:
-        baselines = json.load(f)
+    baselines = load_json(argv[1], "baseline file")
+    if not isinstance(baselines, dict):
+        return fail(
+            f"baseline file {argv[1]!r} must be a JSON object mapping bench names "
+            f"to metric baselines, got {type(baselines).__name__}")
 
     errors, notes = [], []
     seen = []
     for path in argv[2:]:
-        with open(path) as f:
-            doc = json.load(f)
+        doc = load_json(path, "bench output")
+        if not isinstance(doc, dict):
+            errors.append(f"{path}: bench output must be a JSON object, got "
+                          f"{type(doc).__name__}")
+            continue
         bench = doc.get("bench")
         if bench not in CHECKS:
-            errors.append(f"{path}: unknown bench {bench!r}")
+            known = ", ".join(sorted(CHECKS))
+            errors.append(f"{path}: unknown bench {bench!r} (known: {known}) — "
+                          f"was this produced by a bench binary's --smoke --json run?")
             continue
         seen.append(bench)
         spec = CHECKS[bench]

@@ -45,7 +45,8 @@ void check_interfaces(const rtlil::Module& gold, const rtlil::Module& gate) {
 
 } // namespace
 
-CecResult check_equivalence(const rtlil::Module& gold, const rtlil::Module& gate) {
+CecResult check_equivalence(const rtlil::Module& gold, const rtlil::Module& gate,
+                            const CecOptions& options) {
   check_interfaces(gold, gate);
 
   // Both designs are blasted into ONE structurally hashed graph with inputs
@@ -96,14 +97,38 @@ CecResult check_equivalence(const rtlil::Module& gold, const rtlil::Module& gate
   // engine especially) has restructured cones out of strash-equality — the
   // monolithic OR forced the solver to reason about every output at once.
   sat::Solver solver;
+  if (options.guard != nullptr && options.guard->wants_interrupts())
+    solver.set_interrupt_check([g = options.guard] { return g->poll(); });
   aig::ConeCnfEncoder enc(solver, graph);
+  uint64_t conflicts_seen = 0;
+  uint64_t propagations_seen = 0;
   for (const Pair& p : pairs) {
+    // A halt (deadline, cancel, or a budget tripped by the engines upstream)
+    // stops the proof here: remaining outputs stay unproven and the result
+    // degrades to inconclusive instead of pretending equivalence.
+    if (options.guard != nullptr && options.guard->poll()) {
+      result.inconclusive = true;
+      result.failing_output = p.name;
+      return result;
+    }
+    if (options.conflict_budget >= 0)
+      solver.set_conflict_budget(static_cast<int64_t>(solver.stats().conflicts) +
+                                 options.conflict_budget);
     const sat::Lit d = enc.ensure(p.diff);
     const sat::Result r = solver.solve({d});
+    if (options.guard != nullptr) {
+      options.guard->charge_conflicts(solver.stats().conflicts - conflicts_seen);
+      options.guard->charge_propagations(solver.stats().propagations - propagations_seen);
+    }
+    conflicts_seen = solver.stats().conflicts;
+    propagations_seen = solver.stats().propagations;
     if (r == sat::Result::Unsat)
       continue;
-    if (r == sat::Result::Unknown)
-      throw std::runtime_error("CEC: solver budget exhausted");
+    if (r == sat::Result::Unknown) {
+      result.inconclusive = true;
+      result.failing_output = p.name;
+      return result;
+    }
 
     result.equivalent = false;
     result.failing_output = p.name;

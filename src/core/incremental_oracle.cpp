@@ -2,6 +2,7 @@
 
 #include "aig/cnf.hpp"
 #include "sim/packed_sim.hpp"
+#include "util/fault.hpp"
 #include "util/log.hpp"
 
 #include <algorithm>
@@ -14,7 +15,10 @@ using rtlil::Cell;
 using rtlil::SigBit;
 
 IncrementalOracle::IncrementalOracle(const IncrementalOracleOptions& options)
-    : options_(options), solver_(std::make_unique<sat::Solver>()) {}
+    : options_(options), solver_(std::make_unique<sat::Solver>()) {
+  if (options_.base.guard != nullptr && options_.base.guard->wants_interrupts())
+    solver_->set_interrupt_check([g = options_.base.guard] { return g->poll(); });
+}
 
 IncrementalOracle::~IncrementalOracle() = default;
 
@@ -29,6 +33,8 @@ void IncrementalOracle::full_reset() {
   cell_to_cones_.clear();
   patterns_.clear();
   solver_ = std::make_unique<sat::Solver>();
+  if (options_.base.guard != nullptr && options_.base.guard->wants_interrupts())
+    solver_->set_interrupt_check([g = options_.base.guard] { return g->poll(); });
   ++solver_generation_;
 }
 
@@ -90,6 +96,8 @@ void IncrementalOracle::reset_solver() {
   if (solver_)
     ++stats_.engine_resets;
   solver_ = std::make_unique<sat::Solver>();
+  if (options_.base.guard != nullptr && options_.base.guard->wants_interrupts())
+    solver_->set_interrupt_check([g = options_.base.guard] { return g->poll(); });
   ++solver_generation_; // generation tag: all existing clause groups are dead
 }
 
@@ -420,6 +428,17 @@ CtrlDecision IncrementalOracle::decide(SigBit ctrl, const KnownMap& known) {
     return finish(key, sg, CtrlDecision::Unknown);
   }
 
+  // Resource-governed skip, mirroring InferenceOracle::decide exactly (the
+  // lockstep contract): a halt observed here only comes from the
+  // nondeterministic sources or fault injection, and degrades to Unknown.
+  if ((options_.base.guard != nullptr && options_.base.guard->poll()) ||
+      util::fault_unknown("oracle.solve")) {
+    ++stats_.skipped_halt;
+    if (options_.base.guard != nullptr)
+      options_.base.guard->note_skipped_solves();
+    return finish(key, sg, CtrlDecision::Unknown);
+  }
+
   ensure_encoded(entry);
   auto sat_lit = [&](aig::Lit l) {
     return sat::mk_lit(entry.vars[aig::lit_node(l)], aig::lit_compl(l));
@@ -440,13 +459,20 @@ CtrlDecision IncrementalOracle::decide(SigBit ctrl, const KnownMap& known) {
                                          options_.base.sat_conflict_budget);
 
   uint64_t conflicts_seen = solver_->stats().conflicts;
+  uint64_t propagations_seen = solver_->stats().propagations;
   auto solve_with = [&](bool target_value) {
     ++stats_.sat_calls;
     std::vector<sat::Lit> a = assumptions;
     a.push_back(target_value ? sat_lit(*target_lit) : ~sat_lit(*target_lit));
     const sat::Result r = solver_->solve(a);
     stats_.solver_conflicts += solver_->stats().conflicts - conflicts_seen;
+    if (options_.base.guard != nullptr) {
+      options_.base.guard->charge_conflicts(solver_->stats().conflicts - conflicts_seen);
+      options_.base.guard->charge_propagations(solver_->stats().propagations -
+                                               propagations_seen);
+    }
     conflicts_seen = solver_->stats().conflicts;
+    propagations_seen = solver_->stats().propagations;
     if (r == sat::Result::Sat) {
       std::vector<uint8_t> model(entry.cone.aig.num_inputs());
       for (size_t i = 0; i < model.size(); ++i) {

@@ -5,6 +5,7 @@
 #include "core/incremental_oracle.hpp"
 #include "core/inference.hpp"
 #include "sim/packed_sim.hpp"
+#include "util/fault.hpp"
 #include "util/log.hpp"
 
 namespace smartly::core {
@@ -123,8 +124,23 @@ CtrlDecision InferenceOracle::decide(SigBit ctrl, const KnownMap& known) {
     return CtrlDecision::Unknown;
   }
 
+  // Resource-governed skip: a halt observed mid-phase (deadline/cancel/fault
+  // only — deterministic budgets arm the flag at engine barriers, after
+  // which the engines stop querying) degrades the query to Unknown, which
+  // the walker treats as "leave the tree alone". Mirrored in
+  // IncrementalOracle::decide to keep the lockstep contract.
+  if ((options_.guard != nullptr && options_.guard->poll()) ||
+      util::fault_unknown("oracle.solve")) {
+    ++stats_.skipped_halt;
+    if (options_.guard != nullptr)
+      options_.guard->note_skipped_solves();
+    return CtrlDecision::Unknown;
+  }
+
   sat::Solver solver;
   solver.set_conflict_budget(options_.sat_conflict_budget);
+  if (options_.guard != nullptr && options_.guard->wants_interrupts())
+    solver.set_interrupt_check([g = options_.guard] { return g->poll(); });
   aig::CnfEncoder enc(solver);
   enc.encode(cone.aig);
 
@@ -136,13 +152,19 @@ CtrlDecision InferenceOracle::decide(SigBit ctrl, const KnownMap& known) {
   // (incremental_oracle.cpp): the incremental oracle's correctness bar is
   // returning bit-identical verdicts to this code on every query.
   uint64_t conflicts_seen = 0;
+  uint64_t propagations_seen = 0;
   auto solve_with = [&](bool target_value) {
     ++stats_.sat_calls;
     std::vector<sat::Lit> a = assumptions;
     a.push_back(target_value ? enc.lit(*target_lit) : ~enc.lit(*target_lit));
     const sat::Result r = solver.solve(a);
     stats_.solver_conflicts += solver.stats().conflicts - conflicts_seen;
+    if (options_.guard != nullptr) {
+      options_.guard->charge_conflicts(solver.stats().conflicts - conflicts_seen);
+      options_.guard->charge_propagations(solver.stats().propagations - propagations_seen);
+    }
     conflicts_seen = solver.stats().conflicts;
+    propagations_seen = solver.stats().propagations;
     return r;
   };
 
@@ -179,6 +201,7 @@ SatRedundancyStats sat_redundancy_parallel(rtlil::Module& module,
   opt::ParallelSweepOptions po;
   po.threads = threads;
   po.ball_radius = options.subgraph.depth;
+  po.guard = options.guard;
   IncrementalOracleOptions io;
   io.base = options;
   po.make_oracle = [&io]() -> std::unique_ptr<opt::MuxtreeOracle> {
@@ -208,6 +231,7 @@ SatRedundancyStats sat_redundancy_parallel(rtlil::Module& module,
     stats.sim_filter_kills += os.sim_filter_kills;
     stats.sim_filter_half += os.sim_filter_half;
     stats.sat_calls += os.sat_calls;
+    stats.skipped_halt += os.skipped_halt;
     stats.solver_conflicts += os.solver_conflicts;
   }
   stats.walker = sweep.walker;

@@ -23,6 +23,10 @@ struct SatRedundancyOptions {
   int64_t sat_conflict_budget = 20000; ///< per-query conflict cap (Unknown above)
   bool use_inference = true;    ///< Table I rules (ablatable)
   bool use_sat = true;          ///< sim/SAT stage (ablatable; inference-only otherwise)
+  /// Optional run-wide resource governor (not owned). Both oracles charge
+  /// their solver work here and answer Unknown without solving once a halt
+  /// is observed — identically, preserving the decide() lockstep contract.
+  util::ResourceGuard* guard = nullptr;
 };
 
 struct SatRedundancyStats {
@@ -38,6 +42,7 @@ struct SatRedundancyStats {
   size_t sim_filter_kills = 0; ///< queries settled at the simulation stage
   size_t sim_filter_half = 0;  ///< sim sweeps that early-exited (both polarities seen)
   size_t sat_calls = 0;        ///< individual solve() invocations
+  size_t skipped_halt = 0;     ///< queries answered Unknown after a halt, unsolved
   uint64_t solver_conflicts = 0;
   opt::MuxtreeStats walker;  ///< removal statistics from the shared walker
 };

@@ -9,6 +9,21 @@ namespace smartly::core {
 
 SmartlyStats smartly_pass(rtlil::Module& module, const SmartlyOptions& options) {
   SmartlyStats stats;
+
+  // One guard for the whole pass: every engine charges the same counters, so
+  // the budgets cap the run, not each stage. Engines already carrying a
+  // caller-provided guard (options.sat.guard etc.) keep it; the pass-level
+  // budgets only fill the slots left empty.
+  util::ResourceGuard guard(options.budgets, options.cancel);
+  util::ResourceGuard* gp =
+      (options.budgets.any() || options.cancel != nullptr) ? &guard : nullptr;
+  if (gp != nullptr)
+    gp->set_growth_baseline(module.cells().size());
+
+  SatRedundancyOptions sat_opts = options.sat;
+  if (gp != nullptr && sat_opts.guard == nullptr)
+    sat_opts.guard = gp;
+
   if (options.enable_rebuild) {
     stats.rebuild = mux_restructure(module, options.rebuild);
     // Rebuilding disconnects eq cells and can expose constants.
@@ -16,7 +31,7 @@ SmartlyStats smartly_pass(rtlil::Module& module, const SmartlyOptions& options) 
     opt::opt_clean(module);
   }
   if (options.enable_sat) {
-    stats.sat = sat_redundancy_parallel(module, options.sat, options.threads,
+    stats.sat = sat_redundancy_parallel(module, sat_opts, options.threads,
                                         /*trace=*/nullptr, &stats.sweep);
     opt::opt_expr(module);
     opt::opt_clean(module);
@@ -38,14 +53,27 @@ SmartlyStats smartly_pass(rtlil::Module& module, const SmartlyOptions& options) 
     deep.fraig.threads = options.threads;
     deep.rewrite = options.rewrite;
     deep.rewrite.threads = options.threads;
+    if (gp != nullptr) {
+      if (deep.fraig.guard == nullptr)
+        deep.fraig.guard = gp;
+      if (deep.rewrite.guard == nullptr)
+        deep.rewrite.guard = gp;
+    }
     const opt::DeepOptStats ds = opt::fraig_rewrite_loop(module, deep);
     stats.fraig = ds.fraig;
     stats.rewrite = ds.rewrite;
   } else if (options.enable_fraig) {
     sweep::FraigOptions fraig = options.fraig;
     fraig.threads = options.threads;
+    if (gp != nullptr && fraig.guard == nullptr)
+      fraig.guard = gp;
     stats.fraig = opt::fraig_stage(module, fraig);
   }
+
+  if (gp != nullptr)
+    stats.resource = gp->report();
+  else if (options.sat.guard != nullptr)
+    stats.resource = options.sat.guard->report();
   return stats;
 }
 

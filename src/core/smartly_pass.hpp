@@ -10,6 +10,7 @@
 #include "rewrite/rewrite_engine.hpp"
 #include "rtlil/module.hpp"
 #include "sweep/fraig_engine.hpp"
+#include "util/budget.hpp"
 
 namespace smartly::core {
 
@@ -36,6 +37,15 @@ struct SmartlyOptions {
   MuxRestructureOptions rebuild;
   sweep::FraigOptions fraig;         ///< fraig.threads is overridden by `threads`
   rewrite::RewriteOptions rewrite;   ///< rewrite.threads is overridden by `threads`
+  /// Run-wide resource budgets (conflicts/propagations/growth/deadline). When
+  /// any is set — or `cancel` is non-null — the pass constructs one
+  /// ResourceGuard and threads it through every engine; on exhaustion the
+  /// engines degrade (stop taking new merges/rewrites, flush journals in
+  /// canonical order) and the pass still returns a CEC-equivalent netlist.
+  /// Deterministic budgets preserve thread-count byte-identity; the deadline
+  /// and the cancel token are the documented nondeterministic halt sources.
+  util::ResourceBudgets budgets;
+  util::CancelToken* cancel = nullptr; ///< optional cooperative cancellation (not owned)
 };
 
 struct SmartlyStats {
@@ -46,6 +56,9 @@ struct SmartlyStats {
   opt::ParallelSweepStats sweep;
   sweep::FraigStats fraig;        ///< zeros unless enable_fraig/enable_rewrite
   rewrite::RewriteStats rewrite;  ///< zeros unless enable_rewrite
+  /// What the run's ResourceGuard charged and whether (and why) it halted.
+  /// All-zeros when no budgets/cancel were configured.
+  util::ResourceReport resource;
 };
 
 /// Run smaRTLy on an already-coarse-optimized module (the pass itself, the

@@ -1,5 +1,6 @@
 #include "opt/parallel_sweep.hpp"
 
+#include "util/fault.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
@@ -137,8 +138,36 @@ ParallelSweepStats ParallelSweepEngine::run(DecisionTrace* trace) {
     DecisionTrace trace;
   };
 
+  util::ResourceGuard* guard = options_.guard;
+  const auto halt_engine = [&](util::BudgetKind why) {
+    if (guard != nullptr) {
+      if (why != util::BudgetKind::None)
+        guard->halt(why);
+      guard->note_halted_engine();
+    }
+    stats.halted = 1;
+    size_t abandoned = 0;
+    for (const RegionState& r : regions)
+      if (r.alive && r.dirty && !r.tree_cells.empty())
+        ++abandoned;
+    stats.regions_skipped_halt = abandoned;
+    if (guard != nullptr && abandoned > 0)
+      guard->note_skipped_regions(abandoned);
+  };
+
   std::vector<SigBit> rewired_bits; ///< removed output classes of the last barrier
   for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    // Iteration barrier: deterministic budgets (charged by the region
+    // oracles) arm the sticky halt flag only here, so the same budget stops
+    // the sweep at the same iteration for every thread count.
+    if (guard != nullptr && guard->checkpoint()) {
+      halt_engine(util::BudgetKind::None);
+      break;
+    }
+    if (util::fault_point("sweep.iteration") != util::FaultAction::None) {
+      halt_engine(util::BudgetKind::Fault);
+      break;
+    }
     ++stats.walker.iterations;
     auto t_iter = now();
 
@@ -174,15 +203,41 @@ ParallelSweepStats ParallelSweepEngine::run(DecisionTrace* trace) {
     // region's read closure can reach (see region_partition.hpp).
     auto t_walk = now();
     std::vector<Slot> slots(work.size());
-    pool.run_batch(work.size(), [&](int, size_t i) {
-      RegionState& r = *work[i];
-      r.oracle->begin_module(module_, index);
-      Slot& slot = slots[i];
-      MuxtreeWalker walker(index, *r.oracle, slot.stats, slot.journal,
-                           trace ? &slot.trace : nullptr, static_cast<uint32_t>(iter));
-      for (Cell* root : r.roots)
-        walker.walk_root(root, stable_order.at(root));
-    });
+    bool faulted = false;
+    try {
+      pool.run_batch(work.size(), [&](int, size_t i) {
+        RegionState& r = *work[i];
+        // Mid-phase halts only come from deadline/cancel/faults; a skipped
+        // region keeps an empty journal and is marked clean at the barrier
+        // (a missed optimization, never an invalid state).
+        if ((guard != nullptr && guard->poll()) || util::fault_unknown("sweep.region"))
+          return;
+        r.oracle->begin_module(module_, index);
+        Slot& slot = slots[i];
+        MuxtreeWalker walker(index, *r.oracle, slot.stats, slot.journal,
+                             trace ? &slot.trace : nullptr, static_cast<uint32_t>(iter));
+        for (Cell* root : r.roots)
+          walker.walk_root(root, stable_order.at(root));
+      });
+    } catch (const util::FaultInjected&) {
+      // Only the oracle can throw inside a walk, and every in-place port
+      // edit is journaled before the next oracle call — so the slot journals
+      // are complete records of what actually mutated. Apply them in
+      // canonical region order to restore index consistency, then stop.
+      // Only injected faults are absorbed; real errors keep propagating.
+      faulted = true;
+    }
+    if (faulted) {
+      for (size_t i = 0; i < work.size(); ++i) {
+        accumulate(stats.walker, slots[i].stats);
+        if (!slots[i].journal.empty())
+          apply_sweep_journal(module_, index, slots[i].journal, /*finalize=*/false);
+      }
+      index.compact_topo();
+      index.sigmap().flatten();
+      halt_engine(util::BudgetKind::Fault);
+      break;
+    }
     const double walk_secs = secs(t_walk);
 
     // Barrier: aggregate and apply in canonical region order, so the

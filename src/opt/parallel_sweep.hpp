@@ -21,6 +21,7 @@
 
 #include "opt/muxtree_walker.hpp"
 #include "opt/region_partition.hpp"
+#include "util/budget.hpp"
 
 #include <functional>
 #include <memory>
@@ -42,6 +43,11 @@ struct ParallelSweepOptions {
   /// Factory for per-region oracles, called lazily at first dispatch (and
   /// again when regions merge).
   std::function<std::unique_ptr<MuxtreeOracle>()> make_oracle;
+  /// Optional run-wide resource governor (not owned). Deterministic budgets
+  /// are evaluated at iteration barriers against what the region oracles
+  /// charged; on halt the remaining dirty regions are skipped and the
+  /// already-applied journals stand (each edit is individually proven).
+  util::ResourceGuard* guard = nullptr;
 };
 
 struct ParallelSweepStats {
@@ -51,6 +57,8 @@ struct ParallelSweepStats {
   size_t region_walks = 0;           ///< region dispatches over all iterations
   size_t regions_skipped_clean = 0;  ///< dirty-only re-queue savings
   size_t region_merges = 0;          ///< barrier-time closure-overlap merges
+  size_t regions_skipped_halt = 0;   ///< dirty regions abandoned by a halt
+  size_t halted = 0;                 ///< 1 when a budget/cancel/fault stopped the run early
   int threads_used = 0;              ///< schedule detail; excluded from determinism checks
 };
 

@@ -21,13 +21,22 @@ rewrite::RewriteStats rewrite_stage(rtlil::Module& module,
 }
 
 DeepOptStats fraig_rewrite_loop(rtlil::Module& module, const DeepOptOptions& options) {
+  // Both stage options normally carry the same governor; either is enough to
+  // stop the loop once a halt is observed (the stages themselves degrade
+  // internally — this only avoids dispatching stages that would no-op).
+  util::ResourceGuard* guard =
+      options.fraig.guard != nullptr ? options.fraig.guard : options.rewrite.guard;
   DeepOptStats stats;
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
     stats.fraig += fraig_stage(module, options.fraig);
+    if (guard != nullptr && guard->halted())
+      return stats;
     const rewrite::RewriteStats rw = rewrite_stage(module, options.rewrite);
     const bool committed = rw.rewrites > 0;
     stats.rewrite += rw;
     ++stats.iterations;
+    if (guard != nullptr && guard->halted())
+      return stats;
     if (!committed)
       return stats; // nothing restructured: the closing fraig would be idle
   }

@@ -8,6 +8,7 @@
 #include "rtlil/topo.hpp"
 #include "sim/packed_sim.hpp"
 #include "sweep/equiv_classes.hpp" // shared structural keys
+#include "util/fault.hpp"
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
@@ -15,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -190,6 +192,7 @@ struct RootWork {
 struct RootEval {
   std::vector<BitCandidate> bits;
   bool complete = false;
+  bool skipped = false; ///< halt/fault observed before evaluation started
   size_t candidates = 0;
 };
 
@@ -329,6 +332,8 @@ RewriteStats& operator+=(RewriteStats& acc, const RewriteStats& s) {
   acc.gates_reused += s.gates_reused;
   acc.cells_shared += s.cells_shared;
   acc.predicted_dead += s.predicted_dead;
+  acc.skipped_roots += s.skipped_roots;
+  acc.halted += s.halted;
   return acc; // threads_used intentionally untouched
 }
 
@@ -340,7 +345,8 @@ bool same_work(const RewriteStats& a, const RewriteStats& b) {
          a.plans_rejected == b.plans_rejected && a.plans_noop == b.plans_noop &&
          a.cells_added == b.cells_added &&
          a.gates_reused == b.gates_reused && a.cells_shared == b.cells_shared &&
-         a.predicted_dead == b.predicted_dead;
+         a.predicted_dead == b.predicted_dead && a.skipped_roots == b.skipped_roots &&
+         a.halted == b.halted;
   // threads_used intentionally excluded: it reflects the machine, not the work.
 }
 
@@ -355,7 +361,26 @@ RewriteStats rewrite_sweep(rtlil::Module& module, const RewriteOptions& options)
   const RewriteLibrary& library = RewriteLibrary::instance();
   std::unordered_set<uint16_t> classes_seen;
 
+  util::ResourceGuard* guard = options.guard;
+  if (guard != nullptr)
+    guard->set_growth_baseline(module.cell_count());
+
   for (size_t round = 0; round < options.max_rounds; ++round) {
+    // Round barrier: deterministic budgets (incl. the growth cap against the
+    // post-commit cell count) arm the sticky halt flag only here.
+    if (guard != nullptr && guard->checkpoint(module.cell_count())) {
+      ++stats.halted;
+      guard->note_halted_engine();
+      break;
+    }
+    if (util::fault_point("rewrite.round") != util::FaultAction::None) {
+      if (guard != nullptr) {
+        guard->halt(util::BudgetKind::Fault);
+        guard->note_halted_engine();
+      }
+      ++stats.halted;
+      break;
+    }
     ++stats.rounds;
     const aig::AigMap blast = aig::aigmap(module, index);
     if (round == 0)
@@ -433,6 +458,12 @@ RewriteStats rewrite_sweep(rtlil::Module& module, const RewriteOptions& options)
     const auto evaluate_root = [&](size_t ri) {
       const RootWork& work = roots[ri];
       RootEval& eval = evals[ri];
+      // Mid-phase halts come only from deadline/cancel/faults — deterministic
+      // budgets arm the sticky flag at the round barrier above.
+      if ((guard != nullptr && guard->poll()) || util::fault_unknown("rewrite.eval")) {
+        eval.skipped = true;
+        return;
+      }
       const int root_pos = index.topo_position(work.cell);
       // An anchor is wireable from this root's replacement (which takes the
       // root's topo slot) only if its driver sits strictly before the root.
@@ -555,18 +586,40 @@ RewriteStats rewrite_sweep(rtlil::Module& module, const RewriteOptions& options)
         eval.bits[j] = std::move(best);
       }
     };
-    if (pool.size() > 1 && roots.size() > 1)
-      pool.run_batch(roots.size(), [&](int, size_t i) { evaluate_root(i); });
-    else
-      for (size_t i = 0; i < roots.size(); ++i)
-        evaluate_root(i);
+    bool faulted = false;
+    try {
+      if (pool.size() > 1 && roots.size() > 1)
+        pool.run_batch(roots.size(), [&](int, size_t i) { evaluate_root(i); });
+      else
+        for (size_t i = 0; i < roots.size(); ++i)
+          evaluate_root(i);
+    } catch (const util::FaultInjected&) {
+      // Evaluation never mutates the module: dropping the round's evals
+      // leaves module and index as the last barrier committed them. Only
+      // injected faults are absorbed; real errors keep propagating.
+      faulted = true;
+    }
+    if (faulted) {
+      if (guard != nullptr) {
+        guard->halt(util::BudgetKind::Fault);
+        guard->note_halted_engine();
+      }
+      ++stats.halted;
+      break;
+    }
 
+    size_t round_skipped = 0;
     for (const RootEval& eval : evals) {
       stats.candidates += eval.candidates;
+      if (eval.skipped)
+        ++round_skipped;
       if (eval.complete)
         for (const BitCandidate& c : eval.bits)
           classes_seen.insert(c.npn_class);
     }
+    stats.skipped_roots += round_skipped;
+    if (guard != nullptr && round_skipped > 0)
+      guard->note_skipped_rewrites(round_skipped);
 
     // --- sequential selection, gain accounting and commit ------------------
     // Structural-key map over the current module (the notion shared with
@@ -902,6 +955,8 @@ RewriteStats rewrite_sweep(rtlil::Module& module, const RewriteOptions& options)
   }
 
   stats.npn_classes = classes_seen.size();
+  if (options.check_index && !rtlil::index_consistent(module, index))
+    throw std::logic_error("rewrite: incremental NetlistIndex diverged from rebuild");
   return stats;
 }
 

@@ -38,6 +38,7 @@
 #pragma once
 
 #include "rtlil/module.hpp"
+#include "util/budget.hpp"
 
 #include <cstdint>
 
@@ -53,6 +54,14 @@ struct RewriteOptions {
   /// without shrinking it, which the fraig stage after them can often merge.
   /// Rounds whose commits are all zero-gain end the sweep (no ping-pong).
   bool zero_gain = true;
+  /// Optional run-wide resource governor (not owned). Deterministic budgets
+  /// (incl. the cell-growth cap) are evaluated at round barriers;
+  /// deadline/cancellation also polled per root from workers. On halt the
+  /// round's committed rewrites stand and no further rounds run.
+  util::ResourceGuard* guard = nullptr;
+  /// Post-run self-check: assert the incrementally maintained NetlistIndex
+  /// equals a from-scratch rebuild (throws std::logic_error on divergence).
+  bool check_index = false;
 };
 
 struct RewriteStats {
@@ -70,6 +79,8 @@ struct RewriteStats {
   size_t gates_reused = 0;      ///< program gates satisfied by anchored logic
   size_t cells_shared = 0;      ///< planned cells folded onto structural twins
   size_t predicted_dead = 0;    ///< MFFC cells left for opt_clean
+  size_t skipped_roots = 0;     ///< roots left unevaluated after a halt
+  size_t halted = 0;            ///< 1 when a budget/cancel/fault stopped the run early
   int threads_used = 0;         ///< machine detail; excluded from determinism
 };
 

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace smartly::rtlil {
 
@@ -244,13 +245,69 @@ void NetlistIndex::compact_topo() {
               topo_.end());
   if (topo_needs_sort_) {
     // Added cells were appended out of place; restore position order. Ties
-    // are possible (several added cells can take the same freed position —
-    // they never depend on each other) and stable_sort keeps them in append
-    // order, which callers make deterministic (journal order).
+    // are possible — several added cells can take the same freed position,
+    // and a rewrite plan's ops at one root position DO depend on each other
+    // — and stable_sort keeps them in append order, which callers make
+    // deterministic (journal order: intra-plan dependencies are appended in
+    // program order).
     std::stable_sort(topo_.begin(), topo_.end(),
                      [&](const Cell* a, const Cell* b) { return topo_pos_.at(a) < topo_pos_.at(b); });
     topo_needs_sort_ = false;
   }
+  // Renumber to the compacted sequence so positions are unique again and
+  // every dependency edge is *strictly* increasing (the invariant a fresh
+  // rebuild establishes and index_consistent checks). Tied added cells get
+  // distinct positions in their (deterministic) append order; all previously
+  // distinct positions keep their relative order.
+  for (size_t i = 0; i < topo_.size(); ++i)
+    topo_pos_[topo_[i]] = static_cast<int>(i);
+}
+
+bool index_consistent(const Module& module, const NetlistIndex& index) {
+  NetlistIndex rebuilt(module); // throws on a cycle: a corrupted module fails loudly
+
+  for (const auto& w : module.wires()) {
+    for (int i = 0; i < w->width(); ++i) {
+      const SigBit bit(w.get(), i);
+      if (index.driver(bit) != rebuilt.driver(bit))
+        return false;
+      if (index.fanout(bit) != rebuilt.fanout(bit))
+        return false;
+      if (index.drives_output_port(bit) != rebuilt.drives_output_port(bit))
+        return false;
+      std::vector<Cell*> a = index.readers(bit);
+      std::vector<Cell*> b = rebuilt.readers(bit);
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      if (a != b)
+        return false;
+    }
+  }
+
+  // Topo bookkeeping: every module cell exactly once, dependencies respected.
+  // (Callers compare after journal application, so compact_topo has run.)
+  if (index.topo_order().size() != module.cells().size())
+    return false;
+  std::unordered_set<const Cell*> seen;
+  for (const Cell* c : index.topo_order())
+    if (!seen.insert(c).second)
+      return false;
+  for (const auto& cptr : module.cells()) {
+    Cell* c = cptr.get();
+    if (!seen.count(c))
+      return false;
+    if (c->type() == CellType::Dff)
+      continue;
+    for (const Port p : c->input_ports()) {
+      for (const SigBit& raw : c->port(p)) {
+        Cell* d = index.driver(raw);
+        if (d != nullptr && d->type() != CellType::Dff &&
+            index.topo_position(d) >= index.topo_position(c))
+          return false;
+      }
+    }
+  }
+  return true;
 }
 
 } // namespace smartly::rtlil

@@ -21,6 +21,14 @@ class NetlistIndex;
 void combinational_adjacent_cells(const NetlistIndex& index, const SigBit& bit,
                                   std::vector<Cell*>& out);
 
+/// True when an incrementally maintained index still equals a from-scratch
+/// rebuild of `module`: per-bit driver / reader multiset / fanout /
+/// output-port agreement plus a complete, dependency-respecting topo order.
+/// The robustness machinery runs this after budget halts and injected faults
+/// (engines' check_index option, tests/test_faults.cpp). O(module) plus a
+/// full rebuild — debug/test cost, not hot-path cost.
+bool index_consistent(const Module& module, const NetlistIndex& index);
+
 /// Snapshot of who drives / reads each canonical SigBit.
 ///
 /// Built once from a module, then either discarded after the pass iteration

@@ -351,6 +351,7 @@ void Solver::reduce_db() {
 
 Result Solver::search(int64_t nof_conflicts) {
   int64_t conflicts_here = 0;
+  int interrupt_countdown = 128;
   std::vector<Lit> learnt_clause;
 
   for (;;) {
@@ -392,9 +393,20 @@ Result Solver::search(int64_t nof_conflicts) {
       cancel_until(0);
       return Result::Unknown;
     }
-    if (conflict_budget_ >= 0 && static_cast<int64_t>(stats_.conflicts) > conflict_budget_) {
+    if (budgets_exhausted()) {
       cancel_until(0);
       return Result::Unknown;
+    }
+    // Poll the interrupt hook every 128 decisions: frequent enough for
+    // deadline responsiveness, rare enough that the std::function call
+    // disappears against propagation cost.
+    if (interrupt_check_ && --interrupt_countdown <= 0) {
+      interrupt_countdown = 128;
+      if (interrupt_check_()) {
+        interrupted_ = true;
+        cancel_until(0);
+        return Result::Unknown;
+      }
     }
     if (static_cast<double>(learnts_.size()) - static_cast<double>(trail_.size()) >=
         max_learnts_)
@@ -437,13 +449,14 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
   learnt_adjust_confl_ = 100;
   learnt_adjust_cnt_ = 100;
 
+  interrupted_ = false;
   Result status = Result::Unknown;
   for (uint64_t restarts = 0; status == Result::Unknown; ++restarts) {
     const int64_t budget = static_cast<int64_t>(luby(restarts) * 100);
     status = search(budget);
     if (status == Result::Unknown)
       ++stats_.restarts;
-    if (conflict_budget_ >= 0 && static_cast<int64_t>(stats_.conflicts) > conflict_budget_)
+    if (budgets_exhausted() || interrupted_)
       break;
   }
   cancel_until(0);

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace smartly::sat {
@@ -82,6 +83,17 @@ public:
 
   /// Limit the number of conflicts for the next solve() calls (-1 = off).
   void set_conflict_budget(int64_t budget) noexcept { conflict_budget_ = budget; }
+
+  /// Limit the number of propagations for the next solve() calls (-1 = off).
+  /// Like the conflict budget this is an absolute threshold against the
+  /// cumulative stats() counter, so callers re-arm it per query.
+  void set_propagation_budget(int64_t budget) noexcept { propagation_budget_ = budget; }
+
+  /// Install a callback polled periodically during search; returning true
+  /// aborts the in-flight solve with Result::Unknown. Used for wall-clock
+  /// deadlines and cooperative cancellation — both inherently
+  /// nondeterministic, so deterministic flows leave this unset.
+  void set_interrupt_check(std::function<bool()> cb) { interrupt_check_ = std::move(cb); }
 
   bool okay() const noexcept { return ok_; }
   const SolverStats& stats() const noexcept { return stats_; }
@@ -159,8 +171,18 @@ private:
   std::vector<Lit> assumptions_;
   std::vector<LBool> model_;
 
+  bool budgets_exhausted() const noexcept {
+    return (conflict_budget_ >= 0 &&
+            static_cast<int64_t>(stats_.conflicts) > conflict_budget_) ||
+           (propagation_budget_ >= 0 &&
+            static_cast<int64_t>(stats_.propagations) > propagation_budget_);
+  }
+
   bool ok_ = true;
   int64_t conflict_budget_ = -1;
+  int64_t propagation_budget_ = -1;
+  std::function<bool()> interrupt_check_;
+  bool interrupted_ = false;
   double max_learnts_ = 0;
   double learnt_adjust_cnt_ = 100;
   double learnt_adjust_confl_ = 100;

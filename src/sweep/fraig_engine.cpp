@@ -4,7 +4,10 @@
 #include "opt/muxtree_walker.hpp"
 #include "opt/opt_merge.hpp"
 #include "sat/solver.hpp"
+#include "util/fault.hpp"
 #include "util/thread_pool.hpp"
+
+#include <stdexcept>
 
 #include <algorithm>
 #include <unordered_map>
@@ -45,7 +48,9 @@ struct ClassOutcome {
   size_t proved_structural = 0;
   size_t disproved = 0;
   size_t unknown = 0;
+  size_t skipped = 0; ///< queries not solved at all (halt already observed)
   uint64_t conflicts = 0;
+  uint64_t propagations = 0;
 };
 
 /// Key of one (dup, target, polarity) proof obligation. Outcomes are
@@ -66,8 +71,18 @@ ClassOutcome prove_class(const EquivClass& cls, const EquivClasses& eq,
   ClassOutcome out;
   sat::Solver solver;
   aig::ConeCnfEncoder enc(solver, eq.blast().aig);
+  if (options.guard != nullptr && options.guard->wants_interrupts())
+    solver.set_interrupt_check([g = options.guard] { return g->poll(); });
 
   const auto solve_budgeted = [&](const std::vector<sat::Lit>& assumptions) {
+    // A halt observed mid-phase can only come from the nondeterministic
+    // sources (deadline/cancel) or a fault plan: deterministic budgets arm
+    // the sticky flag at barriers only, so this skip never fires under them.
+    if ((options.guard != nullptr && options.guard->poll()) ||
+        util::fault_unknown("fraig.solve")) {
+      ++out.skipped;
+      return sat::Result::Unknown;
+    }
     if (options.sat_conflict_budget >= 0)
       solver.set_conflict_budget(static_cast<int64_t>(solver.stats().conflicts) +
                                  options.sat_conflict_budget);
@@ -114,6 +129,7 @@ ClassOutcome prove_class(const EquivClass& cls, const EquivClasses& eq,
       }
     }
     out.conflicts = solver.stats().conflicts;
+    out.propagations = solver.stats().propagations;
     return out;
   }
 
@@ -173,6 +189,7 @@ ClassOutcome prove_class(const EquivClass& cls, const EquivClasses& eq,
     solver.add_clause(~act); // retire this query's clause group
   }
   out.conflicts = solver.stats().conflicts;
+  out.propagations = solver.stats().propagations;
   return out;
 }
 
@@ -431,6 +448,8 @@ FraigStats& operator+=(FraigStats& acc, const FraigStats& s) {
   acc.merged_cells += s.merged_cells;
   acc.inverter_cells += s.inverter_cells;
   acc.pre_merged += s.pre_merged;
+  acc.skipped_solves += s.skipped_solves;
+  acc.halted += s.halted;
   acc.solver_conflicts += s.solver_conflicts;
   return acc; // threads_used intentionally untouched
 }
@@ -443,7 +462,8 @@ bool same_work(const FraigStats& a, const FraigStats& b) {
          a.proved_structural == b.proved_structural && a.disproved == b.disproved &&
          a.unknown == b.unknown && a.cex_patterns == b.cex_patterns &&
          a.merged_cells == b.merged_cells && a.inverter_cells == b.inverter_cells &&
-         a.pre_merged == b.pre_merged && a.solver_conflicts == b.solver_conflicts;
+         a.pre_merged == b.pre_merged && a.skipped_solves == b.skipped_solves &&
+         a.halted == b.halted && a.solver_conflicts == b.solver_conflicts;
   // threads_used intentionally excluded: it reflects the machine, not the work.
 }
 
@@ -461,8 +481,28 @@ FraigStats fraig_sweep(rtlil::Module& module, const FraigOptions& options) {
   std::unordered_map<SigBit, Replacement> proven;
   std::unordered_set<uint64_t> settled;
 
+  util::ResourceGuard* guard = options.guard;
+  if (guard != nullptr)
+    guard->set_growth_baseline(module.cells().size());
+
   bool module_changed = true; // the module only mutates inside commit_merges
   for (size_t round = 0; round < options.max_rounds; ++round) {
+    // Round barrier: the only place deterministic budgets arm the halt flag,
+    // so the same budget trips at the same round for every thread count.
+    if (guard != nullptr && guard->checkpoint(module.cells().size())) {
+      ++stats.halted;
+      guard->note_halted_engine();
+      break;
+    }
+    if (util::fault_point("fraig.round") != util::FaultAction::None) {
+      // Injected round fault: halt as a tripped budget would.
+      if (guard != nullptr) {
+        guard->halt(util::BudgetKind::Fault);
+        guard->note_halted_engine();
+      }
+      ++stats.halted;
+      break;
+    }
     ++stats.rounds;
     if (module_changed)
       eq.bind(module, index); // re-blast; cex-only rounds reuse the blast
@@ -479,11 +519,28 @@ FraigStats fraig_sweep(rtlil::Module& module, const FraigOptions& options) {
     const auto task = [&](size_t i) {
       outcomes[i] = prove_class(classes[i], eq, options, settled);
     };
-    if (pool.size() > 1 && classes.size() > 1)
-      pool.run_batch(classes.size(), [&](int, size_t i) { task(i); });
-    else
-      for (size_t i = 0; i < classes.size(); ++i)
-        task(i);
+    bool faulted = false;
+    try {
+      if (pool.size() > 1 && classes.size() > 1)
+        pool.run_batch(classes.size(), [&](int, size_t i) { task(i); });
+      else
+        for (size_t i = 0; i < classes.size(); ++i)
+          task(i);
+    } catch (const util::FaultInjected&) {
+      // The prove phase never mutates the module, so dropping this round's
+      // outcomes wholesale leaves module and index exactly as the last
+      // barrier committed them. Only injected faults are absorbed; real
+      // errors keep propagating.
+      faulted = true;
+    }
+    if (faulted) {
+      if (guard != nullptr) {
+        guard->halt(util::BudgetKind::Fault);
+        guard->note_halted_engine();
+      }
+      ++stats.halted;
+      break;
+    }
 
     // Barrier: aggregate in canonical class order (cex pool append order is
     // part of the determinism contract — signatures depend on it).
@@ -496,7 +553,13 @@ FraigStats fraig_sweep(rtlil::Module& module, const FraigOptions& options) {
       stats.proved_structural += out.proved_structural;
       stats.disproved += out.disproved;
       stats.unknown += out.unknown;
+      stats.skipped_solves += out.skipped;
       stats.solver_conflicts += out.conflicts;
+      if (guard != nullptr) {
+        guard->charge_conflicts(out.conflicts);
+        guard->charge_propagations(out.propagations);
+        guard->note_skipped_solves(out.skipped);
+      }
       for (const uint64_t key : out.attempted)
         settled.insert(key);
       for (const ClassOutcome::Proof& proof : out.proofs)
@@ -512,12 +575,18 @@ FraigStats fraig_sweep(rtlil::Module& module, const FraigOptions& options) {
     // pattern-pool change. New proofs or settled keys alone leave the next
     // round's classes identical with every pair settled — provably idle, so
     // they do not keep the loop alive.
+    //
+    // Proven merges commit even when a budget tripped mid-round: "stop
+    // taking new merges" means no further rounds, not discarding work whose
+    // UNSAT proofs are already in hand.
     const size_t committed = commit_merges(module, index, proven, stats);
     module_changed = committed > 0;
     progress += committed;
     if (progress == 0)
       break;
   }
+  if (options.check_index && !rtlil::index_consistent(module, index))
+    throw std::logic_error("fraig: incremental NetlistIndex diverged from rebuild");
   return stats;
 }
 

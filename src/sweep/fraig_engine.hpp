@@ -31,6 +31,7 @@
 
 #include "rtlil/module.hpp"
 #include "sweep/equiv_classes.hpp"
+#include "util/budget.hpp"
 
 #include <cstdint>
 
@@ -49,6 +50,15 @@ struct FraigOptions {
   /// shares cell_structural_key) before any simulation or SAT.
   bool pre_merge = true;
   EquivClassOptions classes;
+  /// Optional run-wide resource governor (not owned). Deterministic budgets
+  /// are evaluated at round barriers; deadline/cancellation also polled from
+  /// workers. On halt the engine keeps the merges already proven, commits
+  /// them in canonical order, and returns — the result stays CEC-equivalent.
+  util::ResourceGuard* guard = nullptr;
+  /// Post-run self-check: assert the incrementally maintained NetlistIndex
+  /// equals a from-scratch rebuild (throws std::logic_error on divergence).
+  /// Test-only; the robustness suite enables it under fault injection.
+  bool check_index = false;
 };
 
 struct FraigStats {
@@ -66,6 +76,8 @@ struct FraigStats {
   size_t merged_cells = 0;     ///< duplicate driver cells removed
   size_t inverter_cells = 0;   ///< Not cells inserted for complement merges
   size_t pre_merged = 0;       ///< cells merged by the structural pre-pass
+  size_t skipped_solves = 0;   ///< queries answered Unknown after a halt, unsolved
+  size_t halted = 0;           ///< 1 when a budget/cancel/fault stopped the run early
   uint64_t solver_conflicts = 0;
   int threads_used = 0;        ///< machine detail; excluded from determinism checks
 };

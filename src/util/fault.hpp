@@ -1,0 +1,71 @@
+// Deterministic, seed-driven fault injection for robustness testing.
+//
+// A FaultPlan describes *when* to misbehave; a FaultScope installs it
+// globally (RAII). Engines call fault_point("site") at their injection
+// points; the harness counts matching events and, per event, derives an
+// action from hash(seed, site, event#): report a forced
+// sat::Result::Unknown, throw a FaultInjected exception, or do nothing.
+// With zero active plan the hook is one relaxed atomic load — cheap enough
+// to leave compiled into release builds.
+//
+// In single-threaded runs the event sequence — and therefore the whole
+// injection schedule — is fully determined by (plan, input). In parallel
+// runs workers interleave their events nondeterministically; the robustness
+// suite therefore asserts schedule-independent properties (termination,
+// CEC equivalence, index-vs-rebuild consistency) for parallel runs and
+// exact schedules only for single-threaded ones.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace smartly::util {
+
+enum class FaultAction { None, Unknown, Throw };
+
+struct FaultPlan {
+  uint64_t seed = 0;
+  uint32_t unknown_permille = 0; ///< per-event chance (0..1000) of forcing Unknown
+  uint32_t throw_permille = 0;   ///< per-event chance (0..1000) of throwing
+  int64_t exhaust_after = -1;    ///< every matching event past the N-th forces Unknown
+  int64_t throw_after = -1;      ///< one-shot throw exactly at the N-th matching event
+  std::string site_filter;       ///< only sites containing this substring fault ("" = all)
+};
+
+/// Exception thrown by injected faults. Derives from std::runtime_error so
+/// generic catch blocks (opt_tool's top-level handler) treat it uniformly.
+class FaultInjected : public std::runtime_error {
+public:
+  explicit FaultInjected(const std::string& site)
+      : std::runtime_error("injected fault at " + site) {}
+};
+
+/// Installs `plan` as the process-global fault plan for its lifetime.
+/// Scopes must not nest and must not overlap engine runs on other threads
+/// beyond the engines under test (test-only machinery).
+class FaultScope {
+public:
+  explicit FaultScope(const FaultPlan& plan);
+  ~FaultScope();
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+  /// Matching events seen so far (diagnostics for the test suite).
+  uint64_t events() const noexcept;
+};
+
+/// Consult the active plan at an engine injection point. Returns the action
+/// to take; never throws itself. With no active scope: FaultAction::None.
+FaultAction fault_point(const char* site) noexcept;
+
+/// Convenience wrapper: throws FaultInjected on Throw, returns true when the
+/// caller should pretend its SAT query came back Unknown.
+inline bool fault_unknown(const char* site) {
+  const FaultAction a = fault_point(site);
+  if (a == FaultAction::Throw)
+    throw FaultInjected(site);
+  return a == FaultAction::Unknown;
+}
+
+} // namespace smartly::util

@@ -62,12 +62,25 @@ void ThreadPool::work_until_batch_done(int worker) {
     // differs. A popped-but-unexecuted task pins its run_batch in the wait
     // below, so the pointer read here is never dangling.
     const std::function<void(int, size_t)>* fn;
+    bool skip;
     {
       std::lock_guard<std::mutex> lock(batch_mutex_);
       fn = batch_fn_;
+      skip = batch_error_ != nullptr; // a task already threw: drain, don't run
     }
-    (*fn)(worker, task);
+    std::exception_ptr err = nullptr;
+    if (!skip) {
+      try {
+        (*fn)(worker, task);
+      } catch (...) {
+        err = std::current_exception();
+      }
+    }
     std::lock_guard<std::mutex> lock(batch_mutex_);
+    if (err != nullptr && (batch_error_ == nullptr || task < batch_error_task_)) {
+      batch_error_ = err;
+      batch_error_task_ = task;
+    }
     if (--tasks_remaining_ == 0)
       batch_done_.notify_all();
   }
@@ -98,6 +111,7 @@ void ThreadPool::run_batch(size_t n, const std::function<void(int, size_t)>& fn)
   {
     std::lock_guard<std::mutex> lock(batch_mutex_);
     batch_fn_ = &fn;
+    batch_error_ = nullptr;
     tasks_remaining_ = n;
     for (size_t i = 0; i < n; ++i) {
       WorkerQueue& q = *queues_[i % static_cast<size_t>(threads_)];
@@ -111,6 +125,12 @@ void ThreadPool::run_batch(size_t n, const std::function<void(int, size_t)>& fn)
   std::unique_lock<std::mutex> lock(batch_mutex_);
   batch_done_.wait(lock, [&] { return tasks_remaining_ == 0; });
   batch_fn_ = nullptr;
+  if (batch_error_ != nullptr) {
+    std::exception_ptr err = batch_error_;
+    batch_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 } // namespace smartly::util

@@ -12,6 +12,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -37,6 +38,12 @@ public:
   /// Run `fn(worker_id, task_index)` for every task_index in [0, n) and
   /// return when all have finished (a full barrier). worker_id is in
   /// [0, size()). Not reentrant: one batch at a time.
+  ///
+  /// Exception safety: if any task throws, the remaining not-yet-started
+  /// tasks of the batch are skipped, the barrier still completes, and the
+  /// exception is rethrown here on the calling thread. When several tasks
+  /// throw, the one with the lowest task index that was observed wins (a
+  /// best-effort tiebreak: exact choice can depend on scheduling).
   void run_batch(size_t n, const std::function<void(int, size_t)>& fn);
 
 private:
@@ -60,6 +67,8 @@ private:
   const std::function<void(int, size_t)>* batch_fn_ = nullptr;
   size_t batch_epoch_ = 0;
   size_t tasks_remaining_ = 0;
+  std::exception_ptr batch_error_ = nullptr;
+  size_t batch_error_task_ = 0;
   bool shutdown_ = false;
 };
 

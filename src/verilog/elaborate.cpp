@@ -1,6 +1,7 @@
 #include "verilog/elaborate.hpp"
 
 #include "util/log.hpp"
+#include "verilog/parse_error.hpp"
 #include "verilog/parser.hpp"
 
 #include <stdexcept>
@@ -21,7 +22,8 @@ using rtlil::State;
 using rtlil::Wire;
 
 [[noreturn]] void elab_error(int line, const std::string& msg) {
-  throw std::runtime_error(str_format("verilog elaborate (line %d): %s", line, msg.c_str()));
+  // The AST records lines but not columns; 0 means "whole line".
+  throw ParseError("", line, 0, "verilog elaborate: " + msg);
 }
 
 /// Per-wire procedural values inside an always block.
@@ -505,11 +507,17 @@ rtlil::Module* elaborate(const ModuleAst& ast, Design& design) {
   return Elaborator(ast, design).run();
 }
 
-std::unique_ptr<Design> read_verilog(const std::string& source) {
-  auto design = std::make_unique<Design>();
-  for (const ModuleAst& ast : parse_verilog(source))
-    elaborate(ast, *design);
-  return design;
+std::unique_ptr<Design> read_verilog(const std::string& source, const std::string& filename) {
+  try {
+    auto design = std::make_unique<Design>();
+    for (const ModuleAst& ast : parse_verilog(source))
+      elaborate(ast, *design);
+    return design;
+  } catch (const ParseError& e) {
+    if (!filename.empty() && e.file().empty())
+      throw e.with_file(filename);
+    throw;
+  }
 }
 
 } // namespace smartly::verilog

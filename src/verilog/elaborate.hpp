@@ -23,11 +23,14 @@
 namespace smartly::verilog {
 
 /// Elaborate one module AST into `design`. Returns the created module.
-/// Throws std::runtime_error on semantic errors (unknown identifiers,
-/// width-0 signals, unsupported constructs).
+/// Throws verilog::ParseError (a std::runtime_error) on semantic errors
+/// (unknown identifiers, width-0 signals, unsupported constructs).
 rtlil::Module* elaborate(const ModuleAst& ast, rtlil::Design& design);
 
-/// Parse + elaborate all modules in `source` into a fresh design.
-std::unique_ptr<rtlil::Design> read_verilog(const std::string& source);
+/// Parse + elaborate all modules in `source` into a fresh design. Front-end
+/// diagnostics are verilog::ParseError with line/column; when `filename` is
+/// given it is stamped into the error so what() reads `file:line:col: msg`.
+std::unique_ptr<rtlil::Design> read_verilog(const std::string& source,
+                                            const std::string& filename = "");
 
 } // namespace smartly::verilog

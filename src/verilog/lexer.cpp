@@ -1,6 +1,7 @@
 #include "verilog/lexer.hpp"
 
 #include "util/log.hpp"
+#include "verilog/parse_error.hpp"
 
 #include <cctype>
 #include <stdexcept>
@@ -9,8 +10,8 @@ namespace smartly::verilog {
 
 namespace {
 
-[[noreturn]] void lex_error(int line, const std::string& msg) {
-  throw std::runtime_error(str_format("verilog lexer (line %d): %s", line, msg.c_str()));
+[[noreturn]] void lex_error(int line, int col, const std::string& msg) {
+  throw ParseError("", line, col, "verilog lexer: " + msg);
 }
 
 bool is_ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$'; }
@@ -55,10 +56,11 @@ std::vector<Token> tokenize(const std::string& src) {
     }
     if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
       const int start_line = line;
+      const int start_col = col;
       advance(2);
       for (;;) {
         if (i + 1 >= src.size())
-          lex_error(start_line, "unterminated block comment");
+          lex_error(start_line, start_col, "unterminated block comment");
         if (src[i] == '*' && src[i + 1] == '/') {
           advance(2);
           break;
@@ -93,7 +95,7 @@ std::vector<Token> tokenize(const std::string& src) {
         if (j < src.size() && (src[j] == 's' || src[j] == 'S'))
           ++j;
         if (j >= src.size())
-          lex_error(line, "truncated based literal");
+          lex_error(line, col, "truncated based literal");
         ++j; // base char, validated by decode_number
         while (j < src.size() &&
                (std::isalnum(static_cast<unsigned char>(src[j])) || src[j] == '_' ||
@@ -112,7 +114,7 @@ std::vector<Token> tokenize(const std::string& src) {
       if (j < src.size() && (src[j] == 's' || src[j] == 'S'))
         ++j;
       if (j >= src.size())
-        lex_error(line, "truncated based literal");
+        lex_error(line, col, "truncated based literal");
       ++j;
       while (j < src.size() && (std::isalnum(static_cast<unsigned char>(src[j])) ||
                                 src[j] == '_' || src[j] == '?'))
@@ -137,7 +139,7 @@ std::vector<Token> tokenize(const std::string& src) {
       }
     }
     if (!matched)
-      lex_error(line, str_format("unexpected character '%c'", c));
+      lex_error(line, col, str_format("unexpected character '%c'", c));
   }
 
   Token eof;
@@ -157,7 +159,7 @@ NumberValue decode_number(const std::string& text, int line) {
       if (c == '_')
         continue;
       if (!std::isdigit(static_cast<unsigned char>(c)))
-        lex_error(line, "bad decimal literal: " + text);
+        lex_error(line, 0, "bad decimal literal: " + text);
       v = v * 10 + static_cast<uint64_t>(c - '0');
     }
     out.width = 32;
@@ -178,12 +180,12 @@ NumberValue decode_number(const std::string& text, int line) {
   if (p < text.size() && (text[p] == 's' || text[p] == 'S'))
     ++p; // signedness ignored (subset)
   if (p >= text.size())
-    lex_error(line, "bad literal: " + text);
+    lex_error(line, 0, "bad literal: " + text);
   const char base = static_cast<char>(std::tolower(static_cast<unsigned char>(text[p])));
   ++p;
   const std::string digits = text.substr(p);
   if (digits.empty())
-    lex_error(line, "literal has no digits: " + text);
+    lex_error(line, 0, "literal has no digits: " + text);
 
   std::string bits_msb; // msb-first accumulation
   auto push_bits = [&](int value, int nbits, char xz) {
@@ -211,9 +213,9 @@ NumberValue decode_number(const std::string& text, int line) {
       else if (lc >= 'a' && lc <= 'f' && base == 'h')
         v = lc - 'a' + 10;
       else
-        lex_error(line, "bad digit in literal: " + text);
+        lex_error(line, 0, "bad digit in literal: " + text);
       if (v >= (1 << per))
-        lex_error(line, "digit out of range for base: " + text);
+        lex_error(line, 0, "digit out of range for base: " + text);
       push_bits(v, per, 0);
     }
   } else if (base == 'd') {
@@ -222,13 +224,13 @@ NumberValue decode_number(const std::string& text, int line) {
       if (c == '_')
         continue;
       if (!std::isdigit(static_cast<unsigned char>(c)))
-        lex_error(line, "bad decimal digit: " + text);
+        lex_error(line, 0, "bad decimal digit: " + text);
       v = v * 10 + static_cast<uint64_t>(c - '0');
     }
     for (int b = 63; b >= 0; --b)
       bits_msb.push_back(((v >> b) & 1) ? '1' : '0');
   } else {
-    lex_error(line, "unsupported base in literal: " + text);
+    lex_error(line, 0, "unsupported base in literal: " + text);
   }
 
   if (width == 0)

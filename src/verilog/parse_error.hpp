@@ -1,0 +1,55 @@
+// Structured parse/elaboration errors with source locations.
+//
+// Every diagnostic out of the Verilog front end (lexer, parser, elaborator)
+// is a ParseError carrying file/line/column; what() renders the conventional
+// `file:line:col: message` form that editors and CI log scrapers understand.
+// The front end itself only sees source text, so errors start with an empty
+// file name (rendered as "<input>"); read_verilog stamps the real name in
+// via with_file() when the caller provides one.
+//
+// ParseError derives from std::runtime_error, so existing catch sites (and
+// EXPECT_THROW(..., std::runtime_error) tests) keep working unchanged.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace smartly::verilog {
+
+namespace detail {
+inline std::string format_parse_error(const std::string& file, int line, int col,
+                                      const std::string& message) {
+  std::string out = file.empty() ? std::string("<input>") : file;
+  out += ":" + std::to_string(line) + ":" + std::to_string(col) + ": " + message;
+  return out;
+}
+} // namespace detail
+
+class ParseError : public std::runtime_error {
+public:
+  /// `col` may be 0 when the producer only tracks lines (elaboration works
+  /// on the AST, which records lines but not columns).
+  ParseError(std::string file, int line, int col, std::string message)
+      : std::runtime_error(detail::format_parse_error(file, line, col, message)),
+        file_(std::move(file)), line_(line), col_(col), message_(std::move(message)) {}
+
+  const std::string& file() const noexcept { return file_; }
+  int line() const noexcept { return line_; }
+  int col() const noexcept { return col_; }
+  /// The bare diagnostic, without the location prefix.
+  const std::string& message() const noexcept { return message_; }
+
+  /// Copy with the file name filled in (used by read_verilog, which is the
+  /// first layer that knows where the source text came from).
+  ParseError with_file(std::string file) const {
+    return ParseError(std::move(file), line_, col_, message_);
+  }
+
+private:
+  std::string file_;
+  int line_ = 0;
+  int col_ = 0;
+  std::string message_;
+};
+
+} // namespace smartly::verilog

@@ -2,6 +2,7 @@
 
 #include "util/log.hpp"
 #include "verilog/lexer.hpp"
+#include "verilog/parse_error.hpp"
 
 #include <stdexcept>
 #include <unordered_map>
@@ -23,8 +24,7 @@ public:
 
 private:
   [[noreturn]] void error(const std::string& msg) const {
-    throw std::runtime_error(
-        str_format("verilog parser (line %d): %s", peek().line, msg.c_str()));
+    throw ParseError("", peek().line, peek().col, "verilog parser: " + msg);
   }
 
   const Token& peek(int ahead = 0) const {
@@ -64,9 +64,8 @@ private:
     case ExprKind::Ident: {
       auto it = params_.find(e.name);
       if (it == params_.end())
-        throw std::runtime_error(
-            str_format("verilog parser (line %d): '%s' is not a constant", e.line,
-                       e.name.c_str()));
+        throw ParseError("", e.line, 0,
+                         "verilog parser: '" + e.name + "' is not a constant");
       return static_cast<int64_t>(it->second.as_uint());
     }
     case ExprKind::Unary:
@@ -91,8 +90,7 @@ private:
     default:
       break;
     }
-    throw std::runtime_error(str_format(
-        "verilog parser (line %d): unsupported constant expression", e.line));
+    throw ParseError("", e.line, 0, "verilog parser: unsupported constant expression");
   }
 
   // --- module --------------------------------------------------------------

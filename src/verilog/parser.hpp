@@ -21,8 +21,8 @@
 
 namespace smartly::verilog {
 
-/// Parse all modules in `source`. Throws std::runtime_error with a line
-/// number on syntax errors.
+/// Parse all modules in `source`. Throws verilog::ParseError (a
+/// std::runtime_error carrying line/column) on syntax errors.
 std::vector<ModuleAst> parse_verilog(const std::string& source);
 
 } // namespace smartly::verilog
