@@ -29,13 +29,18 @@ const std::unordered_set<std::string>& verilog_keywords() {
   return kw;
 }
 
+// Matches the front end's identifier set (lexer.cpp is_ident_*), which
+// includes '$' — so machine-generated names like $sig$5 round-trip verbatim
+// instead of being renamed. Name preservation is what keeps the recovery
+// layer's name-hash unit ids (quarantine keys, fault units) stable when a
+// repro bundle's design.v is re-read for --replay.
 bool is_clean_identifier(const std::string& s) {
   if (s.empty() || verilog_keywords().count(s))
     return false;
-  if (!(std::isalpha(static_cast<unsigned char>(s[0])) || s[0] == '_'))
+  if (!(std::isalpha(static_cast<unsigned char>(s[0])) || s[0] == '_' || s[0] == '$'))
     return false;
   for (char c : s)
-    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_'))
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$'))
       return false;
   return true;
 }
@@ -268,8 +273,15 @@ private:
     case CellType::Ne: return eq("!=");
     case CellType::Ge: return cmp(">=");
     case CellType::Gt: return cmp(">");
-    case CellType::LogicAnd: return "((|" + sig_expr(a) + ") && (|" + sig_expr(b) + "))";
-    case CellType::LogicOr: return "((|" + sig_expr(a) + ") || (|" + sig_expr(b) + "))";
+    // 1-bit operands skip the (|...) wrap — same round-trip reasoning as Mux
+    // selects: && / || re-elaborate to one LogicAnd/LogicOr cell over the
+    // operands, so the wrap would add ReduceOr cells the original never had.
+    case CellType::LogicAnd:
+      return "(" + (a.size() == 1 ? sig_expr(a) : "(|" + sig_expr(a) + ")") + " && " +
+             (b.size() == 1 ? sig_expr(b) : "(|" + sig_expr(b) + ")") + ")";
+    case CellType::LogicOr:
+      return "(" + (a.size() == 1 ? sig_expr(a) : "(|" + sig_expr(a) + ")") + " || " +
+             (b.size() == 1 ? sig_expr(b) : "(|" + sig_expr(b) + ")") + ")";
     default: break;
     }
     throw std::logic_error("write_verilog: bad binary cell");
@@ -280,9 +292,13 @@ private:
       const Cell& c = *cptr;
       switch (c.type()) {
       case CellType::Mux: {
-        out << "  assign " << sig_expr(c.port(Port::Y)) << " = (|" << sig_expr(c.port(Port::S))
-            << ") ? " << sig_expr(c.port(Port::B)) << " : " << sig_expr(c.port(Port::A))
-            << ";\n";
+        // 1-bit selects (the RTLIL invariant) are emitted bare: a defensive
+        // (|s) wrap would re-elaborate into an extra ReduceOr cell and break
+        // the name-stable round-trip repro bundles depend on.
+        const SigSpec& s = c.port(Port::S);
+        const std::string sel = s.size() == 1 ? sig_expr(s) : "(|" + sig_expr(s) + ")";
+        out << "  assign " << sig_expr(c.port(Port::Y)) << " = " << sel << " ? "
+            << sig_expr(c.port(Port::B)) << " : " << sig_expr(c.port(Port::A)) << ";\n";
         continue;
       }
       case CellType::Pmux: {

@@ -301,6 +301,17 @@ CtrlDecision IncrementalOracle::finish(const QueryKey& key, const Subgraph& sg,
 CtrlDecision IncrementalOracle::decide(SigBit ctrl, const KnownMap& known) {
   ++stats_.queries;
 
+  // Quarantined target: answer Unknown before any cache interaction,
+  // mirroring the top of InferenceOracle::decide exactly (the lockstep
+  // contract). The same unit keys the "oracle.solve" fault site below.
+  const uint64_t unit =
+      ctrl.is_wire() ? util::bit_unit_id(ctrl.wire->name(), ctrl.offset) : 1;
+  if (options_.base.quarantine != nullptr &&
+      options_.base.quarantine->contains("oracle.solve", unit)) {
+    ++stats_.skipped_quarantine;
+    return CtrlDecision::Unknown;
+  }
+
   // Stage 1: syntactic (identical to the from-scratch oracle).
   if (auto it = known.find(ctrl); it != known.end()) {
     ++stats_.decided_syntactic;
@@ -432,7 +443,7 @@ CtrlDecision IncrementalOracle::decide(SigBit ctrl, const KnownMap& known) {
   // lockstep contract): a halt observed here only comes from the
   // nondeterministic sources or fault injection, and degrades to Unknown.
   if ((options_.base.guard != nullptr && options_.base.guard->poll()) ||
-      util::fault_unknown("oracle.solve")) {
+      util::fault_unknown("oracle.solve", unit)) {
     ++stats_.skipped_halt;
     if (options_.base.guard != nullptr)
       options_.base.guard->note_skipped_solves();

@@ -80,6 +80,7 @@ struct IncrementalOracleStats {
   size_t sim_filter_half = 0;     ///< early-exited sweeps (both polarities seen)
   size_t sat_calls = 0;           ///< individual solve() invocations
   size_t skipped_halt = 0;        ///< queries answered Unknown after a halt, unsolved
+  size_t skipped_quarantine = 0;  ///< queries answered Unknown for a quarantined target
   uint64_t solver_conflicts = 0;
   size_t sat_calls_skipped = 0;   ///< solve() calls a replayed witness made redundant
   size_t patterns_recycled = 0;   ///< replayed candidates consistent with constraints

@@ -8,6 +8,8 @@
 #include "util/fault.hpp"
 #include "util/log.hpp"
 
+#include <algorithm>
+
 namespace smartly::core {
 
 using opt::CtrlDecision;
@@ -28,6 +30,18 @@ void InferenceOracle::begin_module(rtlil::Module& module, const rtlil::NetlistIn
 
 CtrlDecision InferenceOracle::decide(SigBit ctrl, const KnownMap& known) {
   ++stats_.queries;
+
+  // Quarantined target (recovery layer): answer Unknown without deciding.
+  // Placed before every stage so the skip is independent of cache state —
+  // mirrored at the top of IncrementalOracle::decide (lockstep contract).
+  // The same unit keys the "oracle.solve" fault site below.
+  const uint64_t unit =
+      ctrl.is_wire() ? util::bit_unit_id(ctrl.wire->name(), ctrl.offset) : 1;
+  if (options_.quarantine != nullptr &&
+      options_.quarantine->contains("oracle.solve", unit)) {
+    ++stats_.skipped_quarantine;
+    return CtrlDecision::Unknown;
+  }
 
   // Stage 1: syntactic (what the baseline does).
   if (auto it = known.find(ctrl); it != known.end()) {
@@ -130,7 +144,7 @@ CtrlDecision InferenceOracle::decide(SigBit ctrl, const KnownMap& known) {
   // the walker treats as "leave the tree alone". Mirrored in
   // IncrementalOracle::decide to keep the lockstep contract.
   if ((options_.guard != nullptr && options_.guard->poll()) ||
-      util::fault_unknown("oracle.solve")) {
+      util::fault_unknown("oracle.solve", unit)) {
     ++stats_.skipped_halt;
     if (options_.guard != nullptr)
       options_.guard->note_skipped_solves();
@@ -197,11 +211,15 @@ SatRedundancyStats sat_redundancy(rtlil::Module& module, const SatRedundancyOpti
 SatRedundancyStats sat_redundancy_parallel(rtlil::Module& module,
                                            const SatRedundancyOptions& options, int threads,
                                            opt::DecisionTrace* trace,
-                                           opt::ParallelSweepStats* sweep_out) {
+                                           opt::ParallelSweepStats* sweep_out,
+                                           int max_iterations) {
   opt::ParallelSweepOptions po;
   po.threads = threads;
   po.ball_radius = options.subgraph.depth;
   po.guard = options.guard;
+  po.quarantine = options.quarantine;
+  if (max_iterations >= 0)
+    po.max_iterations = std::min(po.max_iterations, static_cast<size_t>(max_iterations));
   IncrementalOracleOptions io;
   io.base = options;
   po.make_oracle = [&io]() -> std::unique_ptr<opt::MuxtreeOracle> {
@@ -232,6 +250,7 @@ SatRedundancyStats sat_redundancy_parallel(rtlil::Module& module,
     stats.sim_filter_half += os.sim_filter_half;
     stats.sat_calls += os.sat_calls;
     stats.skipped_halt += os.skipped_halt;
+    stats.skipped_quarantine += os.skipped_quarantine;
     stats.solver_conflicts += os.solver_conflicts;
   }
   stats.walker = sweep.walker;

@@ -27,6 +27,12 @@ struct SatRedundancyOptions {
   /// their solver work here and answer Unknown without solving once a halt
   /// is observed — identically, preserving the decide() lockstep contract.
   util::ResourceGuard* guard = nullptr;
+  /// Units the recovery layer has quarantined (not owned; frozen during the
+  /// run). Control bits whose bit_unit_id is quarantined under "oracle.solve"
+  /// are answered Unknown at the top of decide() in both oracles (lockstep);
+  /// sat_redundancy_parallel also forwards the set to the sweep engine for
+  /// its "sweep.region"/"sweep.iteration" filters.
+  const util::QuarantineSet* quarantine = nullptr;
 };
 
 struct SatRedundancyStats {
@@ -43,6 +49,7 @@ struct SatRedundancyStats {
   size_t sim_filter_half = 0;  ///< sim sweeps that early-exited (both polarities seen)
   size_t sat_calls = 0;        ///< individual solve() invocations
   size_t skipped_halt = 0;     ///< queries answered Unknown after a halt, unsolved
+  size_t skipped_quarantine = 0; ///< queries answered Unknown for a quarantined target
   uint64_t solver_conflicts = 0;
   opt::MuxtreeStats walker;  ///< removal statistics from the shared walker
 };
@@ -79,11 +86,14 @@ SatRedundancyStats sat_redundancy(rtlil::Module& module,
 /// §II pass over the parallel deterministic sweep engine: region-partitioned
 /// walks with one thread-local IncrementalOracle per worker (each reset at
 /// region boundaries, so results are bit-identical for every thread count).
-/// threads = 0 picks one worker per hardware thread.
+/// threads = 0 picks one worker per hardware thread. max_iterations >= 0
+/// caps the sweep's fixpoint iterations (the recovery layer's bisection
+/// probes use it); -1 keeps the engine default.
 SatRedundancyStats sat_redundancy_parallel(rtlil::Module& module,
                                            const SatRedundancyOptions& options,
                                            int threads,
                                            opt::DecisionTrace* trace = nullptr,
-                                           opt::ParallelSweepStats* sweep_out = nullptr);
+                                           opt::ParallelSweepStats* sweep_out = nullptr,
+                                           int max_iterations = -1);
 
 } // namespace smartly::core

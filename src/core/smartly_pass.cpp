@@ -5,7 +5,24 @@
 #include "opt/opt_muxtree.hpp"
 #include "opt/pipeline.hpp"
 
+#include <cstdio>
+
 namespace smartly::core {
+
+namespace {
+
+/// One-line option summary recorded in repro bundles (free-form).
+std::string summarize_options(const SmartlyOptions& o) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "threads=%d sat=%d rebuild=%d fraig=%d rewrite=%d paranoid=%d retries=%d",
+                o.threads, o.enable_sat ? 1 : 0, o.enable_rebuild ? 1 : 0,
+                o.enable_fraig ? 1 : 0, o.enable_rewrite ? 1 : 0,
+                o.recovery.paranoid ? 1 : 0, o.recovery.max_retries);
+  return buf;
+}
+
+} // namespace
 
 SmartlyStats smartly_pass(rtlil::Module& module, const SmartlyOptions& options) {
   SmartlyStats stats;
@@ -14,36 +31,76 @@ SmartlyStats smartly_pass(rtlil::Module& module, const SmartlyOptions& options) 
   // the budgets cap the run, not each stage. Engines already carrying a
   // caller-provided guard (options.sat.guard etc.) keep it; the pass-level
   // budgets only fill the slots left empty.
+  // Recovery also needs a guard armed even without budgets: the engines
+  // contain worker faults by tripping BudgetKind::Fault on it, which is how
+  // the transaction driver observes them.
   util::ResourceGuard guard(options.budgets, options.cancel);
-  util::ResourceGuard* gp =
-      (options.budgets.any() || options.cancel != nullptr) ? &guard : nullptr;
+  util::ResourceGuard* gp = (options.budgets.any() || options.cancel != nullptr ||
+                             options.recovery.enabled)
+                                ? &guard
+                                : nullptr;
   if (gp != nullptr)
     gp->set_growth_baseline(module.cells().size());
+
+  // Shared recovery state: the quarantine set is sticky across every stage
+  // of the pass, so a unit that faulted in one stage stays filtered for the
+  // rest of the run (and is reported once in stats.recovery).
+  opt::RecoveryContext rctx;
+  rctx.options = options.recovery;
+  rctx.engine_options = summarize_options(options);
+  opt::RecoveryContext* rp = options.recovery.enabled ? &rctx : nullptr;
 
   SatRedundancyOptions sat_opts = options.sat;
   if (gp != nullptr && sat_opts.guard == nullptr)
     sat_opts.guard = gp;
+  if (rp != nullptr && sat_opts.quarantine == nullptr)
+    sat_opts.quarantine = &rctx.quarantine;
+
+  // The guard the transaction driver must watch is the one the engines
+  // charge: a caller-provided guard (options.sat.guard) wins over the
+  // pass-local one — fault trips land on it, not on `guard`.
+  util::ResourceGuard* stage_guard = sat_opts.guard;
 
   if (options.enable_rebuild) {
-    stats.rebuild = mux_restructure(module, options.rebuild);
-    // Rebuilding disconnects eq cells and can expose constants.
-    opt::opt_expr(module);
-    opt::opt_clean(module);
+    const opt::StageOutcome out =
+        opt::run_protected_stage(module, "rebuild", rp, stage_guard, [&](rtlil::Module& m, int) {
+          stats.rebuild = mux_restructure(m, options.rebuild);
+          // Rebuilding disconnects eq cells and can expose constants.
+          opt::opt_expr(m);
+          opt::opt_clean(m);
+        });
+    if (!out.committed)
+      stats.rebuild = MuxRestructureStats{};
   }
   if (options.enable_sat) {
-    stats.sat = sat_redundancy_parallel(module, sat_opts, options.threads,
-                                        /*trace=*/nullptr, &stats.sweep);
-    opt::opt_expr(module);
-    opt::opt_clean(module);
+    const opt::StageOutcome out =
+        opt::run_protected_stage(module, "sweep", rp, stage_guard, [&](rtlil::Module& m, int cap) {
+          SatRedundancyOptions run = sat_opts;
+          if (cap >= 0)
+            run.guard = nullptr; // bisection probes never charge the run's budgets
+          stats.sat = sat_redundancy_parallel(m, run, options.threads,
+                                              /*trace=*/nullptr, &stats.sweep, cap);
+          opt::opt_expr(m);
+          opt::opt_clean(m);
+        });
+    if (!out.committed) {
+      stats.sat = SatRedundancyStats{};
+      stats.sweep = opt::ParallelSweepStats{};
+    }
   } else {
     // smaRTLy *replaces* opt_muxtree, and its SAT engine strictly subsumes
     // the baseline's syntactic traversal (stage 1 of the oracle). When the
     // SAT engine is disabled (Table III's "Rebuild" arm) the baseline
     // traversal must still run, or the comparison against Yosys would
     // penalize the Rebuild engine for work it never claimed to do.
-    stats.sat.walker = opt::opt_muxtree(module);
-    opt::opt_expr(module);
-    opt::opt_clean(module);
+    const opt::StageOutcome out =
+        opt::run_protected_stage(module, "muxtree", rp, stage_guard, [&](rtlil::Module& m, int) {
+          stats.sat.walker = opt::opt_muxtree(m);
+          opt::opt_expr(m);
+          opt::opt_clean(m);
+        });
+    if (!out.committed)
+      stats.sat.walker = opt::MuxtreeStats{};
   }
   if (options.enable_rewrite) {
     // The deep-optimization loop subsumes the plain fraig stage: fraig ->
@@ -53,6 +110,7 @@ SmartlyStats smartly_pass(rtlil::Module& module, const SmartlyOptions& options) 
     deep.fraig.threads = options.threads;
     deep.rewrite = options.rewrite;
     deep.rewrite.threads = options.threads;
+    deep.recovery = rp;
     if (gp != nullptr) {
       if (deep.fraig.guard == nullptr)
         deep.fraig.guard = gp;
@@ -67,20 +125,32 @@ SmartlyStats smartly_pass(rtlil::Module& module, const SmartlyOptions& options) 
     fraig.threads = options.threads;
     if (gp != nullptr && fraig.guard == nullptr)
       fraig.guard = gp;
-    stats.fraig = opt::fraig_stage(module, fraig);
+    stats.fraig = opt::fraig_stage(module, fraig, rp);
   }
 
-  if (gp != nullptr)
-    stats.resource = gp->report();
-  else if (options.sat.guard != nullptr)
-    stats.resource = options.sat.guard->report();
+  if (stage_guard != nullptr)
+    stats.resource = stage_guard->report();
+  stats.recovery = std::move(rctx.stats);
   return stats;
 }
 
 SmartlyStats smartly_flow(rtlil::Module& module, const SmartlyOptions& options) {
-  opt::coarse_opt(module);
+  // The coarse-opt stages around the pass get their own transaction context
+  // (the pass builds one internally); quarantine continuity across the seam
+  // is irrelevant — the opt_* passes have no fault sites or work units —
+  // but their stats merge into the one report.
+  opt::RecoveryContext rctx;
+  rctx.options = options.recovery;
+  rctx.engine_options = "coarse_opt";
+  opt::RecoveryContext* rp = options.recovery.enabled ? &rctx : nullptr;
+
+  opt::run_protected_stage(module, "opt-pre", rp, nullptr,
+                           [](rtlil::Module& m, int) { opt::coarse_opt(m); });
   SmartlyStats stats = smartly_pass(module, options);
-  opt::coarse_opt(module);
+  opt::run_protected_stage(module, "opt-post", rp, nullptr,
+                           [](rtlil::Module& m, int) { opt::coarse_opt(m); });
+  if (rp != nullptr)
+    stats.recovery += rctx.stats;
   return stats;
 }
 

@@ -11,6 +11,7 @@
 #include "rtlil/module.hpp"
 #include "sweep/fraig_engine.hpp"
 #include "util/budget.hpp"
+#include "util/recovery.hpp"
 
 namespace smartly::core {
 
@@ -46,6 +47,13 @@ struct SmartlyOptions {
   /// and the cancel token are the documented nondeterministic halt sources.
   util::ResourceBudgets budgets;
   util::CancelToken* cancel = nullptr; ///< optional cooperative cancellation (not owned)
+  /// Transactional recovery (opt/transaction.hpp). When enabled, every stage
+  /// of the pass (rebuild / sweep / muxtree / fraig / rewrite — and the
+  /// coarse-opt stages of smartly_flow) runs inside a StageTransaction:
+  /// failures roll the module back byte-identically, quarantine the
+  /// offending unit, optionally emit a repro bundle, and retry; after
+  /// max_retries the stage is skipped. The pass never aborts the job.
+  util::RecoveryOptions recovery;
 };
 
 struct SmartlyStats {
@@ -59,6 +67,9 @@ struct SmartlyStats {
   /// What the run's ResourceGuard charged and whether (and why) it halted.
   /// All-zeros when no budgets/cancel were configured.
   util::ResourceReport resource;
+  /// Rollbacks, retries, quarantined units, skipped stages, bundles written.
+  /// All-zeros when recovery was not enabled.
+  util::RecoveryStats recovery;
 };
 
 /// Run smaRTLy on an already-coarse-optimized module (the pass itself, the

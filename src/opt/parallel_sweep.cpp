@@ -80,6 +80,26 @@ std::vector<size_t> refresh_closure(RegionState& r, size_t self, const NetlistIn
   return overlaps;
 }
 
+/// Stable id of a region: the minimum bit_unit_id over its roots' first
+/// output bits. Name-based (raw bits, not sigmap representatives) and
+/// min-reduced, so the id is independent of root order, thread count, and a
+/// write_verilog round-trip — the recovery layer quarantines regions under
+/// it ("sweep.region"), and unit-keyed fault plans key on it.
+uint64_t region_unit_id(const std::vector<Cell*>& roots) {
+  uint64_t best = 0;
+  for (const Cell* root : roots) {
+    for (const SigBit& bit : root->port(root->output_port())) {
+      if (!bit.is_wire())
+        continue;
+      const uint64_t id = util::bit_unit_id(bit.wire->name(), bit.offset);
+      if (best == 0 || id < best)
+        best = id;
+      break; // first output bit per root
+    }
+  }
+  return best == 0 ? 1 : best;
+}
+
 } // namespace
 
 ParallelSweepEngine::ParallelSweepEngine(rtlil::Module& module,
@@ -164,7 +184,15 @@ ParallelSweepStats ParallelSweepEngine::run(DecisionTrace* trace) {
       halt_engine(util::BudgetKind::None);
       break;
     }
-    if (util::fault_point("sweep.iteration") != util::FaultAction::None) {
+    if (options_.quarantine != nullptr &&
+        options_.quarantine->contains("sweep.iteration", iter + 1)) {
+      // A previously faulting iteration: skip it, keep iterating.
+      ++stats.quarantined;
+      continue;
+    }
+    if (util::fault_point("sweep.iteration", iter + 1) != util::FaultAction::None) {
+      if (guard != nullptr)
+        guard->note_fault("sweep.iteration", iter + 1);
       halt_engine(util::BudgetKind::Fault);
       break;
     }
@@ -172,6 +200,7 @@ ParallelSweepStats ParallelSweepEngine::run(DecisionTrace* trace) {
     auto t_iter = now();
 
     std::vector<RegionState*> work;
+    std::vector<uint64_t> work_units; ///< stable region ids, parallel to work
     for (RegionState& r : regions) {
       if (!r.alive)
         continue;
@@ -179,7 +208,16 @@ ParallelSweepStats ParallelSweepEngine::run(DecisionTrace* trace) {
         ++stats.regions_skipped_clean;
         continue;
       }
+      const uint64_t unit = region_unit_id(r.roots);
+      if (options_.quarantine != nullptr &&
+          options_.quarantine->contains("sweep.region", unit)) {
+        // Quarantined region: never dispatched. It stays dirty, so a later
+        // merge (which changes its id) gets a fresh chance.
+        ++stats.quarantined;
+        continue;
+      }
       work.push_back(&r);
+      work_units.push_back(unit);
     }
     if (work.empty())
       break;
@@ -210,7 +248,8 @@ ParallelSweepStats ParallelSweepEngine::run(DecisionTrace* trace) {
         // Mid-phase halts only come from deadline/cancel/faults; a skipped
         // region keeps an empty journal and is marked clean at the barrier
         // (a missed optimization, never an invalid state).
-        if ((guard != nullptr && guard->poll()) || util::fault_unknown("sweep.region"))
+        if ((guard != nullptr && guard->poll()) ||
+            util::fault_unknown("sweep.region", work_units[i]))
           return;
         r.oracle->begin_module(module_, index);
         Slot& slot = slots[i];
@@ -219,13 +258,15 @@ ParallelSweepStats ParallelSweepEngine::run(DecisionTrace* trace) {
         for (Cell* root : r.roots)
           walker.walk_root(root, stable_order.at(root));
       });
-    } catch (const util::FaultInjected&) {
+    } catch (const util::FaultInjected& e) {
       // Only the oracle can throw inside a walk, and every in-place port
       // edit is journaled before the next oracle call — so the slot journals
       // are complete records of what actually mutated. Apply them in
       // canonical region order to restore index consistency, then stop.
       // Only injected faults are absorbed; real errors keep propagating.
       faulted = true;
+      if (guard != nullptr)
+        guard->note_fault(e.site().c_str(), e.unit());
     }
     if (faulted) {
       for (size_t i = 0; i < work.size(); ++i) {

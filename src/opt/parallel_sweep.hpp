@@ -22,6 +22,7 @@
 #include "opt/muxtree_walker.hpp"
 #include "opt/region_partition.hpp"
 #include "util/budget.hpp"
+#include "util/recovery.hpp"
 
 #include <functional>
 #include <memory>
@@ -48,6 +49,13 @@ struct ParallelSweepOptions {
   /// charged; on halt the remaining dirty regions are skipped and the
   /// already-applied journals stand (each edit is individually proven).
   util::ResourceGuard* guard = nullptr;
+  /// Units the recovery layer has quarantined (not owned; frozen during the
+  /// run). Regions whose stable id (the minimum bit_unit_id over their roots'
+  /// first output bits) is quarantined under "sweep.region" are never
+  /// dispatched; iterations quarantined under "sweep.iteration" are skipped.
+  /// Both filters run single-threaded at the iteration barrier, so the skip
+  /// set is identical for every thread count.
+  const util::QuarantineSet* quarantine = nullptr;
 };
 
 struct ParallelSweepStats {
@@ -58,7 +66,8 @@ struct ParallelSweepStats {
   size_t regions_skipped_clean = 0;  ///< dirty-only re-queue savings
   size_t region_merges = 0;          ///< barrier-time closure-overlap merges
   size_t regions_skipped_halt = 0;   ///< dirty regions abandoned by a halt
-  size_t halted = 0;                 ///< 1 when a budget/cancel/fault stopped the run early
+  size_t quarantined = 0;            ///< region dispatches/iterations skipped by quarantine
+  size_t halted = 0;                ///< 1 when a budget/cancel/fault stopped the run early
   int threads_used = 0;              ///< schedule detail; excluded from determinism checks
 };
 

@@ -5,18 +5,52 @@
 #include "opt/opt_merge.hpp"
 #include "opt/opt_muxtree.hpp"
 
+#include <algorithm>
+
 namespace smartly::opt {
 
-sweep::FraigStats fraig_stage(rtlil::Module& module, const sweep::FraigOptions& options) {
-  const sweep::FraigStats stats = sweep::fraig_sweep(module, options);
-  opt_clean(module);
+sweep::FraigStats fraig_stage(rtlil::Module& module, const sweep::FraigOptions& options,
+                              RecoveryContext* recovery) {
+  sweep::FraigStats stats;
+  sweep::FraigOptions opts = options;
+  if (recovery != nullptr)
+    opts.quarantine = &recovery->quarantine;
+  const StageBody body = [&](rtlil::Module& m, int max_rounds) {
+    sweep::FraigOptions run = opts;
+    if (max_rounds >= 0) {
+      // Bisection probe: cap the rounds and detach the shared guard so probe
+      // work never charges the run's real budgets.
+      run.max_rounds = std::min(run.max_rounds, static_cast<size_t>(max_rounds));
+      run.guard = nullptr;
+    }
+    stats = sweep::fraig_sweep(m, run); // overwrite: retries must not accumulate
+    opt_clean(m);
+  };
+  const StageOutcome out = run_protected_stage(module, "fraig", recovery, opts.guard, body);
+  if (!out.committed)
+    stats = sweep::FraigStats{}; // skipped: module holds the pre-stage image
   return stats;
 }
 
 rewrite::RewriteStats rewrite_stage(rtlil::Module& module,
-                                    const rewrite::RewriteOptions& options) {
-  const rewrite::RewriteStats stats = rewrite::rewrite_sweep(module, options);
-  opt_clean(module);
+                                    const rewrite::RewriteOptions& options,
+                                    RecoveryContext* recovery) {
+  rewrite::RewriteStats stats;
+  rewrite::RewriteOptions opts = options;
+  if (recovery != nullptr)
+    opts.quarantine = &recovery->quarantine;
+  const StageBody body = [&](rtlil::Module& m, int max_rounds) {
+    rewrite::RewriteOptions run = opts;
+    if (max_rounds >= 0) {
+      run.max_rounds = std::min(run.max_rounds, static_cast<size_t>(max_rounds));
+      run.guard = nullptr;
+    }
+    stats = rewrite::rewrite_sweep(m, run); // overwrite: retries must not accumulate
+    opt_clean(m);
+  };
+  const StageOutcome out = run_protected_stage(module, "rewrite", recovery, opts.guard, body);
+  if (!out.committed)
+    stats = rewrite::RewriteStats{}; // skipped: module holds the pre-stage image
   return stats;
 }
 
@@ -28,10 +62,10 @@ DeepOptStats fraig_rewrite_loop(rtlil::Module& module, const DeepOptOptions& opt
       options.fraig.guard != nullptr ? options.fraig.guard : options.rewrite.guard;
   DeepOptStats stats;
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
-    stats.fraig += fraig_stage(module, options.fraig);
+    stats.fraig += fraig_stage(module, options.fraig, options.recovery);
     if (guard != nullptr && guard->halted())
       return stats;
-    const rewrite::RewriteStats rw = rewrite_stage(module, options.rewrite);
+    const rewrite::RewriteStats rw = rewrite_stage(module, options.rewrite, options.recovery);
     const bool committed = rw.rewrites > 0;
     stats.rewrite += rw;
     ++stats.iterations;
@@ -40,7 +74,7 @@ DeepOptStats fraig_rewrite_loop(rtlil::Module& module, const DeepOptOptions& opt
     if (!committed)
       return stats; // nothing restructured: the closing fraig would be idle
   }
-  stats.fraig += fraig_stage(module, options.fraig);
+  stats.fraig += fraig_stage(module, options.fraig, options.recovery);
   return stats;
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "opt/muxtree_walker.hpp"
+#include "opt/transaction.hpp"
 #include "rewrite/rewrite_engine.hpp"
 #include "rtlil/module.hpp"
 #include "sweep/fraig_engine.hpp"
@@ -20,14 +21,23 @@ void coarse_opt(rtlil::Module& module);
 /// merges disconnected. Runnable before or after either muxtree flow — the
 /// engines are orthogonal (muxtree passes remove never-active branches,
 /// fraig removes duplicate/complement/constant cones).
-sweep::FraigStats fraig_stage(rtlil::Module& module, const sweep::FraigOptions& options = {});
+///
+/// With a non-null, enabled recovery context the stage runs inside a
+/// StageTransaction (snapshot / rollback / quarantine / retry; see
+/// opt/transaction.hpp) with the context's quarantine set threaded into the
+/// engine. A skipped stage returns zeroed stats and leaves the module at its
+/// pre-stage image.
+sweep::FraigStats fraig_stage(rtlil::Module& module, const sweep::FraigOptions& options = {},
+                              RecoveryContext* recovery = nullptr);
 
 /// DAG-aware cut-rewriting stage: restructure 4-feasible cones through the
 /// NPN replacement library, then sweep the predicted-dead cones the commits
 /// disconnected. Orthogonal to fraig: fraig merges logic that is already
 /// equivalent, rewrite re-expresses logic that is merely suboptimal.
+/// Recovery semantics as for fraig_stage.
 rewrite::RewriteStats rewrite_stage(rtlil::Module& module,
-                                    const rewrite::RewriteOptions& options = {});
+                                    const rewrite::RewriteOptions& options = {},
+                                    RecoveryContext* recovery = nullptr);
 
 /// The deep-optimization convergence loop: fraig -> rewrite, repeated while
 /// the rewrite stage still commits, with a final fraig pass so merges the
@@ -37,6 +47,10 @@ struct DeepOptOptions {
   sweep::FraigOptions fraig;
   rewrite::RewriteOptions rewrite;
   size_t max_iterations = 2; ///< fraig+rewrite pairs before the final fraig
+  /// Shared recovery state (not owned; may be null). When enabled, every
+  /// fraig/rewrite stage of the loop runs transactionally and the quarantine
+  /// set accumulates across stages and iterations.
+  RecoveryContext* recovery = nullptr;
 };
 
 struct DeepOptStats {

@@ -189,6 +189,15 @@ struct RootWork {
   std::vector<aig::Lit> lits; ///< blast literals (AND-backed)
 };
 
+/// Stable id of a root: its first canonical output bit's name hash. The
+/// recovery layer quarantines roots under this id ("rewrite.eval"), and
+/// unit-keyed fault plans key on it. Wire-name-based (not cell-name-based)
+/// so the id survives a write_verilog round-trip in repro bundles.
+uint64_t root_unit_id(const RootWork& work) {
+  const SigBit& bit = work.canon.front();
+  return bit.is_wire() ? util::bit_unit_id(bit.wire->name(), bit.offset) : 1;
+}
+
 struct RootEval {
   std::vector<BitCandidate> bits;
   bool complete = false;
@@ -333,6 +342,7 @@ RewriteStats& operator+=(RewriteStats& acc, const RewriteStats& s) {
   acc.cells_shared += s.cells_shared;
   acc.predicted_dead += s.predicted_dead;
   acc.skipped_roots += s.skipped_roots;
+  acc.quarantined += s.quarantined;
   acc.halted += s.halted;
   return acc; // threads_used intentionally untouched
 }
@@ -346,7 +356,7 @@ bool same_work(const RewriteStats& a, const RewriteStats& b) {
          a.cells_added == b.cells_added &&
          a.gates_reused == b.gates_reused && a.cells_shared == b.cells_shared &&
          a.predicted_dead == b.predicted_dead && a.skipped_roots == b.skipped_roots &&
-         a.halted == b.halted;
+         a.quarantined == b.quarantined && a.halted == b.halted;
   // threads_used intentionally excluded: it reflects the machine, not the work.
 }
 
@@ -373,9 +383,16 @@ RewriteStats rewrite_sweep(rtlil::Module& module, const RewriteOptions& options)
       guard->note_halted_engine();
       break;
     }
-    if (util::fault_point("rewrite.round") != util::FaultAction::None) {
+    if (options.quarantine != nullptr &&
+        options.quarantine->contains("rewrite.round", round + 1)) {
+      // A previously faulting round: skip it, keep iterating.
+      ++stats.quarantined;
+      continue;
+    }
+    if (util::fault_point("rewrite.round", round + 1) != util::FaultAction::None) {
       if (guard != nullptr) {
         guard->halt(util::BudgetKind::Fault);
+        guard->note_fault("rewrite.round", round + 1);
         guard->note_halted_engine();
       }
       ++stats.halted;
@@ -448,8 +465,16 @@ RewriteStats rewrite_sweep(rtlil::Module& module, const RewriteOptions& options)
         work.canon.push_back(c);
         work.lits.push_back(it->second);
       }
-      if (ok && any_read && !work.raw.empty())
+      if (ok && any_read && !work.raw.empty()) {
+        if (options.quarantine != nullptr &&
+            options.quarantine->contains("rewrite.eval", root_unit_id(work))) {
+          // Quarantined root: never evaluated. The work list is built in
+          // module cell order, so the filter is thread-count-deterministic.
+          ++stats.quarantined;
+          continue;
+        }
         roots.push_back(std::move(work));
+      }
     }
     stats.roots_evaluated += roots.size();
 
@@ -460,7 +485,8 @@ RewriteStats rewrite_sweep(rtlil::Module& module, const RewriteOptions& options)
       RootEval& eval = evals[ri];
       // Mid-phase halts come only from deadline/cancel/faults — deterministic
       // budgets arm the sticky flag at the round barrier above.
-      if ((guard != nullptr && guard->poll()) || util::fault_unknown("rewrite.eval")) {
+      if ((guard != nullptr && guard->poll()) ||
+          util::fault_unknown("rewrite.eval", root_unit_id(work))) {
         eval.skipped = true;
         return;
       }
@@ -593,11 +619,13 @@ RewriteStats rewrite_sweep(rtlil::Module& module, const RewriteOptions& options)
       else
         for (size_t i = 0; i < roots.size(); ++i)
           evaluate_root(i);
-    } catch (const util::FaultInjected&) {
+    } catch (const util::FaultInjected& e) {
       // Evaluation never mutates the module: dropping the round's evals
       // leaves module and index as the last barrier committed them. Only
       // injected faults are absorbed; real errors keep propagating.
       faulted = true;
+      if (guard != nullptr)
+        guard->note_fault(e.site().c_str(), e.unit());
     }
     if (faulted) {
       if (guard != nullptr) {

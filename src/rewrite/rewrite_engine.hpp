@@ -39,6 +39,7 @@
 
 #include "rtlil/module.hpp"
 #include "util/budget.hpp"
+#include "util/recovery.hpp"
 
 #include <cstdint>
 
@@ -62,6 +63,12 @@ struct RewriteOptions {
   /// Post-run self-check: assert the incrementally maintained NetlistIndex
   /// equals a from-scratch rebuild (throws std::logic_error on divergence).
   bool check_index = false;
+  /// Units the recovery layer has quarantined (not owned; frozen during the
+  /// run). Roots whose first canonical output bit is quarantined under
+  /// "rewrite.eval" are dropped from the work list (built in module cell
+  /// order, so the filter is thread-count-deterministic); rounds quarantined
+  /// under "rewrite.round" are skipped.
+  const util::QuarantineSet* quarantine = nullptr;
 };
 
 struct RewriteStats {
@@ -80,6 +87,7 @@ struct RewriteStats {
   size_t cells_shared = 0;      ///< planned cells folded onto structural twins
   size_t predicted_dead = 0;    ///< MFFC cells left for opt_clean
   size_t skipped_roots = 0;     ///< roots left unevaluated after a halt
+  size_t quarantined = 0;       ///< roots/rounds skipped by the quarantine set
   size_t halted = 0;            ///< 1 when a budget/cancel/fault stopped the run early
   int threads_used = 0;         ///< machine detail; excluded from determinism
 };

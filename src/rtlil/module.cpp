@@ -72,6 +72,17 @@ Cell* Module::cell(const std::string& name) const {
 
 void Module::remove_cell(Cell* cell) { remove_cells({cell}); }
 
+void Module::remove_wire(Wire* w) {
+  wire_by_name_.erase(w->name());
+  // The common caller retires the just-created $sig temp, so search back-first.
+  for (auto it = wires_.rbegin(); it != wires_.rend(); ++it) {
+    if (it->get() == w) {
+      wires_.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
 void Module::remove_cells(const std::vector<Cell*>& dead) {
   if (dead.empty())
     return;
@@ -209,38 +220,55 @@ Module* Design::module(const std::string& name) const {
 
 Module* Design::top() const { return modules_.empty() ? nullptr : modules_.front().get(); }
 
+/// Deep-copy `src`'s contents into the empty module `dst`, including the
+/// generated-name counter so both modules name future wires/cells
+/// identically. Shared by clone_design and restore_module.
+void copy_module_into(Module& dst, const Module& src) {
+  std::unordered_map<const Wire*, Wire*> wmap;
+  for (const auto& sw : src.wires()) {
+    Wire* dw = dst.add_wire(sw->name(), sw->width());
+    if (sw->port_input)
+      dst.set_port_input(dw);
+    if (sw->port_output)
+      dst.set_port_output(dw);
+    wmap.emplace(sw.get(), dw);
+  }
+  auto map_sig = [&](const SigSpec& s) {
+    SigSpec out;
+    for (const SigBit& b : s)
+      out.append(b.is_wire() ? SigBit(wmap.at(b.wire), b.offset) : b);
+    return out;
+  };
+  for (const auto& sc : src.cells()) {
+    Cell* dc = dst.add_cell(sc->type(), sc->name());
+    dc->params() = sc->params();
+    for (int i = 0; i < kPortCount; ++i) {
+      const Port p = static_cast<Port>(i);
+      if (sc->has_port(p))
+        dc->set_port(p, map_sig(sc->port(p)));
+    }
+  }
+  for (const auto& [lhs, rhs] : src.connections())
+    dst.connect(map_sig(lhs), map_sig(rhs));
+  dst.name_counter_ = src.name_counter_;
+}
+
 std::unique_ptr<Design> clone_design(const Design& src) {
   auto dst = std::make_unique<Design>();
-  for (const auto& sm : src.modules()) {
-    Module* dm = dst->add_module(sm->name());
-    std::unordered_map<const Wire*, Wire*> wmap;
-    for (const auto& sw : sm->wires()) {
-      Wire* dw = dm->add_wire(sw->name(), sw->width());
-      if (sw->port_input)
-        dm->set_port_input(dw);
-      if (sw->port_output)
-        dm->set_port_output(dw);
-      wmap.emplace(sw.get(), dw);
-    }
-    auto map_sig = [&](const SigSpec& s) {
-      SigSpec out;
-      for (const SigBit& b : s)
-        out.append(b.is_wire() ? SigBit(wmap.at(b.wire), b.offset) : b);
-      return out;
-    };
-    for (const auto& sc : sm->cells()) {
-      Cell* dc = dm->add_cell(sc->type(), sc->name());
-      dc->params() = sc->params();
-      for (int i = 0; i < kPortCount; ++i) {
-        const Port p = static_cast<Port>(i);
-        if (sc->has_port(p))
-          dc->set_port(p, map_sig(sc->port(p)));
-      }
-    }
-    for (const auto& [lhs, rhs] : sm->connections())
-      dm->connect(map_sig(lhs), map_sig(rhs));
-  }
+  for (const auto& sm : src.modules())
+    copy_module_into(*dst->add_module(sm->name()), *sm);
   return dst;
+}
+
+void restore_module(Module& dst, const Module& src) {
+  dst.wires_.clear();
+  dst.wire_by_name_.clear();
+  dst.cells_.clear();
+  dst.cell_by_name_.clear();
+  dst.connections_.clear();
+  dst.ports_.clear();
+  dst.name_counter_ = 0;
+  copy_module_into(dst, src);
 }
 
 } // namespace smartly::rtlil

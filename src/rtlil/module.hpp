@@ -53,6 +53,10 @@ public:
   Wire* wire(const std::string& name) const;
   bool has_wire(const std::string& name) const;
   const std::vector<std::unique_ptr<Wire>>& wires() const noexcept { return wires_; }
+  /// Remove a wire nothing references anymore (caller's responsibility —
+  /// SigBits holding the pointer would dangle). Used by the elaborator to
+  /// retire $sig temporaries it retargeted onto assignment lvalues.
+  void remove_wire(Wire* w);
 
   void set_port_input(Wire* w);
   void set_port_output(Wire* w);
@@ -127,6 +131,9 @@ public:
 private:
   std::string unique_name(const std::string& prefix);
 
+  friend void copy_module_into(Module& dst, const Module& src);
+  friend void restore_module(Module& dst, const Module& src);
+
   Design* design_;
   std::string name_;
   std::vector<std::unique_ptr<Wire>> wires_;
@@ -159,5 +166,17 @@ private:
 /// Deep-copy a module into a new Design (used to snapshot a design before
 /// optimization for equivalence checking / ablation runs).
 std::unique_ptr<Design> clone_design(const Design& src);
+
+/// Deep-copy `src`'s contents into the *empty* module `dst`, including the
+/// generated-name counter. Building block of clone_design/restore_module;
+/// also used to snapshot a single module without cloning its whole Design.
+void copy_module_into(Module& dst, const Module& src);
+
+/// Replace `dst`'s entire contents (wires, cells, connections, ports, name
+/// counter) with a deep copy of `src`. `dst` keeps its identity (Design
+/// owner, name) but becomes byte-identical to `src` — including the
+/// generated-name counter, so a retried stage regenerates the same names a
+/// fresh run would. This is the rollback primitive of StageTransaction.
+void restore_module(Module& dst, const Module& src);
 
 } // namespace smartly::rtlil

@@ -65,10 +65,29 @@ uint64_t pair_key(const SigBit& dup, const Replacement& r) {
                       (r.invert ? 2u : 0u) | (r.is_const ? 1u : 0u));
 }
 
+/// Stable id of a class: the minimum bit_unit_id over its wire-bit members.
+/// The recovery layer quarantines classes under this id ("fraig.solve"), and
+/// unit-keyed fault plans key on it. Min-over-members (not the rep's id) so
+/// the id survives a write_verilog round-trip: membership is a function of
+/// name-seeded simulation, but the rep choice rides on creation order, which
+/// reparsing permutes — repro bundles must fault the same class.
+uint64_t class_unit_id(const EquivClass& cls) {
+  uint64_t best = 0;
+  for (const EquivMember& m : cls.members) {
+    if (!m.bit.is_wire())
+      continue;
+    const uint64_t id = util::bit_unit_id(m.bit.wire->name(), m.bit.offset);
+    if (best == 0 || id < best)
+      best = id;
+  }
+  return best == 0 ? 1 : best;
+}
+
 ClassOutcome prove_class(const EquivClass& cls, const EquivClasses& eq,
                          const FraigOptions& options,
                          const std::unordered_set<uint64_t>& settled) {
   ClassOutcome out;
+  const uint64_t unit = class_unit_id(cls);
   sat::Solver solver;
   aig::ConeCnfEncoder enc(solver, eq.blast().aig);
   if (options.guard != nullptr && options.guard->wants_interrupts())
@@ -79,7 +98,7 @@ ClassOutcome prove_class(const EquivClass& cls, const EquivClasses& eq,
     // sources (deadline/cancel) or a fault plan: deterministic budgets arm
     // the sticky flag at barriers only, so this skip never fires under them.
     if ((options.guard != nullptr && options.guard->poll()) ||
-        util::fault_unknown("fraig.solve")) {
+        util::fault_unknown("fraig.solve", unit)) {
       ++out.skipped;
       return sat::Result::Unknown;
     }
@@ -449,6 +468,7 @@ FraigStats& operator+=(FraigStats& acc, const FraigStats& s) {
   acc.inverter_cells += s.inverter_cells;
   acc.pre_merged += s.pre_merged;
   acc.skipped_solves += s.skipped_solves;
+  acc.quarantined += s.quarantined;
   acc.halted += s.halted;
   acc.solver_conflicts += s.solver_conflicts;
   return acc; // threads_used intentionally untouched
@@ -463,7 +483,8 @@ bool same_work(const FraigStats& a, const FraigStats& b) {
          a.unknown == b.unknown && a.cex_patterns == b.cex_patterns &&
          a.merged_cells == b.merged_cells && a.inverter_cells == b.inverter_cells &&
          a.pre_merged == b.pre_merged && a.skipped_solves == b.skipped_solves &&
-         a.halted == b.halted && a.solver_conflicts == b.solver_conflicts;
+         a.quarantined == b.quarantined && a.halted == b.halted &&
+         a.solver_conflicts == b.solver_conflicts;
   // threads_used intentionally excluded: it reflects the machine, not the work.
 }
 
@@ -494,10 +515,17 @@ FraigStats fraig_sweep(rtlil::Module& module, const FraigOptions& options) {
       guard->note_halted_engine();
       break;
     }
-    if (util::fault_point("fraig.round") != util::FaultAction::None) {
+    if (options.quarantine != nullptr &&
+        options.quarantine->contains("fraig.round", round + 1)) {
+      // A previously faulting round: skip it, keep iterating.
+      ++stats.quarantined;
+      continue;
+    }
+    if (util::fault_point("fraig.round", round + 1) != util::FaultAction::None) {
       // Injected round fault: halt as a tripped budget would.
       if (guard != nullptr) {
         guard->halt(util::BudgetKind::Fault);
+        guard->note_fault("fraig.round", round + 1);
         guard->note_halted_engine();
       }
       ++stats.halted;
@@ -506,9 +534,21 @@ FraigStats fraig_sweep(rtlil::Module& module, const FraigOptions& options) {
     ++stats.rounds;
     if (module_changed)
       eq.bind(module, index); // re-blast; cex-only rounds reuse the blast
-    const std::vector<EquivClass> classes = eq.compute(&pool);
+    std::vector<EquivClass> classes = eq.compute(&pool);
     if (round == 0)
       stats.candidate_bits = eq.candidate_bits();
+    if (options.quarantine != nullptr && !options.quarantine->empty()) {
+      // Canonical-order filter at the barrier: quarantined classes are never
+      // dispatched, identically on every thread count.
+      const size_t before = classes.size();
+      classes.erase(std::remove_if(classes.begin(), classes.end(),
+                                   [&](const EquivClass& c) {
+                                     return options.quarantine->contains("fraig.solve",
+                                                                         class_unit_id(c));
+                                   }),
+                    classes.end());
+      stats.quarantined += before - classes.size();
+    }
     if (classes.empty())
       break;
     stats.classes += classes.size();
@@ -526,12 +566,14 @@ FraigStats fraig_sweep(rtlil::Module& module, const FraigOptions& options) {
       else
         for (size_t i = 0; i < classes.size(); ++i)
           task(i);
-    } catch (const util::FaultInjected&) {
+    } catch (const util::FaultInjected& e) {
       // The prove phase never mutates the module, so dropping this round's
       // outcomes wholesale leaves module and index exactly as the last
       // barrier committed them. Only injected faults are absorbed; real
       // errors keep propagating.
       faulted = true;
+      if (guard != nullptr)
+        guard->note_fault(e.site().c_str(), e.unit());
     }
     if (faulted) {
       if (guard != nullptr) {

@@ -32,6 +32,7 @@
 #include "rtlil/module.hpp"
 #include "sweep/equiv_classes.hpp"
 #include "util/budget.hpp"
+#include "util/recovery.hpp"
 
 #include <cstdint>
 
@@ -59,6 +60,12 @@ struct FraigOptions {
   /// equals a from-scratch rebuild (throws std::logic_error on divergence).
   /// Test-only; the robustness suite enables it under fault injection.
   bool check_index = false;
+  /// Units the recovery layer has quarantined (not owned; frozen during the
+  /// run). Classes whose representative bit is quarantined under
+  /// "fraig.solve" are never dispatched; rounds quarantined under
+  /// "fraig.round" are skipped. The filter is applied in canonical class
+  /// order at the barrier, so it preserves thread-count determinism.
+  const util::QuarantineSet* quarantine = nullptr;
 };
 
 struct FraigStats {
@@ -77,6 +84,7 @@ struct FraigStats {
   size_t inverter_cells = 0;   ///< Not cells inserted for complement merges
   size_t pre_merged = 0;       ///< cells merged by the structural pre-pass
   size_t skipped_solves = 0;   ///< queries answered Unknown after a halt, unsolved
+  size_t quarantined = 0;      ///< classes/rounds skipped by the quarantine set
   size_t halted = 0;           ///< 1 when a budget/cancel/fault stopped the run early
   uint64_t solver_conflicts = 0;
   int threads_used = 0;        ///< machine detail; excluded from determinism checks

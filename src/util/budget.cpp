@@ -28,6 +28,27 @@ void ResourceGuard::trip(BudgetKind why) noexcept {
   tripped_.compare_exchange_strong(expected, static_cast<int>(why), std::memory_order_acq_rel);
 }
 
+void ResourceGuard::note_fault(const char* site, uint64_t unit) noexcept {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  if (fault_.valid)
+    return;
+  fault_.valid = true;
+  fault_.site = site;
+  fault_.unit = unit;
+}
+
+FaultReport ResourceGuard::fault_report() const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return fault_;
+}
+
+void ResourceGuard::clear_fault_halt() noexcept {
+  int expected = static_cast<int>(BudgetKind::Fault);
+  tripped_.compare_exchange_strong(expected, 0, std::memory_order_acq_rel);
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  fault_ = FaultReport{};
+}
+
 void ResourceGuard::set_growth_baseline(uint64_t cells) noexcept {
   uint64_t expected = 0;
   growth_baseline_.compare_exchange_strong(expected, cells, std::memory_order_acq_rel);

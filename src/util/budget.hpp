@@ -19,6 +19,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
+#include <string>
 
 namespace smartly::util {
 
@@ -70,6 +72,16 @@ struct ResourceReport {
   uint64_t halted_engines = 0;   ///< engines that observed the halt and stopped early
 
   bool halted() const noexcept { return tripped != BudgetKind::None; }
+};
+
+/// First-wins record of the fault that halted an engine: the injection site
+/// and the stable unit id of the work item (0 when the site has none). The
+/// recovery layer reads this at the stage barrier to decide what to
+/// quarantine before retrying.
+struct FaultReport {
+  bool valid = false;
+  std::string site;
+  uint64_t unit = 0;
 };
 
 class ResourceGuard {
@@ -134,6 +146,17 @@ public:
   /// Force a halt (cancellation relay, fault injection).
   void halt(BudgetKind why) noexcept { trip(why); }
 
+  /// Record which fault halted the engine (first report wins). Callable from
+  /// worker threads; the mutex is cold — faults are the exceptional path.
+  void note_fault(const char* site, uint64_t unit) noexcept;
+  FaultReport fault_report() const;
+
+  /// Reset a BudgetKind::Fault trip (and the fault report) so a rolled-back
+  /// stage can be retried. Real budget trips (conflicts, deadline, ...) stay
+  /// sticky: those are sound degradation, not wrongness, and must not be
+  /// cleared by the recovery layer.
+  void clear_fault_halt() noexcept;
+
   ResourceReport report() const;
 
 private:
@@ -153,6 +176,9 @@ private:
   std::atomic<uint64_t> skipped_regions_{0};
   std::atomic<uint64_t> halted_engines_{0};
   std::atomic<uint64_t> growth_baseline_{0};
+
+  mutable std::mutex fault_mu_;
+  FaultReport fault_; ///< guarded by fault_mu_
 };
 
 } // namespace smartly::util

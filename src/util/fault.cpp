@@ -52,7 +52,7 @@ uint64_t FaultScope::events() const noexcept {
   return state ? state->events.load(std::memory_order_relaxed) : 0;
 }
 
-FaultAction fault_point(const char* site) noexcept {
+FaultAction fault_point(const char* site, uint64_t unit) noexcept {
   FaultState* state = g_fault.load(std::memory_order_acquire);
   if (state == nullptr)
     return FaultAction::None;
@@ -60,8 +60,25 @@ FaultAction fault_point(const char* site) noexcept {
   if (!plan.site_filter.empty() && std::strstr(site, plan.site_filter.c_str()) == nullptr)
     return FaultAction::None;
 
-  // 1-based index of this matching event.
+  // 1-based index of this matching event (kept in unit-keyed mode too: the
+  // test suite uses events() as a coverage diagnostic either way).
   const uint64_t n = state->events.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  if (plan.unit_keyed) {
+    // Schedule-independent: the action is a pure function of (seed, site,
+    // unit), so the same work items fault on every thread count and in every
+    // re-run. throw_after/exhaust_after are event-order-based and therefore
+    // meaningless here; they are ignored.
+    if (plan.throw_permille == 0 && plan.unknown_permille == 0)
+      return FaultAction::None;
+    const uint64_t h = splitmix64(plan.seed ^ splitmix64(splitmix64(unit)) ^ fnv1a(site));
+    const uint32_t roll = static_cast<uint32_t>(h % 1000);
+    if (roll < plan.throw_permille)
+      return FaultAction::Throw;
+    if (roll < plan.throw_permille + plan.unknown_permille)
+      return FaultAction::Unknown;
+    return FaultAction::None;
+  }
 
   if (plan.throw_after >= 0 && n == static_cast<uint64_t>(plan.throw_after)) {
     bool expected = false;
@@ -81,5 +98,16 @@ FaultAction fault_point(const char* site) noexcept {
     return FaultAction::Unknown;
   return FaultAction::None;
 }
+
+bool active_fault_plan(FaultPlan* out) noexcept {
+  FaultState* state = g_fault.load(std::memory_order_acquire);
+  if (state == nullptr)
+    return false;
+  if (out != nullptr)
+    *out = state->plan;
+  return true;
+}
+
+uint64_t stable_name_hash(const char* s) noexcept { return fnv1a(s); }
 
 } // namespace smartly::util

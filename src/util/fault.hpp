@@ -14,6 +14,13 @@
 // suite therefore asserts schedule-independent properties (termination,
 // CEC equivalence, index-vs-rebuild consistency) for parallel runs and
 // exact schedules only for single-threaded ones.
+//
+// `unit_keyed` plans trade the event counter for hash(seed, site, unit),
+// where the unit id is a stable content/name hash of the work item (fraig:
+// class representative, rewrite: root cell, sweep: region, oracle: subgraph
+// fingerprint). The same units then fault on every thread count and in every
+// re-run — the property the recovery layer's quarantine determinism and
+// repro bundles are built on.
 #pragma once
 
 #include <cstdint>
@@ -31,14 +38,26 @@ struct FaultPlan {
   int64_t exhaust_after = -1;    ///< every matching event past the N-th forces Unknown
   int64_t throw_after = -1;      ///< one-shot throw exactly at the N-th matching event
   std::string site_filter;       ///< only sites containing this substring fault ("" = all)
+  bool unit_keyed = false;       ///< derive actions from hash(seed, site, unit) instead of
+                                 ///< the event counter: schedule-independent, so the same
+                                 ///< units fault on every thread count (recovery tests)
 };
 
 /// Exception thrown by injected faults. Derives from std::runtime_error so
 /// generic catch blocks (opt_tool's top-level handler) treat it uniformly.
+/// Carries the site and the stable unit id so the recovery layer can
+/// quarantine exactly the work item that faulted.
 class FaultInjected : public std::runtime_error {
 public:
-  explicit FaultInjected(const std::string& site)
-      : std::runtime_error("injected fault at " + site) {}
+  explicit FaultInjected(const std::string& site, uint64_t unit = 0)
+      : std::runtime_error("injected fault at " + site), site_(site), unit_(unit) {}
+
+  const std::string& site() const noexcept { return site_; }
+  uint64_t unit() const noexcept { return unit_; }
+
+private:
+  std::string site_;
+  uint64_t unit_;
 };
 
 /// Installs `plan` as the process-global fault plan for its lifetime.
@@ -57,15 +76,29 @@ public:
 
 /// Consult the active plan at an engine injection point. Returns the action
 /// to take; never throws itself. With no active scope: FaultAction::None.
-FaultAction fault_point(const char* site) noexcept;
+/// `unit` is the stable id of the work item (0 when the site has none);
+/// unit-keyed plans hash it in place of the event counter.
+FaultAction fault_point(const char* site, uint64_t unit = 0) noexcept;
 
 /// Convenience wrapper: throws FaultInjected on Throw, returns true when the
 /// caller should pretend its SAT query came back Unknown.
-inline bool fault_unknown(const char* site) {
-  const FaultAction a = fault_point(site);
+inline bool fault_unknown(const char* site, uint64_t unit = 0) {
+  const FaultAction a = fault_point(site, unit);
   if (a == FaultAction::Throw)
-    throw FaultInjected(site);
+    throw FaultInjected(site, unit);
   return a == FaultAction::Unknown;
+}
+
+/// Copy the active plan into `*out`. Returns false (leaving `*out` alone)
+/// when no FaultScope is installed. Used by the recovery layer to record the
+/// live fault schedule into repro bundles.
+bool active_fault_plan(FaultPlan* out) noexcept;
+
+/// Stable FNV-1a hash of a name — the canonical way engines derive unit ids
+/// from wire/cell names (process-independent, so bundles replay anywhere).
+uint64_t stable_name_hash(const char* s) noexcept;
+inline uint64_t stable_name_hash(const std::string& s) noexcept {
+  return stable_name_hash(s.c_str());
 }
 
 } // namespace smartly::util

@@ -57,7 +57,8 @@ public:
       const SigSpec target = eval_lvalue(*lhs);
       const SigSpec value =
           eval_expr(*rhs, nullptr, target.size()).extended(target.size(), false);
-      module_->connect(target, value);
+      if (!direct_drive(target, value))
+        module_->connect(target, value);
     }
 
     for (const AlwaysBlock& blk : ast_.always_blocks)
@@ -90,6 +91,34 @@ private:
         return it->second;
     }
     return SigSpec(w);
+  }
+
+  /// Drive `target` directly with the cell that produced `value`, when
+  /// `value` is exactly the fresh $sig temp of the most recently added cell
+  /// (i.e. the RHS was a single operator expression). Avoids the temp-wire +
+  /// alias-connect pair a plain `connect(target, value)` would leave behind,
+  /// which is what keeps write_verilog -> read_verilog round-trips
+  /// name-stable: each `assign y = <op>` re-elaborates to the same cell
+  /// driving the same named wire, so the recovery layer's name-hash unit ids
+  /// (quarantine keys, fault units) survive repro-bundle replays.
+  bool direct_drive(const SigSpec& target, const SigSpec& value) {
+    if (value.size() != target.size() || value.empty() || !value[0].is_wire())
+      return false;
+    rtlil::Wire* w = value[0].wire;
+    if (w->port_input || w->port_output || !(value == SigSpec(w)))
+      return false;
+    if (w->name().rfind("$sig", 0) != 0)
+      return false;
+    if (module_->wires().empty() || module_->wires().back().get() != w)
+      return false;
+    if (module_->cells().empty())
+      return false;
+    rtlil::Cell* c = module_->cells().back().get();
+    if (!c->has_port(rtlil::Port::Y) || !(c->port(rtlil::Port::Y) == SigSpec(w)))
+      return false;
+    c->set_port(rtlil::Port::Y, target);
+    module_->remove_wire(w);
+    return true;
   }
 
   SigSpec to_bool(const SigSpec& s) {

@@ -20,7 +20,10 @@ namespace detail {
 inline std::string format_parse_error(const std::string& file, int line, int col,
                                       const std::string& message) {
   std::string out = file.empty() ? std::string("<input>") : file;
-  out += ":" + std::to_string(line) + ":" + std::to_string(col) + ": " + message;
+  out += ":" + std::to_string(line);
+  if (col > 0) // elaboration errors track lines only; don't print ":0"
+    out += ":" + std::to_string(col);
+  out += ": " + message;
   return out;
 }
 } // namespace detail

@@ -77,8 +77,11 @@ TEST(WriteVerilog, OptimizedDesignRoundTrips) {
   check_roundtrip(*d);
 }
 
-TEST(WriteVerilog, GeneratedNamesAreSanitized) {
-  // Cell-builder wires have $-names; the writer must emit legal identifiers.
+TEST(WriteVerilog, GeneratedNamesRoundTripVerbatim) {
+  // Cell-builder wires have $-names. The frontend's lexer accepts '$' in
+  // identifiers, so the writer emits them verbatim: name preservation keeps
+  // the recovery layer's name-hash unit ids (quarantine keys, fault units)
+  // stable when a repro bundle's design.v is re-read for --replay.
   rtlil::Design d;
   rtlil::Module* m = d.add_module("top");
   rtlil::Wire* a = m->add_wire("a", 4);
@@ -87,7 +90,27 @@ TEST(WriteVerilog, GeneratedNamesAreSanitized) {
   m->set_port_output(y);
   m->connect(rtlil::SigSpec(y), m->Not(m->Not(rtlil::SigSpec(a))));
   const std::string text = backend::write_verilog(*m);
-  EXPECT_EQ(text.find('$'), std::string::npos) << text;
+  EXPECT_NE(text.find("$sig$0"), std::string::npos) << text;
+  auto back = verilog::read_verilog(text);
+  ASSERT_NE(back->top(), nullptr);
+  EXPECT_TRUE(back->top()->has_wire("$sig$0")) << text;
+  check_roundtrip(d);
+}
+
+TEST(WriteVerilog, KeywordNamesAreRenamed) {
+  // Names the frontend cannot re-read (Verilog keywords) still get fresh
+  // generated names instead of producing unparsable output.
+  rtlil::Design d;
+  rtlil::Module* m = d.add_module("top");
+  rtlil::Wire* a = m->add_wire("a", 4);
+  m->set_port_input(a);
+  rtlil::Wire* kw = m->add_wire("module", 4);
+  rtlil::Wire* y = m->add_wire("y", 4);
+  m->set_port_output(y);
+  m->connect(rtlil::SigSpec(kw), m->Not(rtlil::SigSpec(a)));
+  m->connect(rtlil::SigSpec(y), rtlil::SigSpec(kw));
+  const std::string text = backend::write_verilog(*m);
+  EXPECT_EQ(text.find("wire [3:0] module"), std::string::npos) << text;
   check_roundtrip(d);
 }
 

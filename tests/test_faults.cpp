@@ -35,6 +35,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 using namespace smartly;
@@ -42,10 +43,15 @@ using rtlil::Module;
 
 namespace {
 
-/// CI reruns the suite over fresh schedules by exporting
-/// SMARTLY_FAULT_SEED_OFFSET — it shifts every FaultPlan seed (and the
-/// circuits derived from it) without recompiling.
+/// Set by main() from --seed-offset; 0 means "not given on the command line".
+uint64_t g_cli_seed_offset = 0;
+
+/// CI reruns the suite over fresh schedules by passing `--seed-offset N` (or
+/// exporting SMARTLY_FAULT_SEED_OFFSET; the flag wins) — it shifts every
+/// FaultPlan seed (and the circuits derived from it) without recompiling.
 uint64_t seed_offset() {
+  if (g_cli_seed_offset != 0)
+    return g_cli_seed_offset;
   const char* env = std::getenv("SMARTLY_FAULT_SEED_OFFSET");
   return env != nullptr ? std::strtoull(env, nullptr, 10) : 0;
 }
@@ -368,4 +374,22 @@ TEST(ResourceBudgets, GrowthBudgetStopsRewriteExpansion) {
   rewrite::rewrite_sweep(top, options);
   opt::opt_clean(top);
   expect_equivalent(*golden->top(), top, "rewrite under zero growth cap");
+}
+
+/// Custom main so the seed offset is also reachable as a CLI flag
+/// (`test_faults --seed-offset 1000` or `--seed-offset=1000`) — more
+/// convenient than the env var in ctest invocations and repro one-liners.
+/// Defining main here shadows the one in GTest::gtest_main (the static
+/// library's main object is only pulled in when the symbol is unresolved).
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed-offset") == 0 && i + 1 < argc) {
+      g_cli_seed_offset = std::strtoull(argv[i + 1], nullptr, 10);
+      ++i;
+    } else if (std::strncmp(argv[i], "--seed-offset=", 14) == 0) {
+      g_cli_seed_offset = std::strtoull(argv[i] + 14, nullptr, 10);
+    }
+  }
+  return RUN_ALL_TESTS();
 }

@@ -1,0 +1,144 @@
+// opt_tool exit-code contract (examples/opt_tool.cpp, README "Exit codes"):
+//   0  success
+//   1  parse/usage/IO error (ParseError diagnostics on stderr, file:line:col)
+//   2  CEC miscompare (--check found a real inequivalence)
+//   3  budget exhausted or CEC inconclusive
+//   4  recovered: at least one stage rolled back (quarantine/skip)
+// Severity: 2 > 3 > 4 > 0. The suite drives the real binary; its path comes
+// from $OPT_TOOL (set by CMake to the opt_tool target) with a ./opt_tool
+// fallback for manual runs from the build directory.
+#include "benchgen/random_circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+
+namespace {
+
+std::string tool_path() {
+  const char* env = std::getenv("OPT_TOOL");
+  return env != nullptr ? env : "./opt_tool";
+}
+
+struct RunResult {
+  int exit_code = -1;
+  std::string out;
+  std::string err;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+/// Run `opt_tool <args>`, capturing exit code, stdout and stderr.
+RunResult run_tool(const std::string& args) {
+  const std::string dir = ::testing::TempDir();
+  const std::string out = dir + "opt_tool_cli.out";
+  const std::string err = dir + "opt_tool_cli.err";
+  const std::string cmd = tool_path() + " " + args + " > " + out + " 2> " + err;
+  const int status = std::system(cmd.c_str());
+  RunResult r;
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  r.out = slurp(out);
+  r.err = slurp(err);
+  return r;
+}
+
+/// Write `text` to a fresh file under the test temp dir.
+std::string write_file(const char* name, const std::string& text) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream f(path);
+  f << text;
+  return path;
+}
+
+class OptToolCli : public ::testing::Test {
+protected:
+  void SetUp() override {
+    if (!std::filesystem::exists(tool_path()))
+      GTEST_SKIP() << "opt_tool binary not found at " << tool_path()
+                   << " (set $OPT_TOOL)";
+  }
+};
+
+} // namespace
+
+TEST_F(OptToolCli, CleanRunExitsZero) {
+  const std::string v = write_file("cli_ok.v", smartly::benchgen::random_verilog(1, 6));
+  const RunResult r = run_tool(v + " --check");
+  EXPECT_EQ(r.exit_code, 0) << r.out << r.err;
+  EXPECT_NE(r.out.find("equivalence: PASS"), std::string::npos) << r.out;
+}
+
+TEST_F(OptToolCli, ParseErrorExitsOneWithDiagnostic) {
+  const std::string v = write_file(
+      "cli_bad.v", "module top(a, y);\ninput a;\noutput y;\nassign y = a &&& ;\nendmodule\n");
+  const RunResult r = run_tool(v);
+  EXPECT_EQ(r.exit_code, 1);
+  // The stderr diagnostic is the editor-friendly file:line[:col] form.
+  EXPECT_NE(r.err.find("cli_bad.v:4"), std::string::npos) << r.err;
+}
+
+TEST_F(OptToolCli, UsageErrorExitsOne) {
+  const RunResult r = run_tool("--definitely-not-a-flag");
+  EXPECT_EQ(r.exit_code, 1);
+}
+
+TEST_F(OptToolCli, InjectedMiscompareExitsTwo) {
+  const std::string v = write_file("cli_mc.v", smartly::benchgen::random_verilog(2, 6));
+  const RunResult r = run_tool(v + " --inject-miscompare --check");
+  EXPECT_EQ(r.exit_code, 2) << r.out << r.err;
+  EXPECT_NE(r.out.find("equivalence: FAIL"), std::string::npos) << r.out;
+}
+
+TEST_F(OptToolCli, ExpiredDeadlineExitsThree) {
+  // --deadline-ms 0 guarantees a Deadline trip: the run degrades soundly
+  // (output still equivalent) and reports the budget exit code.
+  const std::string v = write_file("cli_bud.v", smartly::benchgen::random_verilog(3, 6));
+  const RunResult r = run_tool(v + " --deadline-ms 0 --check");
+  EXPECT_EQ(r.exit_code, 3) << r.out << r.err;
+  EXPECT_NE(r.out.find("equivalence: PASS"), std::string::npos) << r.out;
+}
+
+TEST_F(OptToolCli, RecoveryExitsFourAndBundlesReplay) {
+  // Drive unit-keyed fraig faults through --recover until a run recovers,
+  // then replay every bundle it wrote and demand deterministic reproduction.
+  const std::string dir = ::testing::TempDir() + "cli_repro";
+  std::filesystem::remove_all(dir);
+  bool recovered = false;
+  for (uint64_t seed = 1; seed <= 10 && !recovered; ++seed) {
+    const std::string v =
+        write_file("cli_rec.v", smartly::benchgen::random_verilog(seed, 6));
+    const RunResult r = run_tool(v + " --fraig --recover --repro-dir " + dir +
+                                 " --fault-seed " + std::to_string(seed) +
+                                 " --fault-throw 120 --fault-site fraig" +
+                                 " --fault-unit-keyed --check");
+    ASSERT_TRUE(r.exit_code == 0 || r.exit_code == 4) << r.out << r.err;
+    EXPECT_NE(r.out.find("equivalence: PASS"), std::string::npos) << r.out;
+    recovered = r.exit_code == 4;
+  }
+  ASSERT_TRUE(recovered) << "no seed triggered recovery";
+
+  size_t bundles = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    ++bundles;
+    const RunResult r = run_tool("--replay " + entry.path().string());
+    EXPECT_EQ(r.exit_code, 0) << r.out << r.err;
+    EXPECT_NE(r.out.find("REPRODUCED"), std::string::npos) << r.out;
+  }
+  EXPECT_GT(bundles, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(OptToolCli, ReplayOfMissingBundleExitsOne) {
+  const RunResult r = run_tool("--replay " + ::testing::TempDir() + "no-such-bundle");
+  EXPECT_EQ(r.exit_code, 1);
+}
