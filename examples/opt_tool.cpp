@@ -33,6 +33,27 @@
 //     --replay DIR                    re-execute a repro bundle's stage from its
 //                                     recorded design/plan/quarantine; exits 0
 //                                     when the recorded failure reproduces
+//     --serve DIR                     crash-safe service mode: watch DIR/jobs
+//                                     for spooled netlists, run the deep flow on
+//                                     each, publish results to DIR/done (see
+//                                     README "Service mode"; SIGTERM drains and
+//                                     exits 0). --budget-conflicts/--deadline-ms
+//                                     become per-job budgets; --threads sizes
+//                                     the worker pool.
+//     --serve-once                    with --serve: drain the spool, then exit
+//                                     instead of polling (batch mode, tests)
+//     --serve-queue-max N             admission bound per poll cycle; backlog
+//                                     beyond it is shed with an explicit
+//                                     response in DIR/failed (default 64)
+//     --serve-poll-ms N               spool scan interval when idle (default 50)
+//     --serve-crash-threshold N       journal claims before a job is quarantined
+//                                     as a crash looper (default 2; soak runs
+//                                     raise it so random kill timing cannot
+//                                     quarantine healthy jobs)
+//     --serve-crash-after-jobs N      test hook: _exit(137) after N completed
+//                                     jobs (crash-recovery harness)
+//     --serve-crash-snapshot          test hook: tear the next warm-cache
+//                                     snapshot write, then _exit(137)
 //     --gen FAMILY[:N]                optimize a generated benchmark instead of
 //                                     reading Verilog (FAMILY = industrial or a
 //                                     public-suite circuit name; N varies it)
@@ -71,11 +92,13 @@
 #include "opt/opt_muxtree.hpp"
 #include "opt/opt_reduce.hpp"
 #include "opt/pipeline.hpp"
+#include "service/service.hpp"
 #include "util/budget.hpp"
 #include "util/fault.hpp"
 #include "verilog/elaborate.hpp"
 #include "verilog/parse_error.hpp"
 
+#include <csignal>
 #include <cstdlib>
 #include <cstdio>
 #include <cstring>
@@ -88,6 +111,13 @@
 using namespace smartly;
 
 namespace {
+
+/// Set by SIGTERM/SIGINT in --serve mode; OptService polls it between
+/// batches and drains gracefully (finish in-flight jobs, flush the warm
+/// cache, exit 0).
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void serve_stop_handler(int) { g_serve_stop = 1; }
 
 // Exit-code contract (see header comment and README "Exit codes").
 constexpr int kExitOk = 0;
@@ -102,7 +132,8 @@ constexpr int kExitRecovered = 4;
                "[--no-rebuild] [--threads N] [--fraig] [--fraig-pre] [--rewrite] "
                "[--reduce] [--budget-conflicts N] [--deadline-ms N] [--max-growth PCT] "
                "[--recover] [--retries N] [--paranoid] [--repro-dir DIR] "
-               "[--replay DIR] [--gen FAMILY[:N]] "
+               "[--replay DIR] [--serve DIR [--serve-once] [--serve-queue-max N] "
+               "[--serve-poll-ms N]] [--gen FAMILY[:N]] "
                "[--fault-seed N] [--fault-throw PM] [--fault-unknown PM] "
                "[--fault-site SUBSTR] [--fault-unit-keyed] [--inject-miscompare] "
                "[--check] [--stats] [-o out.v] [--write-aiger out.aag] "
@@ -263,7 +294,8 @@ int replay_bundle(const std::string& dir) {
 
 int main(int argc, char** argv) {
   std::string flow = "smartly";
-  std::string path, out_verilog, out_aiger, gen_spec, replay_dir;
+  std::string path, out_verilog, out_aiger, gen_spec, replay_dir, serve_dir;
+  service::ServiceOptions serve_options;
   bool check = false, stats = false, reduce = false, dump = false;
   bool fraig_post = false, fraig_pre = false, rewrite_post = false;
   bool inject_miscompare = false;
@@ -341,6 +373,32 @@ int main(int argc, char** argv) {
       if (++i >= argc)
         usage();
       replay_dir = argv[i];
+    } else if (arg == "--serve") {
+      if (++i >= argc)
+        usage();
+      serve_dir = argv[i];
+    } else if (arg == "--serve-once") {
+      serve_options.drain_and_exit = true;
+    } else if (arg == "--serve-queue-max") {
+      if (++i >= argc)
+        usage();
+      serve_options.queue_max = static_cast<int>(int_flag("--serve-queue-max", i, 1));
+    } else if (arg == "--serve-poll-ms") {
+      if (++i >= argc)
+        usage();
+      serve_options.poll_ms = static_cast<int>(int_flag("--serve-poll-ms", i, 1));
+    } else if (arg == "--serve-crash-threshold") {
+      if (++i >= argc)
+        usage();
+      serve_options.crash_threshold =
+          static_cast<int>(int_flag("--serve-crash-threshold", i, 2));
+    } else if (arg == "--serve-crash-after-jobs") {
+      if (++i >= argc)
+        usage();
+      serve_options.crash_after_jobs =
+          static_cast<uint64_t>(int_flag("--serve-crash-after-jobs", i, 1));
+    } else if (arg == "--serve-crash-snapshot") {
+      serve_options.crash_during_snapshot = true;
     } else if (arg == "--gen") {
       if (++i >= argc)
         usage();
@@ -388,6 +446,16 @@ int main(int argc, char** argv) {
     } else {
       path = arg;
     }
+  }
+
+  if (!serve_dir.empty()) {
+    serve_options.threads = options.threads;
+    serve_options.budgets = budgets; // per-job: each job gets the full allowance
+    serve_options.stop_flag = &g_serve_stop;
+    std::signal(SIGTERM, serve_stop_handler);
+    std::signal(SIGINT, serve_stop_handler);
+    service::OptService daemon(serve_dir, serve_options);
+    return daemon.run();
   }
 
   if (!replay_dir.empty()) {

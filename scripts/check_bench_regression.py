@@ -187,6 +187,25 @@ CHECKS = {
             "total_aig_rewrite": ["total", "aig_rewrite"],
         },
     },
+    # Service mode (bench_service): the crash gauntlet's result set must stay
+    # byte-identical to the uninterrupted run's, nothing may be spuriously
+    # quarantined, the torn snapshot must be recovered from, and the warm
+    # cache must actually serve (hit rate and throughput strictly above
+    # cold). corruption_loss_events counts result files lost or corrupted
+    # across kill -9 restarts; its baseline is zero and must stay there.
+    "service": {
+        "flags": [
+            ["total", "results_match_after_crash"],
+            ["total", "no_spurious_quarantine"],
+            ["total", "snapshot_corruption_recovered"],
+            ["total", "warm_hits_beat_cold"],
+            ["total", "warm_beats_cold"],
+        ],
+        "metrics": {
+            "corruption_loss_events": ["total", "corruption_loss_events"],
+            "jobs_quarantined": ["total", "jobs_quarantined"],
+        },
+    },
 }
 
 

@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# Kill -9 soak for the service daemon (opt_tool --serve).
+#
+# Repeatedly starts the daemon on a spool full of jobs, SIGKILLs it at a
+# random point mid-burst, and restarts it, until the spool drains. Then it
+# verifies the crash-riddled run produced the byte-identical done/ tree of
+# one uninterrupted reference run: no lost jobs, no duplicated or truncated
+# results, nothing spuriously quarantined. This is the same oracle
+# bench_service and tests/test_service.cpp use, but with real SIGKILL
+# timing noise instead of deterministic crash hooks — the two approaches
+# catch different bugs.
+#
+# The crash-loop threshold is raised above the kill budget: every job here
+# is healthy, so any quarantine would be the crash-loop breaker misfiring
+# on kill timing, and the threshold must not be reachable by bad luck.
+#
+# Usage: scripts/service_soak.sh <opt_tool-binary> [jobs] [max-kills]
+set -u
+
+OPT_TOOL=${1:?usage: service_soak.sh <opt_tool-binary> [jobs] [max-kills]}
+JOBS=${2:-24}
+MAX_KILLS=${3:-12}
+
+if [ ! -x "$OPT_TOOL" ]; then
+  echo "service_soak: $OPT_TOOL is not executable" >&2
+  exit 1
+fi
+
+# The work dir is only removed on PASS: after a failure it holds the
+# journals, quarantine bundles, and result trees CI uploads as evidence.
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/service_soak.XXXXXX")
+REF="$WORK/reference"
+SOAK="$WORK/soak"
+mkdir -p "$REF/jobs" "$SOAK/jobs"
+
+# Deterministic job set: muxtree chains with seed-dependent depth and
+# redundancy (the re-tested selects collapse, so every job has real work).
+# Identical files go to both spools; the frontend wants non-ANSI ports.
+gen_job() {
+  depth=$((2 + $1 % 4))
+  echo "module top(a, b, c, s, t, y);"
+  echo "  input a, b, c, s, t;"
+  echo "  output y;"
+  k=0
+  sep="  wire "
+  while [ "$k" -le "$depth" ]; do
+    printf '%sm%d' "$sep" "$k"
+    sep=", "
+    k=$((k + 1))
+  done
+  echo ";"
+  echo "  assign m0 = s ? a : b;"
+  k=1
+  while [ "$k" -le "$depth" ]; do
+    case $((($1 + k) % 3)) in
+    0) echo "  assign m$k = s ? m$((k - 1)) : b;" ;;
+    1) echo "  assign m$k = t ? m$((k - 1)) : c;" ;;
+    2) echo "  assign m$k = s ? a : m$((k - 1));" ;;
+    esac
+    k=$((k + 1))
+  done
+  echo "  assign y = m$depth;"
+  echo "endmodule"
+}
+
+i=0
+while [ "$i" -lt "$JOBS" ]; do
+  name=$(printf 'soak-%03d' "$i")
+  gen_job "$i" >"$REF/jobs/$name.v"
+  cp "$REF/jobs/$name.v" "$SOAK/jobs/$name.v"
+  i=$((i + 1))
+done
+
+SERVE_FLAGS="--serve-once --serve-poll-ms 1 --serve-queue-max $JOBS \
+  --serve-crash-threshold $((MAX_KILLS + 2))"
+
+# Reference: one clean drain.
+if ! "$OPT_TOOL" --serve "$REF" $SERVE_FLAGS >/dev/null 2>&1; then
+  echo "service_soak: reference drain failed" >&2
+  exit 1
+fi
+
+# Soak: drain under repeated SIGKILL. Each round gives the daemon a random
+# 5-50 ms head start before the kill — a full drain takes under ~100 ms on
+# a warm machine, so the window has to be this tight to land mid-burst.
+# Kills that miss (the daemon already drained and exited) don't count; once
+# MAX_KILLS is spent, the remaining rounds run to completion.
+kills=0
+while :; do
+  pending=$(find "$SOAK/jobs" -name '*.v' 2>/dev/null | wc -l)
+  if [ "$pending" -eq 0 ]; then
+    break
+  fi
+  if [ "$kills" -ge "$MAX_KILLS" ]; then
+    "$OPT_TOOL" --serve "$SOAK" $SERVE_FLAGS >/dev/null 2>&1 || {
+      echo "service_soak: final drain failed" >&2
+      exit 1
+    }
+    continue
+  fi
+
+  "$OPT_TOOL" --serve "$SOAK" $SERVE_FLAGS >/dev/null 2>&1 &
+  pid=$!
+  delay_ms=$((5 + RANDOM % 45))
+  sleep "$(awk "BEGIN { printf \"%.3f\", $delay_ms / 1000 }")"
+  if kill -9 "$pid" 2>/dev/null; then
+    kills=$((kills + 1))
+  fi
+  wait "$pid" 2>/dev/null
+done
+
+echo "service_soak: spool drained after $kills SIGKILLs"
+
+# Verdict 1: nothing quarantined — these jobs are healthy.
+quarantined=$(find "$SOAK/quarantine" -name '*.v' 2>/dev/null | wc -l)
+if [ "$quarantined" -ne 0 ]; then
+  echo "service_soak: FAIL — $quarantined healthy job(s) quarantined" >&2
+  exit 1
+fi
+
+# Verdict 2: done/ trees are byte-identical.
+if ! diff -r "$REF/done" "$SOAK/done" >/dev/null 2>&1; then
+  echo "service_soak: FAIL — crash-interrupted results differ from reference:" >&2
+  diff -r "$REF/done" "$SOAK/done" 2>&1 | head -20 >&2
+  exit 1
+fi
+
+count=$(find "$SOAK/done" -name '*.result' | wc -l)
+if [ "$count" -ne "$JOBS" ]; then
+  echo "service_soak: FAIL — expected $JOBS results, found $count" >&2
+  exit 1
+fi
+
+echo "service_soak: PASS — $JOBS jobs byte-identical to reference across $kills kill -9s"
+rm -rf "$WORK"

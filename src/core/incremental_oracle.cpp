@@ -18,6 +18,18 @@ IncrementalOracle::IncrementalOracle(const IncrementalOracleOptions& options)
     : options_(options), solver_(std::make_unique<sat::Solver>()) {
   if (options_.base.guard != nullptr && options_.base.guard->wants_interrupts())
     solver_->set_interrupt_check([g = options_.base.guard] { return g->poll(); });
+  // Every decision-affecting knob is folded into the portable-memo keys:
+  // entries recorded under one configuration must never answer queries made
+  // under another (e.g. a wider sim threshold flips sim-vs-SAT routing).
+  uint64_t salt = hash_mix(0x736d6172746c79ULL); // "smartly"
+  salt = hash_combine(salt, static_cast<uint64_t>(options_.base.subgraph.depth));
+  salt = hash_combine(salt, options_.base.subgraph.relevance_filter ? 1 : 0);
+  salt = hash_combine(salt, static_cast<uint64_t>(options_.base.sim_max_inputs));
+  salt = hash_combine(salt, static_cast<uint64_t>(options_.base.sat_max_inputs));
+  salt = hash_combine(salt, static_cast<uint64_t>(options_.base.sat_conflict_budget));
+  salt = hash_combine(salt, options_.base.use_inference ? 1 : 0);
+  salt = hash_combine(salt, options_.base.use_sat ? 1 : 0);
+  options_salt_ = salt;
 }
 
 IncrementalOracle::~IncrementalOracle() = default;
@@ -276,8 +288,81 @@ void IncrementalOracle::remember_pattern(const ConeEntry& entry,
     patterns_.pop_front();
 }
 
+namespace {
+
+/// Canonical, process-portable fingerprint of one oracle query: the cone's
+/// structure with every bit renamed to a dense first-appearance index, plus
+/// the target's and the known bits' roles and values. Pointer-free and
+/// name-free (names only fix the cell visiting order), so the same cone in
+/// another process — or another design — produces the same key, and two
+/// queries with equal keys are isomorphic and provably share their verdict.
+Hash128 portable_query_key(const Subgraph& sg, const rtlil::SigMap& sigmap, SigBit ctrl,
+                           const std::vector<std::pair<SigBit, bool>>& known,
+                           uint64_t salt) {
+  // Visit cells in name order: SubgraphScratch's cell order is hash-table
+  // noise, and the key must not depend on it. Names are unique per module.
+  std::vector<const Cell*> cells(sg.cells.begin(), sg.cells.end());
+  std::sort(cells.begin(), cells.end(),
+            [](const Cell* a, const Cell* b) { return a->name() < b->name(); });
+
+  std::unordered_map<SigBit, uint64_t> dense;
+  auto id_of = [&](const SigBit& raw) -> uint64_t {
+    const SigBit bit = sigmap(raw);
+    if (!bit.is_wire()) // constants encode by value, disjoint from dense ids
+      return 0x4000000000000000ULL + static_cast<uint64_t>(bit.data);
+    return dense.emplace(bit, dense.size()).first->second;
+  };
+
+  Hash128 h = hash128_combine({salt, hash_mix(salt)}, cells.size());
+  for (const Cell* c : cells) {
+    const rtlil::CellParams& p = c->params();
+    uint64_t ch = hash_combine(0x9d5u, static_cast<uint64_t>(c->type()));
+    ch = hash_combine(ch, static_cast<uint64_t>(p.a_width));
+    ch = hash_combine(ch, static_cast<uint64_t>(p.b_width));
+    ch = hash_combine(ch, static_cast<uint64_t>(p.y_width));
+    ch = hash_combine(ch, static_cast<uint64_t>(p.width));
+    ch = hash_combine(ch, static_cast<uint64_t>(p.s_width));
+    ch = hash_combine(ch, (p.a_signed ? 2u : 0u) | (p.b_signed ? 1u : 0u));
+    for (int pi = 0; pi < rtlil::kPortCount; ++pi) {
+      const rtlil::Port port = static_cast<rtlil::Port>(pi);
+      if (!c->has_port(port))
+        continue;
+      ch = hash_combine(ch, 0x1000u + static_cast<uint64_t>(pi));
+      for (const SigBit& raw : c->port(port))
+        ch = hash_combine(ch, id_of(raw));
+    }
+    h = hash128_combine(h, ch);
+  }
+
+  h = hash128_combine(h, 0xC7A1u); // role separator
+  h = hash128_combine(h, id_of(ctrl));
+  // Pair values with dense ids and sort by id: the pairing survives any
+  // known-map iteration order, and ids are unambiguous within one key.
+  std::vector<std::pair<uint64_t, bool>> kv;
+  kv.reserve(known.size());
+  for (const auto& [bit, value] : known)
+    kv.emplace_back(id_of(bit), value);
+  std::sort(kv.begin(), kv.end());
+  for (const auto& [id, value] : kv)
+    h = hash128_combine(h, id * 2 + (value ? 1 : 0));
+  return h;
+}
+
+} // namespace
+
 CtrlDecision IncrementalOracle::finish(const QueryKey& key, const Subgraph& sg,
-                                       CtrlDecision decision) {
+                                       CtrlDecision decision, bool definitive_unknown) {
+  // Record deterministic verdicts into the persistent memo: Zero/One/DeadPath
+  // always (pure functions of the cone + constraints), Unknown only when the
+  // caller proved it definitively — a guard-halt, fault-injection, or
+  // budget-exhausted Unknown could resolve on a retry and must be recomputed.
+  if (pending_portable_) {
+    pending_portable_ = false;
+    if (decision != CtrlDecision::Unknown || definitive_unknown) {
+      options_.base.memo->insert(portable_key_, decision);
+      ++stats_.portable_inserts;
+    }
+  }
   if (decision_cache_.size() >= options_.decision_cache_max) {
     // Wholesale flush: the support indexes hold ids into this cache, so they
     // go with it (their stale ids would otherwise pin dead memory forever).
@@ -348,6 +433,23 @@ CtrlDecision IncrementalOracle::decide(SigBit ctrl, const KnownMap& known) {
   if (sg.cells.empty())
     return finish(key, sg, CtrlDecision::Unknown);
 
+  // Stage 2b: persistent cross-job memo (service warm cache). The canonical
+  // key renames every cone bit to a dense index, so a hit means some earlier
+  // run — possibly another process — drove an isomorphic cone through the
+  // full pipeline under identical options and got a definitive verdict.
+  if (options_.base.memo != nullptr) {
+    portable_key_ = portable_query_key(sg, index_->sigmap(), ctrl, key.known, options_salt_);
+    CtrlDecision memoized;
+    if (options_.base.memo->lookup(portable_key_, &memoized)) {
+      ++stats_.portable_hits;
+      if (memoized == CtrlDecision::DeadPath)
+        ++stats_.dead_paths;
+      return finish(key, sg, memoized);
+    }
+    ++stats_.portable_misses;
+    pending_portable_ = true;
+  }
+
   // Stage 3: Table I inference rules, one engine reused across queries.
   if (options_.base.use_inference) {
     engine_.reset(sg.cells, index_->sigmap());
@@ -365,7 +467,7 @@ CtrlDecision IncrementalOracle::decide(SigBit ctrl, const KnownMap& known) {
     }
   }
   if (!options_.base.use_sat)
-    return finish(key, sg, CtrlDecision::Unknown);
+    return finish(key, sg, CtrlDecision::Unknown, /*definitive_unknown=*/true);
 
   // Stage 4: AIG cone, served from the content-addressed cache.
   ConeEntry& entry = cone_for(sg, ctrl, known_bits);
@@ -377,7 +479,7 @@ CtrlDecision IncrementalOracle::decide(SigBit ctrl, const KnownMap& known) {
   };
   const auto target_lit = aig_lit_of(ctrl);
   if (!target_lit)
-    return finish(key, sg, CtrlDecision::Unknown);
+    return finish(key, sg, CtrlDecision::Unknown, /*definitive_unknown=*/true);
 
   std::vector<std::pair<aig::Lit, bool>> constraints;
   for (const auto& [bit, value] : key.known) {
@@ -422,21 +524,25 @@ CtrlDecision IncrementalOracle::decide(SigBit ctrl, const KnownMap& known) {
       ++stats_.dead_paths;
       return finish(key, sg, CtrlDecision::DeadPath);
     case sim::Forced::None:
-      return finish(key, sg, CtrlDecision::Unknown);
+      // Exhaustive enumeration proved "not forced": a definitive verdict.
+      return finish(key, sg, CtrlDecision::Unknown, /*definitive_unknown=*/true);
     }
   }
   if (sr.recycled_decisive) {
     // Both polarities witnessed on the current cone: the from-scratch oracle
-    // would reach Unknown through SAT(s=0)/SAT(s=1) both satisfiable.
+    // would reach Unknown through SAT(s=0)/SAT(s=1) both satisfiable. The
+    // witnesses were verified against this very cone, so "not forced" is
+    // proven, not history-dependent — memoizable.
     ++stats_.sim_filter_kills;
     ++stats_.sim_filter_half;
-    return finish(key, sg, CtrlDecision::Unknown);
+    return finish(key, sg, CtrlDecision::Unknown, /*definitive_unknown=*/true);
   }
 
-  // Stage 4b: SAT. Same size threshold as the baseline.
+  // Stage 4b: SAT. Same size threshold as the baseline. (The threshold is in
+  // the key salt, so the skip verdict is deterministic and memoizable.)
   if (n_inputs > options_.base.sat_max_inputs) {
     ++stats_.skipped_too_large;
-    return finish(key, sg, CtrlDecision::Unknown);
+    return finish(key, sg, CtrlDecision::Unknown, /*definitive_unknown=*/true);
   }
 
   // Resource-governed skip, mirroring InferenceOracle::decide exactly (the
@@ -510,19 +616,23 @@ CtrlDecision IncrementalOracle::decide(SigBit ctrl, const KnownMap& known) {
   // budget-exhausted Unknown.
   if (sr.has_witness1) {
     ++stats_.sat_calls_skipped;
-    if (solve_with(false) == sat::Result::Unsat) {
+    const sat::Result r0 = solve_with(false);
+    if (r0 == sat::Result::Unsat) {
       ++stats_.decided_sat;
       return finish(key, sg, CtrlDecision::One);
     }
-    return finish(key, sg, CtrlDecision::Unknown);
+    // Sat: both polarities proven achievable (witness + model) — definitive.
+    // Unknown: the solver gave up on budget — recompute next time.
+    return finish(key, sg, CtrlDecision::Unknown, r0 == sat::Result::Sat);
   }
   if (sr.has_witness0) {
     ++stats_.sat_calls_skipped;
-    if (solve_with(true) == sat::Result::Unsat) {
+    const sat::Result r1 = solve_with(true);
+    if (r1 == sat::Result::Unsat) {
       ++stats_.decided_sat;
       return finish(key, sg, CtrlDecision::Zero);
     }
-    return finish(key, sg, CtrlDecision::Unknown);
+    return finish(key, sg, CtrlDecision::Unknown, r1 == sat::Result::Sat);
   }
 
   const sat::Result r1 = solve_with(true);
@@ -540,7 +650,9 @@ CtrlDecision IncrementalOracle::decide(SigBit ctrl, const KnownMap& known) {
     ++stats_.decided_sat;
     return finish(key, sg, CtrlDecision::One); // s=0 impossible
   }
-  return finish(key, sg, CtrlDecision::Unknown);
+  // Both-Sat is a proven "not forced"; any budget-exhausted Unknown is not.
+  return finish(key, sg, CtrlDecision::Unknown,
+                r1 == sat::Result::Sat && r0 == sat::Result::Sat);
 }
 
 } // namespace smartly::core

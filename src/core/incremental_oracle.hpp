@@ -87,6 +87,9 @@ struct IncrementalOracleStats {
   size_t cells_remapped = 0;      ///< walker mutation/removal notifications
   size_t engine_resets = 0;       ///< persistent solver rebuilds
   size_t dropped_constraints = 0; ///< clause groups retired via ¬activation
+  size_t portable_hits = 0;    ///< persistent-memo hits (service warm cache)
+  size_t portable_misses = 0;  ///< memo consultations that fell through
+  size_t portable_inserts = 0; ///< definitive verdicts recorded into the memo
 };
 
 class IncrementalOracle final : public opt::MuxtreeOracle {
@@ -158,13 +161,26 @@ private:
   void invalidate_decision(uint64_t id);
   void reset_solver();
   void full_reset();
+  /// Cache a decision and return it. `definitive_unknown` marks an Unknown
+  /// that is a pure function of the salted cone (exhaustive sim found no
+  /// forcing, both polarities proved satisfiable, or the query is
+  /// structurally out of scope) — such verdicts go into the portable memo;
+  /// guard-halt, fault-injected, and budget-exhausted Unknowns never do.
   opt::CtrlDecision finish(const QueryKey& key, const Subgraph& sg,
-                           opt::CtrlDecision decision);
+                           opt::CtrlDecision decision, bool definitive_unknown = false);
 
   IncrementalOracleOptions options_;
   IncrementalOracleStats stats_;
 
   void flush_pending_removed();
+
+  /// Portable-memo context of the in-flight decide() call: the canonical key
+  /// (valid when pending_portable_ is set) and the options salt folded into
+  /// every key so entries recorded under different oracle knobs never match.
+  /// decide() is not reentrant, so per-call members are safe.
+  Hash128 portable_key_{};
+  bool pending_portable_ = false;
+  uint64_t options_salt_ = 0;
 
   rtlil::Module* module_ = nullptr;
   const rtlil::NetlistIndex* index_ = nullptr;

@@ -252,6 +252,9 @@ SatRedundancyStats sat_redundancy_parallel(rtlil::Module& module,
     stats.skipped_halt += os.skipped_halt;
     stats.skipped_quarantine += os.skipped_quarantine;
     stats.solver_conflicts += os.solver_conflicts;
+    stats.portable_hits += os.portable_hits;
+    stats.portable_misses += os.portable_misses;
+    stats.portable_inserts += os.portable_inserts;
   }
   stats.walker = sweep.walker;
   return stats;

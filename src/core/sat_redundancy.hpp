@@ -16,6 +16,34 @@
 
 namespace smartly::core {
 
+/// Cross-process decision memo consulted by IncrementalOracle (service warm
+/// cache). Keys are *portable* canonical fingerprints of (cone structure,
+/// target role, known-value assignment) — pure functions of content, no
+/// pointers or process-local state — so an entry written by one daemon run
+/// is sound in the next: a hit replays a decision the full pipeline provably
+/// made on an isomorphic cone under the same constraints and oracle options.
+/// Only verdicts that are deterministic functions of the salted cone are
+/// ever inserted: Zero/One/DeadPath always, and Unknown only when proven
+/// not-forced (exhaustive simulation found no forcing, or both polarities
+/// were shown satisfiable). A guard-halt, fault-injected, or
+/// budget-exhausted Unknown could resolve on a retry and is never inserted.
+///
+/// Implementations must be thread-safe: the parallel sweep engine's
+/// per-region oracles share one memo across workers.
+///
+/// Lockstep caveat: the from-scratch InferenceOracle never consults a memo,
+/// so memo-enabled runs extend the documented budget-edge exception — a hit
+/// can resolve a query whose fresh recomputation would exhaust the per-query
+/// conflict budget into Unknown. The differential gates (bench_oracle) run
+/// memo-less.
+class PortableDecisionMemo {
+public:
+  virtual ~PortableDecisionMemo() = default;
+  /// Returns true and fills `*out` on a hit.
+  virtual bool lookup(const Hash128& key, opt::CtrlDecision* out) const = 0;
+  virtual void insert(const Hash128& key, opt::CtrlDecision decision) = 0;
+};
+
 struct SatRedundancyOptions {
   SubgraphOptions subgraph;     ///< distance k and relevance filter toggle
   int sim_max_inputs = 14;      ///< exhaustive simulation up to 2^14 patterns
@@ -33,6 +61,9 @@ struct SatRedundancyOptions {
   /// sat_redundancy_parallel also forwards the set to the sweep engine for
   /// its "sweep.region"/"sweep.iteration" filters.
   const util::QuarantineSet* quarantine = nullptr;
+  /// Optional persistent cross-job decision memo (not owned; thread-safe).
+  /// Consulted only by IncrementalOracle; see PortableDecisionMemo.
+  PortableDecisionMemo* memo = nullptr;
 };
 
 struct SatRedundancyStats {
@@ -51,6 +82,9 @@ struct SatRedundancyStats {
   size_t skipped_halt = 0;     ///< queries answered Unknown after a halt, unsolved
   size_t skipped_quarantine = 0; ///< queries answered Unknown for a quarantined target
   uint64_t solver_conflicts = 0;
+  size_t portable_hits = 0;    ///< persistent-memo hits (IncrementalOracle only)
+  size_t portable_misses = 0;  ///< memo consultations that fell through
+  size_t portable_inserts = 0; ///< definitive verdicts recorded into the memo
   opt::MuxtreeStats walker;  ///< removal statistics from the shared walker
 };
 

@@ -1,0 +1,159 @@
+#include "service/journal.hpp"
+
+#include "util/atomic_file.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <filesystem>
+#include <sstream>
+#include <unistd.h>
+
+namespace smartly::service {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> JournalState::interrupted() const {
+  std::vector<std::string> out;
+  for (const auto& [name, job] : jobs)
+    if (job.claims > 0 && !job.done && !job.quarantined)
+      out.push_back(name);
+  return out;
+}
+
+JobJournal::~JobJournal() { close(); }
+
+bool JobJournal::open(const std::string& path, std::string* error) {
+  close();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    if (error)
+      *error = "cannot open journal " + path + ": " + std::strerror(errno);
+    return false;
+  }
+  // Make the journal's directory entry durable: a crash right after the
+  // first boot must not lose the file itself.
+  const fs::path dir = fs::path(path).parent_path();
+  const int dfd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return true;
+}
+
+void JobJournal::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool JobJournal::append_line(const std::string& line) {
+  if (fd_ < 0)
+    return false;
+  const char* data = line.data();
+  size_t left = line.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, data, left);
+    if (n < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    data += n;
+    left -= static_cast<size_t>(n);
+  }
+  return ::fsync(fd_) == 0;
+}
+
+bool JobJournal::append_claim(const std::string& job, int attempt) {
+  return append_line("claim " + job + " " + std::to_string(attempt) + "\n");
+}
+
+bool JobJournal::append_done(const std::string& job, const std::string& status) {
+  return append_line("done " + job + " " + status + "\n");
+}
+
+bool JobJournal::append_quarantine(const std::string& job) {
+  return append_line("quarantine " + job + "\n");
+}
+
+bool JobJournal::replay(const std::string& path, JournalState* out, std::string* error) {
+  *out = JournalState{};
+  std::error_code ec;
+  if (!fs::exists(path, ec))
+    return true; // first boot: empty state
+
+  std::string bytes;
+  if (!util::read_file(path, &bytes, error))
+    return false;
+
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    const size_t nl = bytes.find('\n', pos);
+    if (nl == std::string::npos) {
+      // Interrupted append (kill -9 mid-write): the record never became
+      // durable, so its job legitimately replays as claimed-not-done from
+      // the *previous* complete record.
+      out->torn_lines = 1;
+      break;
+    }
+    const std::string line = bytes.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty())
+      continue;
+
+    std::istringstream iss(line);
+    std::string verb, job;
+    iss >> verb >> job;
+    if (job.empty()) {
+      ++out->malformed_lines;
+      continue;
+    }
+    if (verb == "claim") {
+      int attempt = 0;
+      iss >> attempt;
+      if (attempt <= 0) {
+        ++out->malformed_lines;
+        continue;
+      }
+      JournalJob& j = (*out).jobs[job];
+      j.claims = std::max(j.claims, attempt);
+      // A fresh claim supersedes an earlier done record (the job was
+      // resubmitted after completing): replay must treat it as in flight.
+      j.done = false;
+      j.status.clear();
+    } else if (verb == "done") {
+      std::string status;
+      iss >> status;
+      JournalJob& j = (*out).jobs[job];
+      j.done = true;
+      j.status = status;
+    } else if (verb == "quarantine") {
+      (*out).jobs[job].quarantined = true;
+    } else {
+      ++out->malformed_lines;
+    }
+  }
+  return true;
+}
+
+bool JobJournal::compact(const std::string& path, const JournalState& state,
+                         std::string* error) {
+  std::string out;
+  for (const auto& [name, job] : state.jobs) {
+    if (job.quarantined) {
+      out += "quarantine " + name + "\n";
+      continue;
+    }
+    if (job.done)
+      continue; // finished: the result file is the durable record now
+    if (job.claims > 0)
+      out += "claim " + name + " " + std::to_string(job.claims) + "\n";
+  }
+  return util::atomic_write_file(path, out, error);
+}
+
+} // namespace smartly::service

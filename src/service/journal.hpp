@@ -1,0 +1,91 @@
+// Write-ahead job journal for the service daemon.
+//
+// Before a job runs, its claim record is appended to the journal and
+// fsynced; only then does the worker start. If the daemon dies mid-job —
+// kill -9, OOM, power loss — the next startup replays the journal, sees a
+// claim with no matching done record, and requeues the job. A job whose
+// claim count reaches the quarantine threshold without ever completing is
+// the likely culprit for the crashes and is quarantined instead of retried
+// forever (the crash-loop breaker).
+//
+// Format: one record per line, append-only, fsync per append.
+//
+//   claim <job> <attempt>
+//   done <job> <status>        status: ok | failed | shed
+//   quarantine <job>
+//
+// Job names are spool file stems and are validated (job_name_valid) to
+// contain no whitespace, so the line format is unambiguous. Replay is
+// torn-write tolerant: a final line without '\n' is an interrupted append
+// and is ignored (its job simply replays as claimed-not-done, which is
+// exactly what it was); malformed interior lines are counted and skipped,
+// never fatal.
+//
+// On startup the daemon compacts: the replayed state is rewritten as a
+// fresh journal holding only the records that still matter (claims of
+// unfinished jobs, quarantines), via atomic temp+fsync+rename. The journal
+// stays bounded by the live job set instead of growing forever.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace smartly::service {
+
+/// Replayed per-job journal state.
+struct JournalJob {
+  int claims = 0;        ///< claim records seen (max attempt number)
+  bool done = false;     ///< a done record exists
+  bool quarantined = false;
+  std::string status;    ///< status of the done record ("" otherwise)
+};
+
+struct JournalState {
+  std::map<std::string, JournalJob> jobs; ///< ordered: deterministic replay reporting
+  size_t torn_lines = 0;      ///< trailing partial line (0 or 1)
+  size_t malformed_lines = 0; ///< interior lines that failed to parse
+
+  /// Jobs that were claimed but never finished or quarantined — the requeue
+  /// set after a crash. Sorted (map order).
+  std::vector<std::string> interrupted() const;
+};
+
+class JobJournal {
+public:
+  JobJournal() = default;
+  ~JobJournal();
+  JobJournal(const JobJournal&) = delete;
+  JobJournal& operator=(const JobJournal&) = delete;
+
+  /// Open (create if missing) for appending. fsyncs the containing
+  /// directory so the journal file itself survives a crash right after
+  /// creation.
+  bool open(const std::string& path, std::string* error);
+  void close();
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Append + fsync one record. Returns false on any I/O error (the caller
+  /// must not start the job if its claim could not be made durable).
+  bool append_claim(const std::string& job, int attempt);
+  bool append_done(const std::string& job, const std::string& status);
+  bool append_quarantine(const std::string& job);
+
+  /// Parse a journal file into `out`. A missing file yields an empty state
+  /// and returns true (first boot). Only I/O errors return false.
+  static bool replay(const std::string& path, JournalState* out, std::string* error);
+
+  /// Atomically replace the journal at `path` with a compacted rendering of
+  /// `state` (open() it again afterwards). Claims of finished jobs are
+  /// dropped; claim counts of unfinished jobs and quarantine records are
+  /// preserved.
+  static bool compact(const std::string& path, const JournalState& state, std::string* error);
+
+private:
+  bool append_line(const std::string& line);
+
+  int fd_ = -1;
+};
+
+} // namespace smartly::service

@@ -1,0 +1,119 @@
+#include "service/snapshot.hpp"
+
+#include "util/atomic_file.hpp"
+
+#include <cstring>
+#include <filesystem>
+
+namespace smartly::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'M', 'L', 'Y', 'S', 'N', 'A', 'P'};
+constexpr size_t kHeaderSize = 8 + 4 + 8 + 16;
+
+} // namespace
+
+Hash128 payload_checksum(const std::string& payload) {
+  Hash128 h{0x736e6170ULL, hash_mix(0x736e6170ULL)}; // "snap"
+  size_t i = 0;
+  for (; i + 8 <= payload.size(); i += 8) {
+    uint64_t lane;
+    std::memcpy(&lane, payload.data() + i, 8);
+    h = hash128_combine(h, lane);
+  }
+  uint64_t tail = 0;
+  for (size_t j = i; j < payload.size(); ++j)
+    tail = (tail << 8) | static_cast<uint8_t>(payload[j]);
+  // Length is folded in last so payloads differing only by trailing zero
+  // bytes (a classic truncation shape) cannot collide.
+  h = hash128_combine(h, tail);
+  return hash128_combine(h, payload.size());
+}
+
+std::string seal_snapshot(uint32_t version, const std::string& payload) {
+  std::string out;
+  out.reserve(kHeaderSize + payload.size());
+  out.append(kMagic, sizeof(kMagic));
+  put_u32(out, version);
+  put_u64(out, payload.size());
+  const Hash128 sum = payload_checksum(payload);
+  put_u64(out, sum.lo);
+  put_u64(out, sum.hi);
+  out += payload;
+  return out;
+}
+
+bool open_snapshot(const std::string& bytes, uint32_t expected_version, std::string* payload,
+                   std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error)
+      *error = what;
+    return false;
+  };
+  if (bytes.size() < kHeaderSize)
+    return fail("snapshot is " + std::to_string(bytes.size()) +
+                " bytes, smaller than the " + std::to_string(kHeaderSize) +
+                "-byte header — truncated");
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+    return fail("bad snapshot magic — not a SMLYSNAP file");
+  ByteReader r(bytes);
+  r.pos = sizeof(kMagic);
+  const uint32_t version = r.u32();
+  const uint64_t declared = r.u64();
+  Hash128 declared_sum;
+  declared_sum.lo = r.u64();
+  declared_sum.hi = r.u64();
+  if (version != expected_version)
+    return fail("snapshot version " + std::to_string(version) + " (this build reads " +
+                std::to_string(expected_version) + ") — refusing to mix formats");
+  const uint64_t present = bytes.size() - kHeaderSize;
+  if (declared != present)
+    return fail("snapshot declares " + std::to_string(declared) + " payload bytes but " +
+                std::to_string(present) + " are present — truncated or overgrown");
+  const std::string body = bytes.substr(kHeaderSize);
+  const Hash128 actual = payload_checksum(body);
+  if (actual != declared_sum)
+    return fail("snapshot checksum mismatch — payload bytes are corrupt");
+  *payload = body;
+  return true;
+}
+
+bool store_snapshot_file(const std::string& path, uint32_t version, const std::string& payload,
+                         std::string* error) {
+  return util::atomic_write_file(path, seal_snapshot(version, payload), error);
+}
+
+bool load_snapshot_file(const std::string& path, uint32_t expected_version, std::string* payload,
+                        std::string* error, bool* quarantined_aside) {
+  if (quarantined_aside)
+    *quarantined_aside = false;
+  std::error_code ec;
+  if (!fs::exists(path, ec)) {
+    if (error)
+      error->clear(); // cold start: absence is not damage
+    return false;
+  }
+  std::string bytes;
+  std::string read_error;
+  if (!util::read_file(path, &bytes, &read_error)) {
+    if (error)
+      *error = read_error;
+    return false;
+  }
+  std::string open_error;
+  if (open_snapshot(bytes, expected_version, payload, &open_error))
+    return true;
+  // Damaged: move the evidence aside so the rebuild can't be poisoned again
+  // next startup, but never delete it (it is the bug report).
+  fs::rename(path, path + ".corrupt", ec);
+  if (quarantined_aside)
+    *quarantined_aside = !ec;
+  if (error)
+    *error = open_error;
+  return false;
+}
+
+} // namespace smartly::service

@@ -1,0 +1,141 @@
+#include "service/spool.hpp"
+
+#include "util/atomic_file.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+namespace smartly::service {
+
+namespace fs = std::filesystem;
+
+SpoolPaths SpoolPaths::at(const std::string& root) {
+  SpoolPaths p;
+  p.root = root;
+  p.jobs = root + "/jobs";
+  p.done = root + "/done";
+  p.failed = root + "/failed";
+  p.quarantine = root + "/quarantine";
+  p.cache = root + "/cache";
+  p.tmp = root + "/tmp";
+  return p;
+}
+
+bool SpoolPaths::ensure(std::string* error) const {
+  std::error_code ec;
+  for (const std::string* dir : {&root, &jobs, &done, &failed, &quarantine, &cache, &tmp}) {
+    fs::create_directories(*dir, ec);
+    if (ec) {
+      if (error)
+        *error = "cannot create " + *dir + ": " + ec.message();
+      return false;
+    }
+  }
+  // Stale staging files are dead clients' half-writes; stale atomic-write
+  // temps are our own interrupted renames. Both are garbage after a crash.
+  for (const auto& entry : fs::directory_iterator(tmp, ec))
+    fs::remove(entry.path(), ec);
+  util::remove_stale_temp_files(done);
+  util::remove_stale_temp_files(cache);
+  return true;
+}
+
+bool job_name_valid(const std::string& name) {
+  if (name.empty() || name.size() > 128 || name[0] == '.')
+    return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok)
+      return false;
+  }
+  return true;
+}
+
+bool submit_job(const SpoolPaths& paths, const std::string& name, const std::string& verilog,
+                std::string* error) {
+  if (!job_name_valid(name)) {
+    if (error)
+      *error = "invalid job name: " + name;
+    return false;
+  }
+  const std::string staged = paths.tmp + "/" + name + ".v";
+  if (!util::atomic_write_file(staged, verilog, error))
+    return false;
+  std::error_code ec;
+  fs::rename(staged, paths.jobs + "/" + name + ".v", ec);
+  if (ec) {
+    if (error)
+      *error = "cannot submit " + name + ": " + ec.message();
+    fs::remove(staged, ec);
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+std::vector<std::string> list_stems(const std::string& dir, const std::string& extension) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec))
+      continue;
+    const fs::path& p = entry.path();
+    if (p.extension() != extension)
+      continue;
+    const std::string stem = p.stem().string();
+    if (job_name_valid(stem))
+      out.push_back(stem);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+} // namespace
+
+std::vector<std::string> list_jobs(const SpoolPaths& paths) {
+  return list_stems(paths.jobs, ".v");
+}
+
+std::vector<std::string> list_done(const SpoolPaths& paths) {
+  return list_stems(paths.done, ".result");
+}
+
+bool write_result(const SpoolPaths& paths, const std::string& name, const std::string& verilog,
+                  const std::string& manifest, std::string* error) {
+  // Netlist first, manifest last: a .result file commits the pair, so a
+  // crash between the two writes leaves a harmless orphan .v that the next
+  // run simply overwrites.
+  if (!util::atomic_write_file(paths.done + "/" + name + ".v", verilog, error))
+    return false;
+  if (!util::atomic_write_file(paths.done + "/" + name + ".result", manifest, error))
+    return false;
+  std::error_code ec;
+  fs::remove(paths.jobs + "/" + name + ".v", ec);
+  return true;
+}
+
+bool write_failure(const SpoolPaths& paths, const std::string& name, const std::string& reason,
+                   std::string* error) {
+  if (!util::atomic_write_file(paths.failed + "/" + name + ".error", reason + "\n", error))
+    return false;
+  std::error_code ec;
+  fs::rename(paths.jobs + "/" + name + ".v", paths.failed + "/" + name + ".v", ec);
+  if (ec)
+    fs::remove(paths.jobs + "/" + name + ".v", ec); // already moved/gone: fine
+  return true;
+}
+
+bool quarantine_job(const SpoolPaths& paths, const std::string& name, std::string* error) {
+  std::error_code ec;
+  fs::rename(paths.jobs + "/" + name + ".v", paths.quarantine + "/" + name + ".v", ec);
+  if (ec && !fs::exists(paths.quarantine + "/" + name + ".v")) {
+    if (error)
+      *error = "cannot quarantine " + name + ": " + ec.message();
+    return false;
+  }
+  return true;
+}
+
+} // namespace smartly::service

@@ -1,0 +1,76 @@
+// Spool-directory job intake for the service daemon.
+//
+// Layout under the service root:
+//
+//   jobs/        incoming work: <name>.v, atomically renamed in by clients
+//   done/        results: <name>.v (optimized netlist) + <name>.result
+//                (key=value manifest, written last as the commit record)
+//   failed/      jobs that exhausted their retries: <name>.v + <name>.error
+//   quarantine/  crash-looping jobs moved aside with their repro bundles
+//   cache/       warm-cache snapshot, job journal, service_stats.json
+//   tmp/         client staging area for atomic submission
+//
+// The rename-into-jobs/ protocol is what makes intake crash-safe from both
+// sides: a client that dies mid-write leaves garbage in tmp/ (swept at
+// startup), never a half job in jobs/; the daemon only ever sees complete
+// files. Results follow the same discipline — done/<name>.result is written
+// after done/<name>.v, so a .result file's existence proves the full pair
+// is present.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace smartly::service {
+
+struct SpoolPaths {
+  std::string root;
+  std::string jobs;
+  std::string done;
+  std::string failed;
+  std::string quarantine;
+  std::string cache;
+  std::string tmp;
+
+  static SpoolPaths at(const std::string& root);
+
+  std::string journal_path() const { return cache + "/journal.log"; }
+  std::string warm_cache_path() const { return cache + "/warm_cache.snap"; }
+  std::string stats_path() const { return root + "/service_stats.json"; }
+  std::string quarantine_set_path() const { return cache + "/quarantine.txt"; }
+
+  /// Create every directory (idempotent) and sweep stale tmp/staging files.
+  bool ensure(std::string* error) const;
+};
+
+/// Valid job names are non-empty, at most 128 chars, and use only
+/// [A-Za-z0-9._-] with no leading dot — safe as file stems and as
+/// whitespace-free journal tokens.
+bool job_name_valid(const std::string& name);
+
+/// Client side: atomically submit `verilog` as jobs/<name>.v (staged in
+/// tmp/, then renamed). Used by bench_service, tests, and scripts.
+bool submit_job(const SpoolPaths& paths, const std::string& name, const std::string& verilog,
+                std::string* error);
+
+/// Sorted stems of jobs/*.v with valid names. Sorted so intake order is
+/// deterministic regardless of directory enumeration order.
+std::vector<std::string> list_jobs(const SpoolPaths& paths);
+
+/// Sorted stems of done/*.result (completed jobs).
+std::vector<std::string> list_done(const SpoolPaths& paths);
+
+/// Daemon side: publish a result. Writes done/<name>.v then done/<name>.result
+/// (both atomic; the manifest is the commit record) and removes jobs/<name>.v.
+bool write_result(const SpoolPaths& paths, const std::string& name, const std::string& verilog,
+                  const std::string& manifest, std::string* error);
+
+/// Daemon side: move jobs/<name>.v to failed/<name>.v and record the reason
+/// in failed/<name>.error.
+bool write_failure(const SpoolPaths& paths, const std::string& name, const std::string& reason,
+                   std::string* error);
+
+/// Daemon side: move jobs/<name>.v into quarantine/ (crash-loop breaker).
+bool quarantine_job(const SpoolPaths& paths, const std::string& name, std::string* error);
+
+} // namespace smartly::service

@@ -1,0 +1,122 @@
+#include "util/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace smartly::util {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void set_error(std::string* error, const std::string& what) {
+  if (error)
+    *error = what + ": " + std::strerror(errno);
+}
+
+/// fsync a directory so a rename inside it is durable. Best-effort: some
+/// filesystems refuse O_DIRECTORY fsync; a failure here is not a data-loss
+/// hazard for the file contents themselves (those were fsynced), so it is
+/// deliberately not propagated.
+void fsync_dir(const fs::path& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0)
+    return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+} // namespace
+
+bool atomic_write_file(const std::string& path, const std::string& data,
+                       std::string* error) {
+  const fs::path target(path);
+  const fs::path dir = target.parent_path().empty() ? fs::path(".") : target.parent_path();
+  const std::string tmp =
+      (dir / (target.filename().string() + ".tmp." + std::to_string(::getpid()))).string();
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    set_error(error, "cannot create " + tmp);
+    return false;
+  }
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR)
+        continue;
+      set_error(error, "write to " + tmp + " failed");
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    set_error(error, "fsync of " + tmp + " failed");
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::close(fd) != 0) {
+    set_error(error, "close of " + tmp + " failed");
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    set_error(error, "rename " + tmp + " -> " + path + " failed");
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  fsync_dir(dir);
+  return true;
+}
+
+bool read_file(const std::string& path, std::string* out, std::string* error) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    if (error)
+      *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  if (f.bad()) {
+    if (error)
+      *error = "read of " + path + " failed";
+    return false;
+  }
+  *out = ss.str();
+  return true;
+}
+
+int remove_stale_temp_files(const std::string& dir) {
+  std::error_code ec;
+  int removed = 0;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end; it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    const size_t pos = name.rfind(".tmp.");
+    if (pos == std::string::npos)
+      continue;
+    // Require a purely numeric pid suffix so user files named "*.tmp.*"
+    // with arbitrary suffixes are left alone.
+    const std::string suffix = name.substr(pos + 5);
+    if (suffix.empty() ||
+        suffix.find_first_not_of("0123456789") != std::string::npos)
+      continue;
+    std::error_code rm_ec;
+    if (fs::remove(it->path(), rm_ec))
+      ++removed;
+  }
+  return removed;
+}
+
+} // namespace smartly::util

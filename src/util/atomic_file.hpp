@@ -1,0 +1,34 @@
+// Crash-safe file writes: temp + fsync + rename.
+//
+// Everything the service layer persists (journal compactions, cache
+// snapshots, job results, repro bundles) goes through atomic_write_file so a
+// kill -9 at any instant leaves either the old file or the new file, never a
+// torn hybrid. The temp file lives next to the target (same filesystem, so
+// rename() is atomic) and carries the writer's pid, so two daemons pointed
+// at the same directory cannot clobber each other's in-flight writes.
+// Stray ".tmp.<pid>" files from a crashed writer are inert; callers that own
+// a directory can sweep them with remove_stale_temp_files at startup.
+#pragma once
+
+#include <string>
+
+namespace smartly::util {
+
+/// Write `data` to `path` atomically (temp file + fsync + rename). Returns
+/// false and fills `*error` (when non-null) on any failure; the target is
+/// untouched in that case. Durability: the data is fsynced before the
+/// rename, and the containing directory is fsynced after it, so a crash
+/// after return cannot lose the file.
+bool atomic_write_file(const std::string& path, const std::string& data,
+                       std::string* error = nullptr);
+
+/// Read a whole file. Returns false and fills `*error` (when non-null) when
+/// the file cannot be opened or read.
+bool read_file(const std::string& path, std::string* out, std::string* error = nullptr);
+
+/// Delete leftover atomic_write_file temp files ("<name>.tmp.<pid>") in
+/// `dir`. Safe to call on a live spool: only files matching the temp-name
+/// pattern are touched. Returns the number removed.
+int remove_stale_temp_files(const std::string& dir);
+
+} // namespace smartly::util

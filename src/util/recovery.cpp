@@ -1,5 +1,7 @@
 #include "util/recovery.hpp"
 
+#include "util/atomic_file.hpp"
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -88,6 +90,10 @@ namespace {
 std::string manifest_text(const ReproBundle& b) {
   std::ostringstream out;
   out << "stage=" << b.stage << "\n";
+  // Lets the reader detect a truncated/tampered design.v: both files are
+  // written atomically, but a bundle can still be damaged after the fact
+  // (partial copy, disk corruption), and --replay must refuse it cleanly.
+  out << "design.bytes=" << b.design_verilog.size() << "\n";
   out << "reason=" << b.reason << "\n";
   out << "site=" << b.site << "\n";
   char buf[32];
@@ -106,6 +112,10 @@ std::string manifest_text(const ReproBundle& b) {
     out << "plan.site_filter=" << b.plan.site_filter << "\n";
     out << "plan.unit_keyed=" << (b.plan.unit_keyed ? 1 : 0) << "\n";
   }
+  // End marker, always last: a manifest without it was truncated mid-write
+  // (or mid-copy) and the reader rejects it with a diagnostic instead of
+  // silently replaying half a bundle.
+  out << "manifest.end=1\n";
   return out.str();
 }
 
@@ -158,22 +168,14 @@ std::string write_repro_bundle(const std::string& dir, const ReproBundle& bundle
   fs::create_directories(bdir, ec);
   if (ec)
     return "";
-  {
-    std::ofstream f(bdir / "design.v", std::ios::binary);
-    if (!f)
-      return "";
-    f << bundle.design_verilog;
-    if (!f.good())
-      return "";
-  }
-  {
-    std::ofstream f(bdir / "manifest.txt", std::ios::binary);
-    if (!f)
-      return "";
-    f << manifest_text(bundle);
-    if (!f.good())
-      return "";
-  }
+  // Atomic temp+fsync+rename writes, design first and manifest last: the
+  // manifest is the commit record, so a crash at any point leaves either no
+  // manifest (bundle ignored) or a complete pair — never a half bundle that
+  // --replay chokes on.
+  if (!atomic_write_file((bdir / "design.v").string(), bundle.design_verilog))
+    return "";
+  if (!atomic_write_file((bdir / "manifest.txt").string(), manifest_text(bundle)))
+    return "";
   return bdir.string();
 }
 
@@ -196,6 +198,9 @@ bool read_repro_bundle(const std::string& bundle_dir, ReproBundle* out, std::str
     return false;
   }
   bool saw_stage = false;
+  bool saw_end = false;
+  bool have_design_bytes = false;
+  unsigned long long design_bytes = 0;
   std::string line;
   while (std::getline(manifest, line)) {
     if (!line.empty() && line.back() == '\r')
@@ -209,12 +214,34 @@ bool read_repro_bundle(const std::string& bundle_dir, ReproBundle* out, std::str
       return false;
     }
     const std::string key = line.substr(0, eq);
-    apply_manifest_line(key, line.substr(eq + 1), out);
+    const std::string value = line.substr(eq + 1);
+    if (key == "design.bytes") {
+      design_bytes = std::strtoull(value.c_str(), nullptr, 10);
+      have_design_bytes = true;
+    } else if (key == "manifest.end") {
+      saw_end = true;
+    } else {
+      apply_manifest_line(key, value, out);
+    }
     saw_stage = saw_stage || key == "stage";
   }
   if (!saw_stage) {
     if (error)
       *error = "manifest.txt has no stage= line";
+    return false;
+  }
+  if (!saw_end) {
+    if (error)
+      *error = "truncated manifest.txt (missing manifest.end marker) — the "
+               "bundle is incomplete; re-run the producing command or restore "
+               "the bundle from the CI artifact";
+    return false;
+  }
+  if (have_design_bytes && design_bytes != out->design_verilog.size()) {
+    if (error)
+      *error = "design.v is " + std::to_string(out->design_verilog.size()) +
+               " bytes but the manifest recorded " + std::to_string(design_bytes) +
+               " — the bundle's design file is truncated or corrupt";
     return false;
   }
   return true;

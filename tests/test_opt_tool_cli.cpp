@@ -142,3 +142,38 @@ TEST_F(OptToolCli, ReplayOfMissingBundleExitsOne) {
   const RunResult r = run_tool("--replay " + ::testing::TempDir() + "no-such-bundle");
   EXPECT_EQ(r.exit_code, 1);
 }
+
+TEST_F(OptToolCli, ServeOnceDrainsSpoolAndExitsZero) {
+  // The service-mode CLI contract: --serve DIR --serve-once creates the
+  // spool layout, optimizes every pending job, publishes done/<job>.v plus
+  // the .result manifest, and exits 0 on a clean drain.
+  const std::string root = ::testing::TempDir() + "opt-tool-serve-" +
+                           std::to_string(::getpid());
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root + "/jobs");
+  {
+    std::ofstream f(root + "/jobs/cli-job.v");
+    f << "module top(a, b, s, y);\n"
+         "  input a, b, s;\n"
+         "  output y;\n"
+         "  wire n1;\n"
+         "  assign n1 = s ? a : b;\n"
+         "  assign y = s ? n1 : b;\n"
+         "endmodule\n";
+  }
+
+  const RunResult r = run_tool("--serve " + root + " --serve-once --serve-poll-ms 1");
+  EXPECT_EQ(r.exit_code, 0) << r.out << r.err;
+  EXPECT_TRUE(std::filesystem::exists(root + "/done/cli-job.v"));
+  const std::string manifest = slurp(root + "/done/cli-job.result");
+  EXPECT_NE(manifest.find("job=cli-job"), std::string::npos) << manifest;
+  EXPECT_NE(manifest.find("status=ok"), std::string::npos) << manifest;
+  EXPECT_TRUE(std::filesystem::exists(root + "/service_stats.json"));
+  EXPECT_TRUE(std::filesystem::exists(root + "/cache/warm_cache.snap"));
+  std::filesystem::remove_all(root);
+}
+
+TEST_F(OptToolCli, ServeWithoutDirectoryArgExitsOne) {
+  const RunResult r = run_tool("--serve");
+  EXPECT_EQ(r.exit_code, 1);
+}

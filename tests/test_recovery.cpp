@@ -106,6 +106,74 @@ TEST(QuarantineSet, AddContainsAndSortedSerialization) {
   EXPECT_TRUE(back.contains("fraig.solve", 0x2a));
 }
 
+TEST(QuarantineSet, SerializeParseRoundTripsRandomSets) {
+  // Property check over seeded random sets: parse(serialize(q)) must
+  // reproduce q exactly — the service daemon persists the set through this
+  // path on every quarantine, so a lossy round trip silently un-quarantines
+  // crash loopers after a restart.
+  Rng rng(0x5e7c0de);
+  const char* sites[] = {"fraig.solve", "sweep.region", "rewrite.cut", "service.job"};
+  for (int round = 0; round < 50; ++round) {
+    util::QuarantineSet q;
+    const int n = static_cast<int>(rng.range(0, 12));
+    for (int i = 0; i < n; ++i)
+      q.add(sites[rng.below(4)], rng.next());
+
+    const std::string text = q.serialize();
+    const util::QuarantineSet back = util::QuarantineSet::parse(text);
+    EXPECT_EQ(back.serialize(), text) << "round " << round;
+    EXPECT_EQ(back.size(), q.size()) << "round " << round;
+    for (const auto& [site, unit] : q.entries())
+      EXPECT_TRUE(back.contains(site.c_str(), unit)) << "round " << round;
+  }
+}
+
+TEST(QuarantineSet, ParseToleratesMalformedInput) {
+  // The on-disk file is evidence, not trusted input: damaged fragments are
+  // dropped, valid ones survive, and nothing throws.
+  struct Case {
+    const char* text;
+    size_t survivors;
+  };
+  const Case cases[] = {
+      {"", 0},
+      {",,,", 0},
+      {"nocolon", 0},
+      {":2a", 0},                          // empty site
+      {"site:", 0},                        // empty unit
+      {"site:zzzz", 0},                    // non-hex unit
+      {"a:1,b:nothex,c:2", 2},             // damage in the middle
+      {"a:1,a:1,a:1", 1},                  // duplicates collapse
+      {"fraig.solve:2a,sweep.region:1", 2} // fully valid control
+  };
+  for (const Case& c : cases) {
+    const util::QuarantineSet q = util::QuarantineSet::parse(c.text);
+    EXPECT_EQ(q.size(), c.survivors) << "input: " << c.text;
+    // Whatever survived must re-serialize stably (idempotent fixpoint).
+    EXPECT_EQ(util::QuarantineSet::parse(q.serialize()).serialize(), q.serialize())
+        << "input: " << c.text;
+  }
+}
+
+TEST(QuarantineSet, ParseFuzzNeverThrowsAndReachesFixpoint) {
+  // Byte-level fuzz of the parser with seed-stable garbage: arbitrary
+  // bytes must never throw, and one parse+serialize pass must reach the
+  // canonical form (parsing the output changes nothing).
+  Rng rng(0xfadedbed);
+  const char alphabet[] = "abc.:,0123456789xyzABC \t\n-_";
+  for (int round = 0; round < 200; ++round) {
+    std::string text;
+    const int len = static_cast<int>(rng.range(0, 64));
+    for (int i = 0; i < len; ++i)
+      text.push_back(alphabet[rng.below(sizeof(alphabet) - 1)]);
+
+    const util::QuarantineSet q = util::QuarantineSet::parse(text);
+    const std::string canon = q.serialize();
+    EXPECT_EQ(util::QuarantineSet::parse(canon).serialize(), canon)
+        << "round " << round << " input: " << text;
+  }
+}
+
 // --- StageTransaction: the rollback primitive -------------------------------
 
 TEST(StageTransaction, RollbackIsByteIdentical) {
