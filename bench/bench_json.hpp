@@ -6,6 +6,9 @@
 
 #include "benchgen/public_bench.hpp"
 #include "core/mux_restructure.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "opt/opt_clean.hpp"
 #include "opt/opt_expr.hpp"
 #include "opt/pipeline.hpp"
@@ -164,5 +167,45 @@ inline std::string json_array(const std::vector<std::string>& elements) {
   }
   return out + "]";
 }
+
+/// Render the shared `obs` block every BENCH_*.json carries: per-stage
+/// wall/cpu seconds from the bench's StageProfile plus a snapshot of the
+/// process-global metrics registry. Timings and scheduling-dependent
+/// counters (pool.*) are observability output — check_bench_regression.py
+/// gates the block's *schema*, never its timing values.
+inline std::string obs_json(const obs::StageProfile& profile) {
+  std::vector<std::string> stages;
+  for (const obs::StageTiming& s : profile.stages()) {
+    JsonObject o;
+    o.put("name", s.name).putf("wall_seconds", s.wall_seconds).putf("cpu_seconds",
+                                                                    s.cpu_seconds);
+    stages.push_back(o.str());
+  }
+  JsonObject counters;
+  for (const auto& [name, value] : obs::Registry::global().snapshot())
+    counters.put_raw(name.c_str(), std::to_string(value));
+  JsonObject o;
+  o.put_raw("stages", json_array(stages)).put_raw("counters", counters.str());
+  return o.str();
+}
+
+/// Shared --trace-out handling for the bench binaries: arm tracing when a
+/// path was given, and write the Chrome trace on scope exit (after the
+/// bench's root span has closed — declare the root Span after this).
+struct TraceOutput {
+  std::string path;
+  void arm(const std::string& p) {
+    path = p;
+    if (!path.empty())
+      obs::set_tracing(true);
+  }
+  ~TraceOutput() {
+    if (path.empty())
+      return;
+    std::string err;
+    if (!obs::write_chrome_trace(path, &err))
+      std::fprintf(stderr, "bench: --trace-out: %s\n", err.c_str());
+  }
+};
 
 } // namespace smartly::benchjson

@@ -156,7 +156,7 @@ void print_json_row(const Row& r, bool last) {
 
 int main(int argc, char** argv) {
   bool smoke = false, json = false;
-  std::string filter;
+  std::string filter, trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0)
       smoke = true;
@@ -168,6 +168,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       filter = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_oracle: --trace-out requires a value\n");
+        return 2;
+      }
+      trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
       std::printf(
           "usage: bench_oracle [--smoke] [--json] [--filter <substr>]\n"
@@ -180,7 +186,8 @@ int main(int argc, char** argv) {
           "  --json             emit the JSON document instead of the human table\n"
           "  --filter <substr>  run only circuits whose name contains <substr>\n"
           "                     (industrial runs dominate a full run; e.g.\n"
-          "                     --filter industrial or --filter tv80)\n");
+          "                     --filter industrial or --filter tv80)\n"
+          "  --trace-out FILE   write a Chrome trace-event JSON of the run\n");
       return 0;
     } else {
       std::fprintf(stderr, "bench_oracle: unknown option '%s' (try --help)\n", argv[i]);
@@ -204,11 +211,20 @@ int main(int argc, char** argv) {
   }
   benchjson::apply_name_filter(circuits, filter, "bench_oracle");
 
+  benchjson::TraceOutput trace_output;
+  trace_output.arm(trace_path);
+  const obs::Span root_span("bench", "bench_oracle");
+  obs::StageProfile profile;
+
   util::ResourceGuard guard; // unbudgeted: the resource block reports charged totals
   std::vector<Row> rows;
   rows.reserve(circuits.size());
   for (const auto& c : circuits) {
-    rows.push_back(run_circuit(c, guard));
+    {
+      const auto stage = profile.scope(c.name);
+      const obs::Span span("bench", c.name);
+      rows.push_back(run_circuit(c, guard));
+    }
     if (!json) {
       const Row& r = rows.back();
       std::printf("%-16s %6zu queries  base %.4fs  incr %.4fs  speedup %5.2fx  "
@@ -251,10 +267,11 @@ int main(int argc, char** argv) {
     std::printf("  ],\n  \"total\": {\"queries\": %zu, \"baseline_seconds\": %.4f, "
                 "\"incremental_seconds\": %.4f, \"speedup\": %.3f, "
                 "\"baseline_pass_seconds\": %.4f, \"incremental_pass_seconds\": %.4f, "
-                "\"pass_speedup\": %.3f},\n  \"resource\": %s\n}\n",
+                "\"pass_speedup\": %.3f},\n  \"resource\": %s,\n  \"obs\": %s\n}\n",
                 total_queries, total_base, total_incr, ratio(total_base, total_incr),
                 total_base_pass, total_incr_pass, ratio(total_base_pass, total_incr_pass),
-                benchjson::resource_json(guard.report()).c_str());
+                benchjson::resource_json(guard.report()).c_str(),
+                benchjson::obs_json(profile).c_str());
   } else {
     std::printf("\nTotal: %zu queries, baseline %.4fs, incremental %.4fs, speedup %.2fx "
                 "(oracle trajectory: 2.7x)\n"

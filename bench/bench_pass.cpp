@@ -162,14 +162,15 @@ void print_json_row(const Row& r, bool last) {
 
 int main(int argc, char** argv) {
   bool smoke = false, json = false;
-  std::string filter;
+  std::string filter, trace_path;
   std::vector<int> thread_counts;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0)
       smoke = true;
     else if (std::strcmp(argv[i], "--json") == 0)
       json = true;
-    else if (std::strcmp(argv[i], "--filter") == 0 || std::strcmp(argv[i], "--threads") == 0) {
+    else if (std::strcmp(argv[i], "--filter") == 0 || std::strcmp(argv[i], "--threads") == 0 ||
+             std::strcmp(argv[i], "--trace-out") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "bench_pass: %s requires a value\n", argv[i]);
         return 2;
@@ -178,10 +179,14 @@ int main(int argc, char** argv) {
         filter = argv[++i];
         continue;
       }
+      if (std::strcmp(argv[i], "--trace-out") == 0) {
+        trace_path = argv[++i];
+        continue;
+      }
       thread_counts = benchjson::parse_thread_counts(argv[++i], "bench_pass");
     } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
       std::printf("usage: bench_pass [--smoke] [--json] [--filter <substr>] "
-                  "[--threads <csv, default 1,2,4,8>]\n");
+                  "[--threads <csv, default 1,2,4,8>] [--trace-out FILE]\n");
       return 0;
     } else {
       std::fprintf(stderr, "bench_pass: unknown option '%s' (try --help)\n", argv[i]);
@@ -206,11 +211,20 @@ int main(int argc, char** argv) {
   }
   benchjson::apply_name_filter(circuits, filter, "bench_pass");
 
+  benchjson::TraceOutput trace_output;
+  trace_output.arm(trace_path);
+  const obs::Span root_span("bench", "bench_pass");
+  obs::StageProfile profile;
+
   util::ResourceGuard guard; // unbudgeted: the resource block reports charged totals
   std::vector<Row> rows;
   rows.reserve(circuits.size());
   for (const auto& c : circuits) {
-    rows.push_back(run_circuit(c, thread_counts, guard));
+    {
+      const auto stage = profile.scope(c.name);
+      const obs::Span span("bench", c.name);
+      rows.push_back(run_circuit(c, thread_counts, guard));
+    }
     if (!json) {
       const Row& r = rows.back();
       std::printf("%-16s %5zu queries  %4zu regions (max %zu trees)  serial %.4fs ",
@@ -248,10 +262,11 @@ int main(int argc, char** argv) {
       print_json_row(rows[i], i + 1 == rows.size());
     std::printf("  ],\n  \"total\": {\"serial_seconds\": %.4f, \"seconds_1t\": %.4f, "
                 "\"seconds_%dt\": %.4f, \"speedup_%dt_vs_1t\": %.3f},\n"
-                "  \"resource\": %s\n}\n",
+                "  \"resource\": %s,\n  \"obs\": %s\n}\n",
                 total_serial, total_1t, max_threads, total_max, max_threads,
                 ratio(total_1t, total_max),
-                benchjson::resource_json(guard.report()).c_str());
+                benchjson::resource_json(guard.report()).c_str(),
+                benchjson::obs_json(profile).c_str());
   } else {
     std::printf("\nTotal: serial %.4fs, 1t %.4fs, %dt %.4fs (%.2fx vs 1t)\n", total_serial,
                 total_1t, max_threads, total_max, ratio(total_1t, total_max));

@@ -41,6 +41,7 @@
 #include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <sys/wait.h>
 #include <thread>
@@ -195,6 +196,7 @@ std::string phase_json(const char* name, size_t jobs, const PhaseResult& r) {
 int main(int argc, char** argv) {
   bool smoke = false, json = false;
   size_t job_count = 0;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0)
       smoke = true;
@@ -202,8 +204,10 @@ int main(int argc, char** argv) {
       json = true;
     else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
       job_count = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc)
+      trace_path = argv[++i];
     else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
-      std::printf("usage: bench_service [--smoke] [--json] [--jobs N]\n\n"
+      std::printf("usage: bench_service [--smoke] [--json] [--jobs N] [--trace-out FILE]\n\n"
                   "Service-mode benchmark: cold vs warm warm-cache throughput plus a\n"
                   "kill-and-restart gauntlet (BENCH_service.json schema). The crash\n"
                   "phase's result set must be byte-identical to the uninterrupted\n"
@@ -231,17 +235,34 @@ int main(int argc, char** argv) {
       return 2;
     }
 
+  benchjson::TraceOutput trace_output;
+  trace_output.arm(trace_path);
+  const obs::Span root_span("bench", "bench_service");
+  obs::StageProfile profile;
+
   // --- cold: the reference run -------------------------------------------
   submit_all(cold_paths, set);
-  const PhaseResult cold = run_inprocess(cold_paths.root, base_options(job_count));
+  PhaseResult cold;
+  {
+    const auto stage = profile.scope("cold");
+    const obs::Span span("bench", "cold");
+    cold = run_inprocess(cold_paths.root, base_options(job_count));
+  }
 
   // --- warm: same jobs, the cold run's snapshot pre-installed ------------
   fs::copy_file(cold_paths.warm_cache_path(), warm_paths.warm_cache_path(),
                 fs::copy_options::overwrite_existing);
   submit_all(warm_paths, set);
-  const PhaseResult warm = run_inprocess(warm_paths.root, base_options(job_count));
+  PhaseResult warm;
+  {
+    const auto stage = profile.scope("warm");
+    const obs::Span span("bench", "warm");
+    warm = run_inprocess(warm_paths.root, base_options(job_count));
+  }
 
   // --- crash: kill -9 gauntlet, then drain, then compare -----------------
+  auto crash_stage = std::make_unique<obs::StageProfile::Scope>(profile, "crash");
+  auto crash_span = std::make_unique<obs::Span>("bench", "crash");
   submit_all(crash_paths, set);
   size_t crash_restarts = 0;
 
@@ -282,6 +303,8 @@ int main(int argc, char** argv) {
   // Run 3: must quarantine the torn snapshot aside, cold-rebuild, and find
   // every job already published.
   const PhaseResult recovered = run_inprocess(crash_paths.root, base_options(job_count));
+  crash_span.reset();
+  crash_stage.reset();
 
   const size_t loss_events = count_loss_events(cold_paths, crash_paths, set, !json);
   const bool results_match = loss_events == 0;
@@ -318,9 +341,10 @@ int main(int argc, char** argv) {
     util::ResourceGuard guard; // service jobs govern themselves; zeros here
     std::printf("{\n  \"bench\": \"service\",\n  \"metric\": \"jobs_per_second\",\n"
                 "  \"hardware_threads\": %u,\n  \"phases\": %s,\n  \"total\": %s,\n"
-                "  \"resource\": %s\n}\n",
+                "  \"resource\": %s,\n  \"obs\": %s\n}\n",
                 std::thread::hardware_concurrency(), phases.c_str(), total.str().c_str(),
-                benchjson::resource_json(guard.report()).c_str());
+                benchjson::resource_json(guard.report()).c_str(),
+                benchjson::obs_json(profile).c_str());
   } else {
     std::printf("cold: %zu jobs in %.3fs (%.2f jobs/s), hit rate %.3f\n", job_count,
                 cold.seconds, cold_jps, hit_rate(cold.stats));

@@ -134,7 +134,7 @@ std::string json_row(const Row& r) {
 
 int main(int argc, char** argv) {
   bool smoke = false, json = false;
-  std::string filter;
+  std::string filter, trace_path;
   std::vector<int> thread_counts;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0)
@@ -153,10 +153,16 @@ int main(int argc, char** argv) {
         return 2;
       }
       thread_counts = benchjson::parse_thread_counts(argv[++i], "bench_sweep");
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_sweep: --trace-out requires a value\n");
+        return 2;
+      }
+      trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
       std::printf(
           "usage: bench_sweep [--smoke] [--json] [--filter <substr>] "
-          "[--threads <csv, default 1,2,4,8>]\n"
+          "[--threads <csv, default 1,2,4,8>] [--trace-out FILE]\n"
           "\n"
           "SAT-sweeping (fraig) engine benchmark over the public + industrial +\n"
           "random circuit families (BENCH_sweep.json schema). Every fraiged\n"
@@ -194,11 +200,20 @@ int main(int argc, char** argv) {
   }
   benchjson::apply_name_filter(circuits, filter, "bench_sweep");
 
+  benchjson::TraceOutput trace_output;
+  trace_output.arm(trace_path);
+  const obs::Span root_span("bench", "bench_sweep");
+  obs::StageProfile profile;
+
   util::ResourceGuard guard; // unbudgeted: the resource block reports charged totals
   std::vector<Row> rows;
   rows.reserve(circuits.size());
   for (const auto& circuit : circuits) {
-    rows.push_back(run_circuit(circuit, thread_counts, guard));
+    {
+      const auto stage = profile.scope(circuit.name);
+      const obs::Span span("bench", circuit.name);
+      rows.push_back(run_circuit(circuit, thread_counts, guard));
+    }
     if (!json) {
       const Row& r = rows.back();
       std::printf("%-16s %-10s cells %5zu -> smartly %5zu -> fraig %5zu  "
@@ -260,9 +275,10 @@ int main(int argc, char** argv) {
 
     std::printf("{\n  \"bench\": \"sweep\",\n  \"metric\": \"fraig_cells\",\n"
                 "  \"hardware_threads\": %u,\n  \"circuits\": %s,\n  \"total\": %s,\n"
-                "  \"resource\": %s\n}\n",
+                "  \"resource\": %s,\n  \"obs\": %s\n}\n",
                 std::thread::hardware_concurrency(), circuits_array.c_str(),
-                total.str().c_str(), benchjson::resource_json(guard.report()).c_str());
+                total.str().c_str(), benchjson::resource_json(guard.report()).c_str(),
+                benchjson::obs_json(profile).c_str());
   } else {
     std::printf("\nTotal: smartly %zu cells -> fraig %zu cells (%zu merged), "
                 "%zu sat queries, %zu cex, %.4fs; families reduced: %zu\n",

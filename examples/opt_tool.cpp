@@ -68,6 +68,10 @@
 //     --stats                         print pass statistics
 //     -o out.v                        write the optimized netlist as Verilog
 //     --write-aiger out.aag           write the bit-blasted AIG (ASCII AIGER)
+//     --trace-out trace.json          write a Chrome trace-event JSON of the
+//                                     run (spans for every pipeline stage and
+//                                     per-region/round/class/root child spans;
+//                                     load in chrome://tracing or Perfetto)
 //     --dump-rtlil                    dump the optimized netlist IR to stdout
 //     (reads stdin when no file is given)
 //
@@ -87,6 +91,7 @@
 #include "benchgen/industrial.hpp"
 #include "cec/cec.hpp"
 #include "core/smartly_pass.hpp"
+#include "obs/trace.hpp"
 #include "opt/opt_clean.hpp"
 #include "opt/opt_expr.hpp"
 #include "opt/opt_muxtree.hpp"
@@ -137,7 +142,7 @@ constexpr int kExitRecovered = 4;
                "[--fault-seed N] [--fault-throw PM] [--fault-unknown PM] "
                "[--fault-site SUBSTR] [--fault-unit-keyed] [--inject-miscompare] "
                "[--check] [--stats] [-o out.v] [--write-aiger out.aag] "
-               "[--dump-rtlil] [file.v]\n"
+               "[--trace-out trace.json] [--dump-rtlil] [file.v]\n"
                "  resource governance: --budget-conflicts caps total CDCL conflicts\n"
                "  (deterministic; engines degrade and the output stays CEC-equivalent),\n"
                "  --max-growth caps cell-count growth over the input in percent,\n"
@@ -146,7 +151,9 @@ constexpr int kExitRecovered = 4;
                "  transaction with per-unit quarantine; --paranoid adds a CEC of\n"
                "  every stage output; --repro-dir DIR emits replayable bundles.\n"
                "  exit codes: 0 ok, 1 parse/usage, 2 miscompare, 3 budget/inconclusive,\n"
-               "  4 recovered-with-rollback.\n");
+               "  4 recovered-with-rollback.\n"
+               "  observability: --trace-out FILE writes a Chrome trace-event JSON\n"
+               "  (chrome://tracing / ui.perfetto.dev; see README \"Observability\").\n");
   std::exit(kExitParse);
 }
 
@@ -294,7 +301,7 @@ int replay_bundle(const std::string& dir) {
 
 int main(int argc, char** argv) {
   std::string flow = "smartly";
-  std::string path, out_verilog, out_aiger, gen_spec, replay_dir, serve_dir;
+  std::string path, out_verilog, out_aiger, gen_spec, replay_dir, serve_dir, trace_out;
   service::ServiceOptions serve_options;
   bool check = false, stats = false, reduce = false, dump = false;
   bool fraig_post = false, fraig_pre = false, rewrite_post = false;
@@ -441,12 +448,40 @@ int main(int argc, char** argv) {
       if (++i >= argc)
         usage();
       out_aiger = argv[i];
+    } else if (arg == "--trace-out") {
+      if (++i >= argc)
+        usage();
+      trace_out = argv[i];
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(std::strlen("--trace-out="));
+      if (trace_out.empty())
+        usage();
     } else if (arg.rfind("--", 0) == 0 || arg.rfind("-", 0) == 0) {
       usage();
     } else {
       path = arg;
     }
   }
+
+  // Trace plumbing, armed before any mode dispatch so every path (flow,
+  // serve, replay) is covered. The writer's destructor fires on every normal
+  // return from main — after the root span below closes, because the span is
+  // declared later. (std::exit in usage() skips it: no flow ran, no trace.)
+  struct TraceOutput {
+    std::string path;
+    ~TraceOutput() {
+      if (path.empty())
+        return;
+      std::string err;
+      if (!obs::write_chrome_trace(path, &err))
+        std::fprintf(stderr, "opt_tool: --trace-out: %s\n", err.c_str());
+    }
+  } trace_output;
+  if (!trace_out.empty()) {
+    obs::set_tracing(true);
+    trace_output.path = trace_out;
+  }
+  const obs::Span root_span("tool", "opt_tool.flow");
 
   if (!serve_dir.empty()) {
     serve_options.threads = options.threads;

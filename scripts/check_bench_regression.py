@@ -19,7 +19,15 @@ The script fails (exit 1) when
     strictly better than its baseline;
   * the shared ``resource`` block is malformed or reports degradation: bench
     smoke runs are unbudgeted, so a tripped budget or nonzero skip counters
-    mean the run was not the run the quality metrics claim to describe.
+    mean the run was not the run the quality metrics claim to describe;
+  * the shared ``obs`` block is missing or malformed: every bench carries
+    per-stage wall/cpu timings and a metrics-registry snapshot since the
+    observability release. Timing *values* are never gated (they are
+    machine-dependent); the gate checks schema only — stages present with
+    non-negative seconds, counters non-negative integers under the known
+    engine prefixes. A counter under an unknown prefix is a warning, not a
+    failure, so adding instrumentation does not require a lockstep script
+    update.
 
 A baseline bench with no corresponding output file is a warning, not a
 failure: CI legitimately runs subsets of the bench families (e.g. a quick
@@ -117,6 +125,54 @@ def check_resource(doc, errors):
                 f"{bench}: resource.{key} = {value}, want 0 — the smoke run "
                 f"degraded (engines skipped work), so its quality metrics are "
                 f"not comparable to the baselines")
+
+
+# Counter-name prefixes the instrumented engines publish (src/obs/). A
+# counter outside these is a warning only: new instrumentation should not
+# need a lockstep edit here to land.
+KNOWN_COUNTER_PREFIXES = (
+    "oracle.", "sweep.", "pool.", "fraig.", "rewrite.", "txn.", "service.",
+    "log.", "bench.",
+)
+
+
+def check_obs(doc, errors, warnings):
+    bench = doc.get("bench", "?")
+    obs = doc.get("obs")
+    if not isinstance(obs, dict):
+        errors.append(
+            f"{bench}: missing or non-object 'obs' block — bench outputs carry "
+            f"per-stage timings and a counter snapshot since the observability "
+            f"release; re-run the bench with a current binary")
+        return
+    stages = obs.get("stages")
+    if not isinstance(stages, list) or not stages:
+        errors.append(f"{bench}: obs.stages is {stages!r}, want a non-empty list")
+    else:
+        for stage in stages:
+            if not isinstance(stage, dict) or not isinstance(stage.get("name"), str):
+                errors.append(f"{bench}: obs stage {stage!r} lacks a string 'name'")
+                continue
+            for key in ("wall_seconds", "cpu_seconds"):
+                v = stage.get(key)
+                if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
+                    errors.append(
+                        f"{bench}: obs stage {stage['name']!r} has {key}={v!r}, "
+                        f"want a non-negative number")
+    counters = obs.get("counters")
+    if not isinstance(counters, dict):
+        errors.append(f"{bench}: obs.counters is {counters!r}, want an object")
+        return
+    for name, value in counters.items():
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            errors.append(
+                f"{bench}: obs counter {name!r} is {value!r}, want a "
+                f"non-negative integer")
+        if not any(name.startswith(p) for p in KNOWN_COUNTER_PREFIXES):
+            warnings.append(
+                f"{bench}: obs counter {name!r} is outside the known prefixes "
+                f"({', '.join(KNOWN_COUNTER_PREFIXES)}) — fine if intentional; "
+                f"add the prefix to KNOWN_COUNTER_PREFIXES when it settles")
 
 
 def check_metric(doc, metric_path, baseline_entry, errors, notes):
@@ -219,7 +275,7 @@ def main(argv):
             f"baseline file {argv[1]!r} must be a JSON object mapping bench names "
             f"to metric baselines, got {type(baselines).__name__}")
 
-    errors, notes = [], []
+    errors, notes, warnings = [], [], []
     seen = []
     for path in argv[2:]:
         doc = load_json(path, "bench output")
@@ -236,6 +292,7 @@ def main(argv):
         seen.append(bench)
         spec = CHECKS[bench]
         check_resource(doc, errors)
+        check_obs(doc, errors, warnings)
         for flag_path in spec.get("flags", []):
             check_flag(doc, flag_path, errors)
         for key in spec.get("row_flags", []):
@@ -254,6 +311,8 @@ def main(argv):
             print(f"warn: baseline bench {bench!r} has no corresponding output "
                   f"file — family not gated this run")
 
+    for w in warnings:
+        print(f"warn: {w}")
     for note in notes:
         print(f"note: {note}")
     if errors:

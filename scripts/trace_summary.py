@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Summarize a Chrome trace-event JSON produced by --trace-out.
+
+Prints a top-10 table of spans aggregated by name (total duration, call
+count, mean), plus the trace extent. With --gate, also sanity-checks the
+trace: the longest single span (the tool's root span) must cover at least
+80% of the trace extent — i.e. total traced time ~= wall time within 20%.
+CI runs the gate over the four engine-smoke traces so a refactor that
+silently drops instrumentation (or leaves the root span dangling) fails
+the bench-regression job rather than producing hollow traces.
+
+Usage: trace_summary.py [--gate] [--top N] TRACE.json
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def load_events(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc["traceEvents"] if isinstance(doc, dict) else doc
+    if not isinstance(events, list):
+        raise ValueError("traceEvents is not a list")
+    return events
+
+
+def summarize(events):
+    """Aggregate complete ('X') events by name; return rows + extent."""
+    totals = defaultdict(lambda: [0.0, 0, 0.0])  # name -> [total_us, count, max_us]
+    t_min, t_max = None, None
+    for e in events:
+        ts = e.get("ts")
+        if ts is not None:
+            end = ts + e.get("dur", 0)
+            t_min = ts if t_min is None else min(t_min, ts)
+            t_max = end if t_max is None else max(t_max, end)
+        if e.get("ph") != "X":
+            continue
+        name = e.get("name", "?")
+        dur = float(e.get("dur", 0))
+        row = totals[name]
+        row[0] += dur
+        row[1] += 1
+        row[2] = max(row[2], dur)
+    rows = sorted(
+        ((name, tot, cnt, mx) for name, (tot, cnt, mx) in totals.items()),
+        key=lambda r: -r[1],
+    )
+    extent = (t_max - t_min) if t_min is not None else 0.0
+    return rows, extent
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="Chrome trace-event JSON file")
+    ap.add_argument("--top", type=int, default=10, help="rows to print (default 10)")
+    ap.add_argument(
+        "--gate",
+        action="store_true",
+        help="fail unless the longest span covers >=80%% of the trace extent",
+    )
+    args = ap.parse_args()
+
+    try:
+        events = load_events(args.trace)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
+        print(f"trace_summary: cannot read {args.trace}: {e}", file=sys.stderr)
+        return 2
+
+    rows, extent = summarize(events)
+    spans = sum(r[2] for r in rows)
+    instants = sum(1 for e in events if e.get("ph") == "i")
+    print(f"{args.trace}: {spans} spans, {instants} instants, "
+          f"extent {extent / 1e6:.4f}s")
+    if rows:
+        print(f"{'span':<28} {'total_ms':>10} {'count':>7} {'mean_ms':>9} {'max_ms':>9}")
+        for name, total, count, mx in rows[: args.top]:
+            print(f"{name:<28} {total / 1e3:>10.3f} {count:>7} "
+                  f"{total / count / 1e3:>9.3f} {mx / 1e3:>9.3f}")
+
+    if args.gate:
+        if not rows:
+            print("trace_summary: GATE FAIL: no complete spans in trace", file=sys.stderr)
+            return 1
+        longest = max(r[3] for r in rows)
+        if extent <= 0:
+            print("trace_summary: GATE FAIL: zero trace extent", file=sys.stderr)
+            return 1
+        cover = longest / extent
+        if cover < 0.8:
+            print(
+                f"trace_summary: GATE FAIL: longest span covers {cover:.1%} of the "
+                f"trace extent (< 80%) — the root span is missing or truncated",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"gate: ok (root span covers {cover:.1%} of extent)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

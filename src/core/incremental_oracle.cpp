@@ -1,6 +1,8 @@
 #include "core/incremental_oracle.hpp"
 
 #include "aig/cnf.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/packed_sim.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
@@ -184,6 +186,8 @@ IncrementalOracle::ConeEntry& IncrementalOracle::cone_for(
   auto it = cone_cache_.find(key);
   if (it != cone_cache_.end()) {
     ++stats_.cone_cache_hits;
+    static obs::Counter& hits = obs::counter("oracle.cache_hits.cone");
+    hits.add();
     return it->second;
   }
   ++stats_.cone_cache_misses;
@@ -415,6 +419,8 @@ CtrlDecision IncrementalOracle::decide(SigBit ctrl, const KnownMap& known) {
             [](const auto& a, const auto& b) { return a.first < b.first; });
   if (auto it = decision_cache_.find(key); it != decision_cache_.end()) {
     ++stats_.decision_cache_hits;
+    static obs::Counter& hits = obs::counter("oracle.cache_hits.decision");
+    hits.add();
     return it->second.decision;
   }
 
@@ -442,11 +448,15 @@ CtrlDecision IncrementalOracle::decide(SigBit ctrl, const KnownMap& known) {
     CtrlDecision memoized;
     if (options_.base.memo->lookup(portable_key_, &memoized)) {
       ++stats_.portable_hits;
+      static obs::Counter& hits = obs::counter("oracle.memo_hits");
+      hits.add();
       if (memoized == CtrlDecision::DeadPath)
         ++stats_.dead_paths;
       return finish(key, sg, memoized);
     }
     ++stats_.portable_misses;
+    static obs::Counter& misses = obs::counter("oracle.memo_misses");
+    misses.add();
     pending_portable_ = true;
   }
 
@@ -556,6 +566,11 @@ CtrlDecision IncrementalOracle::decide(SigBit ctrl, const KnownMap& known) {
     return finish(key, sg, CtrlDecision::Unknown);
   }
 
+  // SAT stage: rare relative to the cache/sim stages above, so one span per
+  // solved query is cheap; the span covers encode + both polarity solves.
+  const obs::Span solve_span("oracle", "oracle.solve", "unit", unit);
+  static obs::Counter& m_solves = obs::counter("oracle.solves");
+  m_solves.add();
   ensure_encoded(entry);
   auto sat_lit = [&](aig::Lit l) {
     return sat::mk_lit(entry.vars[aig::lit_node(l)], aig::lit_compl(l));

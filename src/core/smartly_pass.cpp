@@ -1,5 +1,6 @@
 #include "core/smartly_pass.hpp"
 
+#include "obs/trace.hpp"
 #include "opt/opt_clean.hpp"
 #include "opt/opt_expr.hpp"
 #include "opt/opt_muxtree.hpp"
@@ -25,6 +26,8 @@ std::string summarize_options(const SmartlyOptions& o) {
 } // namespace
 
 SmartlyStats smartly_pass(rtlil::Module& module, const SmartlyOptions& options) {
+  const obs::Span span("pipeline", "pass.smartly_pass", "cells",
+                       static_cast<uint64_t>(module.cells().size()));
   SmartlyStats stats;
 
   // One guard for the whole pass: every engine charges the same counters, so
@@ -135,6 +138,7 @@ SmartlyStats smartly_pass(rtlil::Module& module, const SmartlyOptions& options) 
 }
 
 SmartlyStats smartly_flow(rtlil::Module& module, const SmartlyOptions& options) {
+  const obs::Span span("pipeline", "pass.smartly_flow");
   // The coarse-opt stages around the pass get their own transaction context
   // (the pass builds one internally); quarantine continuity across the seam
   // is irrelevant — the opt_* passes have no fault sites or work units —

@@ -1,0 +1,127 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace smartly::obs {
+
+namespace {
+
+/// Prometheus metric name: `smartly_` prefix, dots and other non-identifier
+/// characters mapped to underscores.
+std::string prom_name(const std::string& name) {
+  std::string out = "smartly_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void append_u64(std::string& out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+} // namespace
+
+Registry& Registry::global() {
+  static Registry* r = new Registry(); // leaked: usable from static dtors
+  return *r;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot)
+    slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot)
+    slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot)
+    slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, uint64_t>> Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counters_.size() + gauges_.size() + 2 * histograms_.size());
+  for (const auto& [name, c] : counters_)
+    out.emplace_back(name, c->value());
+  for (const auto& [name, g] : gauges_)
+    out.emplace_back(name, g->value());
+  for (const auto& [name, h] : histograms_) {
+    out.emplace_back(name + ".count", h->count());
+    out.emplace_back(name + ".sum", h->sum());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string Registry::prometheus_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, c] : counters_) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " counter\n" + p + " ";
+    append_u64(out, c->value());
+    out += '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " gauge\n" + p + " ";
+    append_u64(out, g->value());
+    out += '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " histogram\n";
+    uint64_t cumulative = 0;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      cumulative += h->bucket(i);
+      out += p + "_bucket{le=\"";
+      if (i == Histogram::kBuckets - 1)
+        out += "+Inf";
+      else
+        append_u64(out, Histogram::bucket_bound(i));
+      out += "\"} ";
+      append_u64(out, cumulative);
+      out += '\n';
+    }
+    out += p + "_sum ";
+    append_u64(out, h->sum());
+    out += '\n';
+    out += p + "_count ";
+    append_u64(out, h->count());
+    out += '\n';
+  }
+  return out;
+}
+
+void Registry::reset_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_)
+    c->reset();
+  for (const auto& [name, g] : gauges_)
+    g->reset();
+  for (const auto& [name, h] : histograms_)
+    h->reset();
+}
+
+} // namespace smartly::obs

@@ -1,0 +1,75 @@
+// Per-stage wall/CPU profiling for the BENCH `obs` block.
+//
+// Bench binaries (and opt_tool's flow driver) wrap each named stage in
+// StageProfile::scope(); the accumulated table renders into BENCH_*.json as
+//
+//   "obs": {"stages": [{"name": ..., "wall_seconds": ..., "cpu_seconds": ...},
+//           ...], "counters": {...}}
+//
+// via benchjson::obs_json. Wall time is steady_clock; CPU time is
+// std::clock() (process-wide, so a parallel stage can legitimately report
+// cpu_seconds > wall_seconds). Timings are observability output only and
+// never feed gated BENCH stats.
+#pragma once
+
+#include <chrono>
+#include <ctime>
+#include <string>
+#include <vector>
+
+namespace smartly::obs {
+
+struct StageTiming {
+  std::string name;
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
+};
+
+/// Accumulates named stage timings in first-seen order; repeated stage
+/// names accumulate into one row. Single-threaded by design: scopes are
+/// opened and closed on the driver thread around whole stages.
+class StageProfile {
+public:
+  class Scope {
+  public:
+    Scope(StageProfile& profile, std::string name)
+        : profile_(profile), name_(std::move(name)),
+          wall_start_(std::chrono::steady_clock::now()), cpu_start_(std::clock()) {}
+    ~Scope() {
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start_)
+              .count();
+      const double cpu =
+          static_cast<double>(std::clock() - cpu_start_) / CLOCKS_PER_SEC;
+      profile_.add(name_, wall, cpu);
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+  private:
+    StageProfile& profile_;
+    std::string name_;
+    std::chrono::steady_clock::time_point wall_start_;
+    std::clock_t cpu_start_;
+  };
+
+  Scope scope(std::string name) { return Scope(*this, std::move(name)); }
+
+  void add(const std::string& name, double wall_seconds, double cpu_seconds) {
+    for (StageTiming& s : stages_) {
+      if (s.name == name) {
+        s.wall_seconds += wall_seconds;
+        s.cpu_seconds += cpu_seconds;
+        return;
+      }
+    }
+    stages_.push_back(StageTiming{name, wall_seconds, cpu_seconds});
+  }
+
+  const std::vector<StageTiming>& stages() const { return stages_; }
+
+private:
+  std::vector<StageTiming> stages_;
+};
+
+} // namespace smartly::obs

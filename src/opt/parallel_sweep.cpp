@@ -1,5 +1,7 @@
 #include "opt/parallel_sweep.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
@@ -112,6 +114,8 @@ ParallelSweepEngine::ParallelSweepEngine(rtlil::Module& module,
 ParallelSweepEngine::~ParallelSweepEngine() = default;
 
 ParallelSweepStats ParallelSweepEngine::run(DecisionTrace* trace) {
+  const obs::Span engine_span("sweep", "sweep.run", "cells",
+                              static_cast<uint64_t>(module_.cells().size()));
   ParallelSweepStats stats;
   NetlistIndex index(module_);
   index.sigmap().flatten();
@@ -197,6 +201,8 @@ ParallelSweepStats ParallelSweepEngine::run(DecisionTrace* trace) {
       break;
     }
     ++stats.walker.iterations;
+    const obs::Span iter_span("sweep", "sweep.iteration", "iter",
+                              static_cast<uint64_t>(iter + 1));
     auto t_iter = now();
 
     std::vector<RegionState*> work;
@@ -251,6 +257,7 @@ ParallelSweepStats ParallelSweepEngine::run(DecisionTrace* trace) {
         if ((guard != nullptr && guard->poll()) ||
             util::fault_unknown("sweep.region", work_units[i]))
           return;
+        const obs::Span region_span("sweep", "sweep.region", "region", work_units[i]);
         r.oracle->begin_module(module_, index);
         Slot& slot = slots[i];
         MuxtreeWalker walker(index, *r.oracle, slot.stats, slot.journal,
@@ -464,6 +471,19 @@ ParallelSweepStats ParallelSweepEngine::run(DecisionTrace* trace) {
                    iter, work.size(), walk_secs, apply_secs, forest_secs, secs(t_dirty),
                    flagged.size(), secs(t_iter));
   }
+
+  // Barrier-time totals: each is a pure function of the deterministic stats
+  // struct, so the metric values match at every thread count.
+  static obs::Counter& m_iterations = obs::counter("sweep.iterations");
+  static obs::Counter& m_walks = obs::counter("sweep.region_walks");
+  static obs::Counter& m_clean = obs::counter("sweep.regions_skipped_clean");
+  static obs::Counter& m_merges = obs::counter("sweep.region_merges");
+  static obs::Counter& m_regions = obs::counter("sweep.regions");
+  m_iterations.add(stats.walker.iterations);
+  m_walks.add(stats.region_walks);
+  m_clean.add(stats.regions_skipped_clean);
+  m_merges.add(stats.region_merges);
+  m_regions.add(stats.regions);
   return stats;
 }
 

@@ -1,5 +1,6 @@
 #include "opt/pipeline.hpp"
 
+#include "obs/trace.hpp"
 #include "opt/opt_clean.hpp"
 #include "opt/opt_expr.hpp"
 #include "opt/opt_merge.hpp"
@@ -11,6 +12,7 @@ namespace smartly::opt {
 
 sweep::FraigStats fraig_stage(rtlil::Module& module, const sweep::FraigOptions& options,
                               RecoveryContext* recovery) {
+  const obs::Span span("pipeline", "opt.fraig_stage");
   sweep::FraigStats stats;
   sweep::FraigOptions opts = options;
   if (recovery != nullptr)
@@ -35,6 +37,7 @@ sweep::FraigStats fraig_stage(rtlil::Module& module, const sweep::FraigOptions& 
 rewrite::RewriteStats rewrite_stage(rtlil::Module& module,
                                     const rewrite::RewriteOptions& options,
                                     RecoveryContext* recovery) {
+  const obs::Span span("pipeline", "opt.rewrite_stage");
   rewrite::RewriteStats stats;
   rewrite::RewriteOptions opts = options;
   if (recovery != nullptr)
@@ -60,6 +63,7 @@ DeepOptStats fraig_rewrite_loop(rtlil::Module& module, const DeepOptOptions& opt
   // internally — this only avoids dispatching stages that would no-op).
   util::ResourceGuard* guard =
       options.fraig.guard != nullptr ? options.fraig.guard : options.rewrite.guard;
+  const obs::Span span("pipeline", "opt.fraig_rewrite_loop");
   DeepOptStats stats;
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
     stats.fraig += fraig_stage(module, options.fraig, options.recovery);
@@ -79,6 +83,7 @@ DeepOptStats fraig_rewrite_loop(rtlil::Module& module, const DeepOptOptions& opt
 }
 
 void coarse_opt(rtlil::Module& module) {
+  const obs::Span span("pipeline", "opt.coarse_opt");
   for (int iter = 0; iter < 8; ++iter) {
     const OptExprStats es = opt_expr(module);
     const size_t merged = opt_merge(module);
@@ -89,6 +94,7 @@ void coarse_opt(rtlil::Module& module) {
 }
 
 MuxtreeStats yosys_flow(rtlil::Module& module) {
+  const obs::Span span("pipeline", "opt.yosys_flow");
   coarse_opt(module);
   const MuxtreeStats stats = opt_muxtree(module);
   coarse_opt(module);

@@ -3,6 +3,8 @@
 #include "backend/write_rtlil.hpp"
 #include "backend/write_verilog.hpp"
 #include "cec/cec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
 
@@ -12,6 +14,8 @@ namespace smartly::opt {
 
 StageTransaction::StageTransaction(rtlil::Module& module, std::string stage)
     : module_(module), stage_(std::move(stage)) {
+  const obs::Span span("txn", "txn.snapshot", "cells",
+                       static_cast<uint64_t>(module.cells().size()));
   auto single = std::make_unique<rtlil::Design>();
   rtlil::copy_module_into(*single->add_module(module.name()), module);
   snapshot_ = std::move(single);
@@ -20,6 +24,9 @@ StageTransaction::StageTransaction(rtlil::Module& module, std::string stage)
 const rtlil::Module& StageTransaction::snapshot() const { return *snapshot_->top(); }
 
 void StageTransaction::rollback() {
+  const obs::Span span("txn", "txn.rollback");
+  static obs::Counter& rollbacks = obs::counter("txn.rollbacks");
+  rollbacks.add();
   rtlil::restore_module(module_, snapshot());
   // The rollback *is* the recovery guarantee — verify it, always. A dump
   // mismatch means restore_module lost information, and retrying on a
@@ -86,8 +93,11 @@ int bisect_faulting_round(const rtlil::Module& snapshot, const StageBody& body,
 StageOutcome run_protected_stage(rtlil::Module& module, const std::string& stage,
                                  RecoveryContext* ctx, util::ResourceGuard* guard,
                                  const StageBody& body) {
+  static obs::Counter& stages_counter = obs::counter("txn.stages");
+  stages_counter.add();
   StageOutcome outcome;
   if (ctx == nullptr || !ctx->options.enabled) {
+    const obs::Span span("txn", "stage:" + stage);
     body(module, -1);
     outcome.committed = true;
     outcome.attempts = 1;
@@ -103,6 +113,8 @@ StageOutcome run_protected_stage(rtlil::Module& module, const std::string& stage
   const int max_attempts = 1 + (ctx->options.max_retries > 0 ? ctx->options.max_retries : 0);
 
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    const obs::Span span("txn", "stage:" + stage, "attempt",
+                         static_cast<uint64_t>(attempt));
     StageTransaction txn(module, stage);
     outcome.attempts = attempt;
 
@@ -193,6 +205,8 @@ StageOutcome run_protected_stage(rtlil::Module& module, const std::string& stage
       outcome.skipped = true;
       return outcome;
     }
+    static obs::Counter& retries = obs::counter("txn.retries");
+    retries.add();
     ctx->stats.retries += 1;
     ctx->stats.events.push_back(std::move(ev));
   }

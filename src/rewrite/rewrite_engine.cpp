@@ -1,6 +1,8 @@
 #include "rewrite/rewrite_engine.hpp"
 
 #include "aig/aigmap.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "opt/muxtree_walker.hpp" // SweepJournal + apply_sweep_journal
 #include "rewrite/cut_enum.hpp"
 #include "rewrite/npn.hpp"
@@ -361,6 +363,8 @@ bool same_work(const RewriteStats& a, const RewriteStats& b) {
 }
 
 RewriteStats rewrite_sweep(rtlil::Module& module, const RewriteOptions& options) {
+  const obs::Span engine_span("rewrite", "rewrite.sweep", "cells",
+                              static_cast<uint64_t>(module.cell_count()));
   RewriteStats stats;
   rtlil::NetlistIndex index(module);
   index.sigmap().flatten();
@@ -399,10 +403,18 @@ RewriteStats rewrite_sweep(rtlil::Module& module, const RewriteOptions& options)
       break;
     }
     ++stats.rounds;
-    const aig::AigMap blast = aig::aigmap(module, index);
+    const obs::Span round_span("rewrite", "rewrite.round", "round",
+                               static_cast<uint64_t>(round + 1));
+    const aig::AigMap blast = [&] {
+      const obs::Span s("rewrite", "rewrite.blast");
+      return aig::aigmap(module, index);
+    }();
     if (round == 0)
       stats.aig_nodes = blast.aig.num_nodes();
-    const CutSet cutset = enumerate_cuts(blast.aig, CutOptions{options.cut_limit});
+    const CutSet cutset = [&] {
+      const obs::Span s("rewrite", "rewrite.cuts");
+      return enumerate_cuts(blast.aig, CutOptions{options.cut_limit});
+    }();
     stats.cuts += cutset.total;
 
     // Whole-graph reference counts (fanins + outputs) for the candidate
@@ -490,6 +502,7 @@ RewriteStats rewrite_sweep(rtlil::Module& module, const RewriteOptions& options)
         eval.skipped = true;
         return;
       }
+      const obs::Span root_span("rewrite", "rewrite.eval", "root", root_unit_id(work));
       const int root_pos = index.topo_position(work.cell);
       // An anchor is wireable from this root's replacement (which takes the
       // root's topo slot) only if its driver sits strictly before the root.
@@ -614,6 +627,8 @@ RewriteStats rewrite_sweep(rtlil::Module& module, const RewriteOptions& options)
     };
     bool faulted = false;
     try {
+      const obs::Span eval_span("rewrite", "rewrite.eval_phase", "roots",
+                                static_cast<uint64_t>(roots.size()));
       if (pool.size() > 1 && roots.size() > 1)
         pool.run_batch(roots.size(), [&](int, size_t i) { evaluate_root(i); });
       else
@@ -659,6 +674,8 @@ RewriteStats rewrite_sweep(rtlil::Module& module, const RewriteOptions& options)
       if (cptr->type() != CellType::Dff)
         struct_map.emplace(sweep::cell_structural_key(*cptr, index.sigmap()), cptr.get());
 
+    const obs::Span commit_span("rewrite", "rewrite.commit_phase", "roots",
+                                static_cast<uint64_t>(roots.size()));
     std::unordered_set<Cell*> claimed;           // roots committed for removal
     std::unordered_set<Cell*> counted_dead;      // MFFC cells already credited
     std::unordered_map<Cell*, int> new_cell_pos; // barrier-new cells
@@ -960,6 +977,10 @@ RewriteStats rewrite_sweep(rtlil::Module& module, const RewriteOptions& options)
       journal.removed.push_back(root);
       journal.connects.emplace_back(lhs, rhs);
 
+      // Per-commit gain histogram: fed in the single-threaded commit loop,
+      // in canonical root order, from deterministic plan accounting.
+      static obs::Histogram& h_gain = obs::histogram("rewrite.gain");
+      h_gain.observe(static_cast<uint64_t>(gain));
       claimed.insert(root);
       for (Cell* c : dead)
         counted_dead.insert(c);
@@ -985,6 +1006,19 @@ RewriteStats rewrite_sweep(rtlil::Module& module, const RewriteOptions& options)
   stats.npn_classes = classes_seen.size();
   if (options.check_index && !rtlil::index_consistent(module, index))
     throw std::logic_error("rewrite: incremental NetlistIndex diverged from rebuild");
+
+  // Deterministic totals from the stats struct (identical at every thread
+  // count), published once per sweep.
+  static obs::Counter& m_rounds = obs::counter("rewrite.rounds");
+  static obs::Counter& m_roots = obs::counter("rewrite.roots_evaluated");
+  static obs::Counter& m_rewrites = obs::counter("rewrite.rewrites");
+  static obs::Counter& m_added = obs::counter("rewrite.cells_added");
+  static obs::Counter& m_rejected = obs::counter("rewrite.plans_rejected");
+  m_rounds.add(stats.rounds);
+  m_roots.add(stats.roots_evaluated);
+  m_rewrites.add(stats.rewrites);
+  m_added.add(stats.cells_added);
+  m_rejected.add(stats.plans_rejected);
   return stats;
 }
 

@@ -1,9 +1,11 @@
 #include "service/journal.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/atomic_file.hpp"
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fcntl.h>
 #include <filesystem>
@@ -65,7 +67,14 @@ bool JobJournal::append_line(const std::string& line) {
     data += n;
     left -= static_cast<size_t>(n);
   }
-  return ::fsync(fd_) == 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool ok = ::fsync(fd_) == 0;
+  static obs::Histogram& h_fsync = obs::histogram("service.journal_fsync_us");
+  h_fsync.observe(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count()));
+  return ok;
 }
 
 bool JobJournal::append_claim(const std::string& job, int attempt) {

@@ -2,6 +2,8 @@
 
 #include "backend/write_verilog.hpp"
 #include "core/smartly_pass.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/snapshot.hpp"
 #include "util/atomic_file.hpp"
 #include "util/luby.hpp"
@@ -134,6 +136,15 @@ void OptService::quarantine_crash_looper(const std::string& name, int claims) {
 
 void OptService::run_job(const std::string& name, int attempt) {
   (void)attempt; // durable in the journal; results stay attempt-independent
+  const obs::Span job_span("service", "job:" + name);
+  const uint64_t job_t0 = obs::trace_now_us();
+  struct JobTimer {
+    uint64_t t0;
+    ~JobTimer() {
+      static obs::Histogram& h = obs::histogram("service.job_us");
+      h.observe(obs::trace_now_us() - t0);
+    }
+  } job_timer{job_t0};
   std::string source;
   std::string io_error;
   if (!util::read_file(paths_.jobs + "/" + name + ".v", &source, &io_error)) {
@@ -254,6 +265,7 @@ void OptService::run_job(const std::string& name, int attempt) {
 }
 
 size_t OptService::run_cycle() {
+  const obs::Span cycle_span("service", "service.cycle");
   std::vector<std::string> backlog = list_jobs(paths_);
 
   // Quarantined jobs never run again, even when resubmitted: the quarantine
@@ -313,6 +325,7 @@ size_t OptService::run_cycle() {
 }
 
 void OptService::flush_snapshot() {
+  const obs::Span span("service", "service.snapshot");
   if (options_.crash_during_snapshot) {
     // Test hook: simulate the one failure mode atomic writes can't rule out
     // (storage losing the rename guarantee / bit rot under the file) by
@@ -359,6 +372,28 @@ void OptService::write_stats_file() {
   j << "  \"warm_rejected_records\": " << stats_.warm.rejected_records << "\n";
   j << "}\n";
   util::atomic_write_file(paths_.stats_path(), j.str(), nullptr);
+
+  // Mirror the job-lifecycle and warm-cache stats into the metrics registry
+  // (gauges: these are current totals, re-published every cycle), then
+  // publish the whole registry — engine counters and the journal-fsync /
+  // job-latency histograms included — as a Prometheus-style text exposition
+  // next to service_stats.json. Written atomically on every cycle and again
+  // in the drain epilogue, so --serve-once exits leave a final metrics.prom.
+  obs::gauge("service.jobs_completed").set(stats_.jobs_completed);
+  obs::gauge("service.jobs_failed").set(stats_.jobs_failed);
+  obs::gauge("service.jobs_shed").set(stats_.jobs_shed);
+  obs::gauge("service.jobs_requeued").set(stats_.jobs_requeued);
+  obs::gauge("service.jobs_quarantined").set(stats_.jobs_quarantined);
+  obs::gauge("service.job_retries").set(stats_.job_retries);
+  obs::gauge("service.poll_cycles").set(stats_.poll_cycles);
+  obs::gauge("service.snapshots_written").set(stats_.snapshots_written);
+  obs::gauge("service.memo_hits").set(stats_.memo_hits);
+  obs::gauge("service.memo_misses").set(stats_.memo_misses);
+  obs::gauge("service.result_cache_hits").set(stats_.result_hits);
+  obs::gauge("service.result_cache_misses").set(stats_.result_misses);
+  obs::gauge("service.recovered_stages").set(stats_.recovered_stages);
+  util::atomic_write_file(paths_.metrics_path(),
+                          obs::Registry::global().prometheus_text(), nullptr);
 }
 
 int OptService::run() {

@@ -37,6 +37,7 @@ struct SpoolPaths {
   std::string journal_path() const { return cache + "/journal.log"; }
   std::string warm_cache_path() const { return cache + "/warm_cache.snap"; }
   std::string stats_path() const { return root + "/service_stats.json"; }
+  std::string metrics_path() const { return root + "/metrics.prom"; }
   std::string quarantine_set_path() const { return cache + "/quarantine.txt"; }
 
   /// Create every directory (idempotent) and sweep stale tmp/staging files.

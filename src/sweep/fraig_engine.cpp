@@ -1,6 +1,8 @@
 #include "sweep/fraig_engine.hpp"
 
 #include "aig/cnf.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "opt/muxtree_walker.hpp"
 #include "opt/opt_merge.hpp"
 #include "sat/solver.hpp"
@@ -489,6 +491,8 @@ bool same_work(const FraigStats& a, const FraigStats& b) {
 }
 
 FraigStats fraig_sweep(rtlil::Module& module, const FraigOptions& options) {
+  const obs::Span engine_span("fraig", "fraig.sweep", "cells",
+                              static_cast<uint64_t>(module.cells().size()));
   FraigStats stats;
   if (options.pre_merge)
     stats.pre_merged = opt::opt_merge(module);
@@ -532,6 +536,8 @@ FraigStats fraig_sweep(rtlil::Module& module, const FraigOptions& options) {
       break;
     }
     ++stats.rounds;
+    const obs::Span round_span("fraig", "fraig.round", "round",
+                               static_cast<uint64_t>(round + 1));
     if (module_changed)
       eq.bind(module, index); // re-blast; cex-only rounds reuse the blast
     std::vector<EquivClass> classes = eq.compute(&pool);
@@ -557,6 +563,8 @@ FraigStats fraig_sweep(rtlil::Module& module, const FraigOptions& options) {
     // class is scheduling noise.
     std::vector<ClassOutcome> outcomes(classes.size());
     const auto task = [&](size_t i) {
+      const obs::Span class_span("fraig", "fraig.class", "class",
+                                 class_unit_id(classes[i]));
       outcomes[i] = prove_class(classes[i], eq, options, settled);
     };
     bool faulted = false;
@@ -586,8 +594,15 @@ FraigStats fraig_sweep(rtlil::Module& module, const FraigOptions& options) {
 
     // Barrier: aggregate in canonical class order (cex pool append order is
     // part of the determinism contract — signatures depend on it).
+    // Refinement/conflict histograms are fed here, single-threaded in
+    // canonical order, from deterministic per-class outcomes.
+    static obs::Histogram& h_class_size = obs::histogram("fraig.class_size");
+    static obs::Histogram& h_conflicts = obs::histogram("fraig.solver_conflicts");
+    for (const EquivClass& c : classes)
+      h_class_size.observe(c.members.size());
     size_t progress = 0;
     for (ClassOutcome& out : outcomes) {
+      h_conflicts.observe(out.conflicts);
       stats.sat_queries += out.sat_queries;
       stats.proved_equal += out.proved_equal;
       stats.proved_complement += out.proved_complement;
@@ -629,6 +644,21 @@ FraigStats fraig_sweep(rtlil::Module& module, const FraigOptions& options) {
   }
   if (options.check_index && !rtlil::index_consistent(module, index))
     throw std::logic_error("fraig: incremental NetlistIndex diverged from rebuild");
+
+  // Deterministic totals from the stats struct (identical at every thread
+  // count), published once per sweep.
+  static obs::Counter& m_rounds = obs::counter("fraig.rounds");
+  static obs::Counter& m_queries = obs::counter("fraig.sat_queries");
+  static obs::Counter& m_equal = obs::counter("fraig.proved_equal");
+  static obs::Counter& m_disproved = obs::counter("fraig.disproved");
+  static obs::Counter& m_merged = obs::counter("fraig.merged_cells");
+  static obs::Counter& m_cex = obs::counter("fraig.cex_patterns");
+  m_rounds.add(stats.rounds);
+  m_queries.add(stats.sat_queries);
+  m_equal.add(stats.proved_equal);
+  m_disproved.add(stats.disproved);
+  m_merged.add(stats.merged_cells);
+  m_cex.add(stats.cex_patterns);
   return stats;
 }
 

@@ -1,24 +1,86 @@
 #include "util/log.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#include <atomic>
 #include <cstdarg>
+#include <cstdlib>
 #include <vector>
 
 namespace smartly {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+/// SMARTLY_LOG_TIMESTAMPS=1 prefixes each record with a monotonic
+/// microsecond timestamp (same clock/epoch as the tracer, so log lines and
+/// trace events correlate). Read once per process.
+bool timestamps_enabled() {
+  static const bool on = [] {
+    const char* env = std::getenv("SMARTLY_LOG_TIMESTAMPS");
+    return env != nullptr && env[0] == '1' && env[1] == '\0';
+  }();
+  return on;
+}
+
 } // namespace
 
-LogLevel log_level() noexcept { return g_level; }
-void set_log_level(LogLevel lvl) noexcept { g_level = lvl; }
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel lvl) noexcept {
+  g_level.store(lvl, std::memory_order_relaxed);
+}
 
 namespace detail {
 void log_vprintf(LogLevel lvl, const char* prefix, const char* fmt, va_list ap) {
-  if (static_cast<int>(lvl) > static_cast<int>(g_level))
+  if (lvl == LogLevel::Error) {
+    static obs::Counter& errors = obs::counter("log.errors");
+    errors.add();
+  } else if (lvl == LogLevel::Warn) {
+    static obs::Counter& warnings = obs::counter("log.warnings");
+    warnings.add();
+  }
+
+  const bool below_level =
+      static_cast<int>(lvl) > static_cast<int>(log_level());
+  const bool traced = static_cast<int>(lvl) <= static_cast<int>(LogLevel::Warn) &&
+                      obs::tracing_enabled();
+  if (below_level && !traced)
     return;
-  std::fputs(prefix, stderr);
-  std::vfprintf(stderr, fmt, ap);
-  std::fputc('\n', stderr);
+
+  // Format the whole record into one buffer so concurrent log_* calls from
+  // worker threads cannot tear lines on stderr: a single fwrite per record.
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(nullptr, 0, fmt, ap2);
+  va_end(ap2);
+
+  std::string line;
+  if (timestamps_enabled()) {
+    char ts[32];
+    const uint64_t us = obs::trace_now_us();
+    std::snprintf(ts, sizeof ts, "[%llu.%06llus] ",
+                  static_cast<unsigned long long>(us / 1000000),
+                  static_cast<unsigned long long>(us % 1000000));
+    line += ts;
+  }
+  line += prefix;
+  const size_t body_at = line.size();
+  if (n > 0) {
+    const size_t old = line.size();
+    line.resize(old + static_cast<size_t>(n) + 1);
+    std::vsnprintf(line.data() + old, static_cast<size_t>(n) + 1, fmt, ap);
+    line.resize(old + static_cast<size_t>(n));
+  }
+
+  if (traced)
+    obs::trace_instant("log", lvl == LogLevel::Error ? "log.error" : "log.warn",
+                       line.substr(body_at));
+  if (below_level)
+    return;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 } // namespace detail
 

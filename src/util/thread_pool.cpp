@@ -1,8 +1,25 @@
 #include "util/thread_pool.hpp"
 
+#include "obs/metrics.hpp"
+
 #include <algorithm>
 
 namespace smartly::util {
+
+namespace {
+// Queue/steal observability: totals are scheduling-dependent (how many tasks
+// a worker steals varies run to run), which is exactly what they are for —
+// seeing contention and imbalance. They are never gated or fed back into any
+// engine decision.
+obs::Counter& tasks_run_counter() {
+  static obs::Counter& c = obs::counter("pool.tasks_run");
+  return c;
+}
+obs::Counter& tasks_stolen_counter() {
+  static obs::Counter& c = obs::counter("pool.tasks_stolen");
+  return c;
+}
+} // namespace
 
 int resolve_thread_count(int requested) noexcept {
   if (requested > 0)
@@ -49,6 +66,7 @@ bool ThreadPool::try_steal(int worker, size_t& task) {
       continue;
     task = q.tasks.front();
     q.tasks.pop_front();
+    tasks_stolen_counter().add();
     return true;
   }
   return false;
@@ -70,6 +88,7 @@ void ThreadPool::work_until_batch_done(int worker) {
     }
     std::exception_ptr err = nullptr;
     if (!skip) {
+      tasks_run_counter().add();
       try {
         (*fn)(worker, task);
       } catch (...) {
@@ -104,6 +123,7 @@ void ThreadPool::run_batch(size_t n, const std::function<void(int, size_t)>& fn)
   if (n == 0)
     return;
   if (threads_ == 1) {
+    tasks_run_counter().add(n);
     for (size_t i = 0; i < n; ++i)
       fn(0, i);
     return;
