@@ -30,10 +30,13 @@
 #include "bench_json.hpp"
 #include "benchgen/industrial.hpp"
 #include "benchgen/random_circuit.hpp"
+#include "benchgen/scale.hpp"
 #include "cec/cec.hpp"
 #include "core/smartly_pass.hpp"
+#include "rewrite/rewrite_engine.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 
@@ -142,18 +145,225 @@ std::string json_row(const Row& r) {
   return o.str();
 }
 
+// ---------------------------------------------------------------------------
+// Scaling mode (--scale-nodes N): multi-million-AIG-node generated families.
+//
+// The classic suite above answers "does rewriting shrink real circuits"; at
+// its sizes the per-round fixed costs dominate and thread-scaling curves are
+// flat. This mode answers "does the barrier-free reservation pipeline scale":
+// it generates the scale_random / scale_industrial families (benchgen/scale)
+// at a target AIG-node budget, runs the rewrite engine alone (no frontend, no
+// fraig, no CEC — a SAT sweep at this size would dwarf the engine under test)
+// once per thread count, and emits the BENCH_rewrite_scaling.json schema with
+// a per-row "scaling" curve shaped like bench_pass's. Byte-identity across
+// thread counts is still asserted in-binary; the minimum 4-thread speedup is
+// gated by scripts/check_bench_regression.py, which can see whether the run
+// machine actually had the cores (hardware_threads).
+// ---------------------------------------------------------------------------
+
+struct ScalePoint {
+  int threads = 0;
+  double seconds = 0;
+};
+
+struct ScaleRow {
+  std::string name, family;
+  size_t target_nodes = 0;
+  size_t cells = 0; ///< generated word-level cells
+  rewrite::RewriteStats stats;
+  bool deterministic = true;
+  std::vector<ScalePoint> scaling;
+};
+
+/// speedup_vs_1t anchors on the threads==1 point (first point otherwise).
+double scale_anchor_seconds(const ScaleRow& r) {
+  for (const ScalePoint& p : r.scaling)
+    if (p.threads == 1)
+      return p.seconds;
+  return r.scaling.empty() ? 0.0 : r.scaling.front().seconds;
+}
+
+double ratio_or_zero(double num, double den) { return den > 0 ? num / den : 0.0; }
+
+ScaleRow run_scale_circuit(const std::string& family, size_t target_nodes,
+                           const std::vector<int>& thread_counts,
+                           util::ResourceGuard& guard) {
+  ScaleRow row;
+  row.family = family;
+  row.target_nodes = target_nodes;
+  row.name = family + "_" + std::to_string(target_nodes / 1000) + "k";
+
+  rtlil::Design design;
+  benchgen::ScaleSpec spec;
+  spec.seed = 1;
+  spec.target_aig_nodes = target_nodes;
+  if (family == "scale_random")
+    benchgen::scale_random_netlist(design, row.name, spec);
+  else
+    benchgen::scale_industrial_netlist(design, row.name, spec);
+  row.cells = design.top()->cell_count();
+
+  std::string first_netlist;
+  for (size_t i = 0; i < thread_counts.size(); ++i) {
+    const auto clone = rtlil::clone_design(design);
+    rewrite::RewriteOptions options;
+    options.threads = thread_counts[i];
+    options.guard = &guard;
+    const auto t0 = std::chrono::steady_clock::now();
+    const rewrite::RewriteStats stats = rewrite::rewrite_sweep(*clone->top(), options);
+    const double seconds = seconds_since(t0);
+    const std::string netlist = backend::write_rtlil(*clone->top());
+    if (i == 0) {
+      row.stats = stats;
+      first_netlist = netlist;
+    } else {
+      row.deterministic = row.deterministic && netlist == first_netlist &&
+                          rewrite::same_work(stats, row.stats);
+    }
+    row.scaling.push_back({thread_counts[i], seconds});
+  }
+  return row;
+}
+
+std::string json_scale_row(const ScaleRow& r) {
+  const double t1 = scale_anchor_seconds(r);
+  std::vector<std::string> points;
+  points.reserve(r.scaling.size());
+  for (const ScalePoint& p : r.scaling) {
+    benchjson::JsonObject o;
+    o.put("threads", p.threads)
+        .putf("seconds", p.seconds)
+        .putf("speedup_vs_1t", ratio_or_zero(t1, p.seconds), 3);
+    points.push_back(o.str());
+  }
+  benchjson::JsonObject o;
+  o.put("name", r.name)
+      .put("family", r.family)
+      .put("target_aig_nodes", r.target_nodes)
+      .put("cells", r.cells)
+      .put("aig_nodes", r.stats.aig_nodes)
+      .put("rounds", r.stats.rounds)
+      .put("roots_evaluated", r.stats.roots_evaluated)
+      .put("candidates", r.stats.candidates)
+      .put("rewrites", r.stats.rewrites)
+      .put("cells_added", r.stats.cells_added)
+      .put("deterministic", r.deterministic)
+      .put_raw("scaling", benchjson::json_array(points));
+  return o.str();
+}
+
+int run_scale_mode(size_t target_nodes, const std::vector<int>& thread_counts, bool json,
+                   const std::string& filter, const std::string& trace_path) {
+  benchjson::TraceOutput trace_output;
+  trace_output.arm(trace_path);
+  const obs::Span root_span("bench", "bench_rewrite_scaling");
+  obs::StageProfile profile;
+  util::ResourceGuard guard;
+
+  std::vector<std::string> families = {"scale_random", "scale_industrial"};
+  if (!filter.empty()) {
+    families.erase(std::remove_if(families.begin(), families.end(),
+                                  [&](const std::string& f) {
+                                    return f.find(filter) == std::string::npos;
+                                  }),
+                   families.end());
+    if (families.empty()) {
+      std::fprintf(stderr, "bench_rewrite: --filter '%s' matches no scale family\n",
+                   filter.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<ScaleRow> rows;
+  rows.reserve(families.size());
+  for (const std::string& family : families) {
+    {
+      const auto stage = profile.scope(family);
+      const obs::Span span("bench", family);
+      rows.push_back(run_scale_circuit(family, target_nodes, thread_counts, guard));
+    }
+    if (!json) {
+      const ScaleRow& r = rows.back();
+      std::printf("%-24s cells %8zu  aig %9zu  rewrites %7zu  det %s\n", r.name.c_str(),
+                  r.cells, r.stats.aig_nodes, r.stats.rewrites,
+                  r.deterministic ? "yes" : "NO");
+      for (const ScalePoint& p : r.scaling)
+        std::printf("  threads %d: %8.3fs  (%.2fx vs 1t)\n", p.threads, p.seconds,
+                    ratio_or_zero(scale_anchor_seconds(r), p.seconds));
+    }
+  }
+
+  bool det_all = true;
+  double total_1t = 0, total_4t = 0;
+  bool have_4t = false;
+  for (const ScaleRow& r : rows) {
+    det_all = det_all && r.deterministic;
+    total_1t += scale_anchor_seconds(r);
+    for (const ScalePoint& p : r.scaling)
+      if (p.threads == 4) {
+        total_4t += p.seconds;
+        have_4t = true;
+      }
+  }
+
+  if (json) {
+    std::vector<std::string> row_json;
+    row_json.reserve(rows.size());
+    for (const ScaleRow& r : rows)
+      row_json.push_back("    " + json_scale_row(r));
+    std::string circuits_array = "[\n";
+    for (size_t i = 0; i < row_json.size(); ++i)
+      circuits_array += row_json[i] + (i + 1 == row_json.size() ? "\n" : ",\n");
+    circuits_array += "  ]";
+
+    benchjson::JsonObject total;
+    total.put("target_aig_nodes", target_nodes)
+        .putf("seconds_1t", total_1t)
+        .putf("seconds_4t", have_4t ? total_4t : 0.0)
+        .putf("speedup_4t_vs_1t", have_4t ? ratio_or_zero(total_1t, total_4t) : 0.0, 3)
+        .put("deterministic_all", det_all);
+
+    std::printf("{\n  \"bench\": \"rewrite_scaling\",\n  \"metric\": \"rewrite_seconds\",\n"
+                "  \"hardware_threads\": %u,\n  \"circuits\": %s,\n  \"total\": %s,\n"
+                "  \"resource\": %s,\n  \"obs\": %s\n}\n",
+                std::thread::hardware_concurrency(), circuits_array.c_str(),
+                total.str().c_str(), benchjson::resource_json(guard.report()).c_str(),
+                benchjson::obs_json(profile).c_str());
+  } else if (have_4t) {
+    std::printf("\nTotal: 1t %.3fs, 4t %.3fs, speedup %.2fx\n", total_1t, total_4t,
+                ratio_or_zero(total_1t, total_4t));
+  }
+
+  if (!det_all) {
+    std::fprintf(stderr, "FAIL: scale rewrite diverged across thread counts\n");
+    return 1;
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false, json = false;
   std::string filter, trace_path;
   std::vector<int> thread_counts;
+  size_t scale_nodes = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0)
       smoke = true;
     else if (std::strcmp(argv[i], "--json") == 0)
       json = true;
-    else if (std::strcmp(argv[i], "--filter") == 0) {
+    else if (std::strcmp(argv[i], "--scale-nodes") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_rewrite: --scale-nodes requires a value\n");
+        return 2;
+      }
+      scale_nodes = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+      if (scale_nodes == 0) {
+        std::fprintf(stderr, "bench_rewrite: --scale-nodes must be a positive integer\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--filter") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "bench_rewrite: --filter requires a value\n");
         return 2;
@@ -174,14 +384,20 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
       std::printf(
           "usage: bench_rewrite [--smoke] [--json] [--filter <substr>] "
-          "[--threads <csv, default 1,2,4,8>] [--trace-out FILE]\n"
+          "[--threads <csv, default 1,2,4,8>] [--trace-out FILE] [--scale-nodes N]\n"
           "\n"
           "DAG-aware cut-rewriting engine benchmark over the public + industrial\n"
           "+ random circuit families (BENCH_rewrite.json schema). Every rewritten\n"
           "netlist is CEC-verified and must be byte-identical across thread\n"
           "counts; the AIG area (the paper's cell metric) must shrink strictly\n"
           "below the fraig stage alone in at least one family (--smoke) or in\n"
-          "every family (full run).\n");
+          "every family (full run).\n"
+          "\n"
+          "--scale-nodes N switches to the thread-scaling mode: generate the\n"
+          "scale_random / scale_industrial families at ~N AIG nodes, run the\n"
+          "rewrite engine alone per thread count, and emit the\n"
+          "BENCH_rewrite_scaling.json schema (per-row \"scaling\" curves; CEC is\n"
+          "skipped, byte-identity across thread counts is still enforced).\n");
       return 0;
     } else {
       std::fprintf(stderr, "bench_rewrite: unknown option '%s' (try --help)\n", argv[i]);
@@ -190,6 +406,9 @@ int main(int argc, char** argv) {
   }
   if (thread_counts.empty())
     thread_counts = smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+
+  if (scale_nodes > 0)
+    return run_scale_mode(scale_nodes, thread_counts, json, filter, trace_path);
 
   std::vector<benchgen::BenchCircuit> circuits;
   {

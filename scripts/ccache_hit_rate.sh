@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# ccache hit-rate report for CI jobs.
+#
+#   ccache_hit_rate.sh [threshold-percent]
+#
+# Prints `ccache -s` so every job log ends with the compiler-cache picture,
+# then computes the hit rate from the machine-readable counters and emits a
+# GitHub Actions warning annotation when it falls below the threshold
+# (default 50%). Fail-soft by design: a cold cache or a ccache too old for
+# --print-stats makes builds slower, not wrong, so this script always exits 0.
+set -u
+
+threshold="${1:-50}"
+
+if ! command -v ccache >/dev/null 2>&1; then
+  echo "ccache_hit_rate: ccache not installed; nothing to report"
+  exit 0
+fi
+
+ccache -s || true
+
+stats="$(ccache --print-stats 2>/dev/null || true)"
+if [ -z "$stats" ]; then
+  echo "ccache_hit_rate: this ccache lacks --print-stats; skipping the hit-rate check"
+  exit 0
+fi
+
+# --print-stats emits one `counter<TAB>value` pair per line. Hits are the sum
+# of direct and preprocessed mode; everything actually compiled is a miss.
+counter() {
+  printf '%s\n' "$stats" | awk -v k="$1" '$1 == k { print $2; found = 1 } END { if (!found) print 0 }'
+}
+direct="$(counter direct_cache_hit)"
+preprocessed="$(counter preprocessed_cache_hit)"
+miss="$(counter cache_miss)"
+hits=$((direct + preprocessed))
+total=$((hits + miss))
+
+if [ "$total" -eq 0 ]; then
+  echo "ccache_hit_rate: no cacheable compilations recorded; nothing to check"
+  exit 0
+fi
+
+rate=$((100 * hits / total))
+echo "ccache_hit_rate: ${hits}/${total} cacheable compilations hit (${rate}%)"
+if [ "$rate" -lt "$threshold" ]; then
+  echo "::warning title=ccache hit rate ${rate}%::below the ${threshold}% floor — cold cache or cache-key churn; this job compiled mostly from scratch"
+fi
+exit 0

@@ -1,0 +1,162 @@
+#include "benchgen/scale.hpp"
+
+#include "util/hashing.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace smartly::benchgen {
+
+using rtlil::CellType;
+using rtlil::Design;
+using rtlil::Module;
+using rtlil::SigSpec;
+using rtlil::Wire;
+
+namespace {
+
+// Incremental AIG-node cost model per W-wide word gate after bit blasting:
+// And/Or are one AND node per bit, Xor and Mux are three, Not is free
+// (complement edges). The generators stop at the first gate that crosses the
+// budget, so totals overshoot by at most one gate.
+constexpr size_t kAndCost = 1;
+constexpr size_t kXorCost = 3;
+constexpr size_t kMuxCost = 3;
+
+/// Shared generation state: a grow-only signal pool with a round-robin
+/// consumption cursor. Every gate reads exactly as many cursor signals as it
+/// pushes, so the unread tail stays at its initial size (the primary inputs)
+/// and, once the tail is folded into the outputs, essentially the whole DAG
+/// is transitively live — the rewrite engine sees the full root population
+/// instead of sweeping a mostly-dead graph.
+struct Pool {
+  Pool(Module* m, Rng& rng, int width, int n_inputs) : m_(m), rng_(rng), width_(width) {
+    for (int i = 0; i < n_inputs; ++i) {
+      Wire* w = m_->add_wire("pi" + std::to_string(i), width_);
+      m_->set_port_input(w);
+      signals_.emplace_back(w);
+    }
+  }
+
+  /// Next unread signal, round-robin. Guarantees liveness of the prefix.
+  const SigSpec& next() { return signals_[cursor_++ % signals_.size()]; }
+
+  /// Random signal from the recent window; creates the DAG sharing.
+  const SigSpec& window() {
+    const size_t k = std::min<size_t>(signals_.size(), 64);
+    return signals_[signals_.size() - 1 - rng_.below(k)];
+  }
+
+  void push(const SigSpec& sig) { signals_.push_back(sig); }
+
+  /// Xor-fold every signal the cursor never consumed (plus the last window
+  /// entry) into one accumulator wired to an output port, then expose two
+  /// recent results directly. Keeps the tail — and through it the rest of
+  /// the graph — observable.
+  void finish() {
+    SigSpec acc = signals_[signals_.size() - 1];
+    for (size_t i = cursor_; i < signals_.size(); ++i)
+      acc = m_->add_binary(CellType::Xor, acc, signals_[i], width_, false, false);
+    Wire* fold = m_->add_wire("po_fold", width_);
+    m_->set_port_output(fold);
+    m_->connect(SigSpec(fold), acc);
+    for (int i = 0; i < 2 && signals_.size() > 2; ++i) {
+      const SigSpec& sig = signals_[signals_.size() - 2 - static_cast<size_t>(i)];
+      Wire* w = m_->add_wire("po" + std::to_string(i), width_);
+      m_->set_port_output(w);
+      m_->connect(SigSpec(w), sig);
+    }
+  }
+
+  Module* m_;
+  Rng& rng_;
+  int width_;
+  std::vector<SigSpec> signals_;
+  size_t cursor_ = 0;
+};
+
+int clamp_width(int w) { return std::max(1, std::min(w, 30)); }
+
+} // namespace
+
+Module* scale_random_netlist(Design& design, const std::string& name, const ScaleSpec& spec) {
+  Rng rng(spec.seed);
+  Module* m = design.add_module(name);
+  const int W = clamp_width(spec.width);
+  const size_t uw = static_cast<size_t>(W);
+  Pool pool(m, rng, W, 16);
+
+  size_t nodes = 0;
+  while (nodes < spec.target_aig_nodes) {
+    // Weighted gate mix: plain And/Or keep the AIG shallow and cheap, Xor and
+    // Mux contribute the 3-node cones DAG-aware rewriting restructures, the
+    // occasional Not seeds complement edges.
+    const uint64_t r = rng.below(10);
+    const SigSpec a = pool.next();
+    if (r < 3) {
+      pool.push(m->add_binary(CellType::And, a, pool.window(), W, false, false));
+      nodes += kAndCost * uw;
+    } else if (r < 5) {
+      pool.push(m->add_binary(CellType::Or, a, pool.window(), W, false, false));
+      nodes += kAndCost * uw;
+    } else if (r < 7) {
+      pool.push(m->add_binary(CellType::Xor, a, pool.window(), W, false, false));
+      nodes += kXorCost * uw;
+    } else if (r < 9) {
+      const SigSpec b = pool.window();
+      const SigSpec s = pool.window();
+      pool.push(m->Mux(a, b, s.extract(0, 1)));
+      nodes += kMuxCost * uw;
+    } else {
+      pool.push(m->add_unary(CellType::Not, a, W, false));
+    }
+  }
+
+  pool.finish();
+  m->check();
+  return m;
+}
+
+Module* scale_industrial_netlist(Design& design, const std::string& name,
+                                 const ScaleSpec& spec) {
+  Rng rng(spec.seed);
+  Module* m = design.add_module(name);
+  const int W = clamp_width(spec.width);
+  const size_t uw = static_cast<size_t>(W);
+  Pool pool(m, rng, W, 16);
+
+  // One datapath tile = 16*W AIG nodes of deliberately redundant structure:
+  // a same-control mux pair over an and/xor split (the mux-swap motif the
+  // rewriter collapses), an or-of-ands that distributes to a single and, and
+  // an xor re-merge. Four cursor reads / four pushes keep the tail constant.
+  size_t nodes = 0;
+  while (nodes < spec.target_aig_nodes) {
+    const SigSpec a = pool.next();
+    const SigSpec b = pool.next();
+    const SigSpec c = pool.next();
+    const SigSpec s = pool.next().extract(0, 1);
+    const SigSpec d = pool.window();
+
+    const SigSpec t1 = m->add_binary(CellType::And, a, b, W, false, false);
+    const SigSpec t2 = m->add_binary(CellType::Xor, a, b, W, false, false);
+    const SigSpec m1 = m->Mux(t1, t2, s);
+    const SigSpec m2 = m->Mux(t2, t1, s);
+    const SigSpec u = m->add_binary(
+        CellType::Or, m->add_binary(CellType::And, a, d, W, false, false),
+        m->add_binary(CellType::And, b, d, W, false, false), W, false, false);
+    const SigSpec v = m->add_binary(CellType::Xor, m1, c, W, false, false);
+
+    pool.push(m1);
+    pool.push(m2);
+    pool.push(u);
+    pool.push(v);
+    nodes += (kAndCost * 4 + kXorCost * 2 + kMuxCost * 2) * uw;
+  }
+
+  pool.finish();
+  m->check();
+  return m;
+}
+
+} // namespace smartly::benchgen

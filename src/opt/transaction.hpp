@@ -24,6 +24,15 @@
 // Real budget trips (conflicts, deadline, cancel, growth) are *not*
 // failures: they are PR 6's sound degradation, the stage's partial output
 // is kept, and no rollback happens.
+//
+// Quiescence contract with the barrier-free rewrite pipeline: although
+// rewrite workers evaluate roots without a round barrier, every module
+// mutation goes through the commit sequencer's journal, which is applied
+// only at round boundaries after the worker pool has joined — including on
+// faulted rounds, where the journal holds the canonical prefix that
+// committed before the poison point. A StageTransaction snapshot (entry or
+// paranoid CEC) therefore always observes a quiescent netlist: fully
+// pre-round or fully post-round, never a half-applied one.
 #pragma once
 
 #include "rtlil/module.hpp"

@@ -1,0 +1,141 @@
+#include "rewrite/reservation.hpp"
+
+namespace smartly::rewrite {
+
+namespace {
+
+constexpr uint64_t kOwnerBits = 30;
+constexpr uint64_t kOwnerMask = (uint64_t{1} << kOwnerBits) - 1;
+constexpr uint64_t kStateShift = kOwnerBits;
+constexpr uint64_t kEpochShift = kOwnerBits + 2;
+
+constexpr uint64_t kFree = 0;
+constexpr uint64_t kHeld = 1;
+constexpr uint64_t kDead = 2;
+
+constexpr uint64_t word_of(uint32_t epoch, uint64_t state, uint32_t owner) {
+  return (uint64_t{epoch} << kEpochShift) | (state << kStateShift) |
+         (uint64_t{owner} & kOwnerMask);
+}
+
+constexpr uint32_t epoch_of(uint64_t w) { return static_cast<uint32_t>(w >> kEpochShift); }
+constexpr uint64_t state_of(uint64_t w) { return (w >> kStateShift) & 3; }
+constexpr uint32_t owner_of(uint64_t w) { return static_cast<uint32_t>(w & kOwnerMask); }
+
+} // namespace
+
+void ClaimTable::begin_round(size_t cell_bound) {
+  if (cell_bound > capacity_) {
+    // No concurrent access between rounds; a fresh zeroed array reads as
+    // epoch 0, which is stale for every round (epoch_ starts at 1).
+    words_ = std::make_unique<std::atomic<uint64_t>[]>(cell_bound);
+    for (size_t i = 0; i < cell_bound; ++i)
+      words_[i].store(0, std::memory_order_relaxed);
+    capacity_ = cell_bound;
+  }
+  size_ = cell_bound;
+  ++epoch_;
+}
+
+ClaimTable::Acquire ClaimTable::acquire(uint32_t owner,
+                                        const std::vector<uint32_t>& slots) {
+  const auto taken_so_far = [&](size_t end) {
+    // Release the prefix we managed to take before conflicting.
+    std::vector<uint32_t> prefix(slots.begin(),
+                                 slots.begin() + static_cast<ptrdiff_t>(end));
+    release(owner, prefix);
+  };
+  for (size_t i = 0; i < slots.size(); ++i) {
+    std::atomic<uint64_t>& word = words_[slots[i]];
+    uint64_t w = word.load(std::memory_order_acquire);
+    for (;;) {
+      const bool live = epoch_of(w) == epoch_;
+      if (live && state_of(w) == kDead)
+        break; // tombstone: proceed, the sequencer decides
+      if (live && state_of(w) == kHeld) {
+        const uint32_t holder = owner_of(w);
+        if (holder == owner)
+          break; // already ours
+        if (holder < owner) {
+          taken_so_far(i);
+          return Acquire::Conflict;
+        }
+        // Held by a higher-ordered root: steal (priority to lower order).
+      }
+      if (word.compare_exchange_weak(w, word_of(epoch_, kHeld, owner),
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire))
+        break;
+      // w was reloaded by the failed CAS; re-examine.
+    }
+  }
+  // Verification pass: a lower-ordered root may have stolen one of our slots
+  // between its claim above and now. Claims must form a consistent snapshot
+  // before we deposit on their strength.
+  for (const uint32_t slot : slots) {
+    const uint64_t w = load(slot);
+    if (epoch_of(w) == epoch_ && state_of(w) == kHeld && owner_of(w) < owner) {
+      release(owner, slots);
+      return Acquire::Conflict;
+    }
+  }
+  return Acquire::Won;
+}
+
+void ClaimTable::release(uint32_t owner, const std::vector<uint32_t>& slots) {
+  for (const uint32_t slot : slots) {
+    std::atomic<uint64_t>& word = words_[slot];
+    uint64_t w = word.load(std::memory_order_acquire);
+    while (epoch_of(w) == epoch_ && state_of(w) == kHeld && owner_of(w) == owner) {
+      if (word.compare_exchange_weak(w, word_of(epoch_, kFree, 0),
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire))
+        break;
+    }
+  }
+}
+
+void ClaimTable::settle(uint32_t owner, const std::vector<uint32_t>& slots,
+                        const std::vector<uint32_t>& dead) {
+  for (const uint32_t slot : dead)
+    words_[slot].store(word_of(epoch_, kDead, 0), std::memory_order_release);
+  release(owner, slots); // release() skips slots now marked Dead
+}
+
+bool ClaimTable::dead(uint32_t slot) const {
+  const uint64_t w = load(slot);
+  return epoch_of(w) == epoch_ && state_of(w) == kDead;
+}
+
+CommitSequencer::CommitSequencer(size_t n, std::function<void(size_t)> commit)
+    : ready_(n, 0), commit_(std::move(commit)) {}
+
+void CommitSequencer::deposit(size_t i) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ready_[i] = 1;
+  if (poisoned_)
+    return;
+  while (frontier_ < ready_.size() && ready_[frontier_]) {
+    try {
+      commit_(frontier_);
+    } catch (...) {
+      // Freeze the frontier: later deposits are recorded but never committed,
+      // so the set of commits that ran is canonical-prefix-deterministic.
+      poisoned_ = true;
+      throw;
+    }
+    ++frontier_;
+  }
+}
+
+size_t CommitSequencer::frontier() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return frontier_;
+}
+
+bool CommitSequencer::poisoned() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return poisoned_;
+}
+
+} // namespace smartly::rewrite

@@ -1,0 +1,131 @@
+// MFFC reservation locking for barrier-free parallel rewriting.
+//
+// The rewrite engine evaluates roots in parallel and used to serialize every
+// commit at a round barrier. This layer removes the barrier while keeping
+// byte-identity at every thread count, by splitting the problem in two:
+//
+//  * ClaimTable — per-cell atomic (epoch, state, owner) claim words, after
+//    the Galois aigRewriting per-node (threadId, travId) reservation state.
+//    A worker that has evaluated a root claims the root, its predicted MFFC,
+//    and the boundary fanout frontier (the drivers its replacement keeps
+//    reading). Conflicts are tie-broken by canonical root order: the
+//    lower-ordered root always wins, losers release everything and requeue.
+//    Claims are *advisory*: they schedule work away from conflicts early and
+//    cheaply, but never decide a commit — so the schedule-dependent parts
+//    (who conflicted with whom, and when) can never leak into the result.
+//
+//  * CommitSequencer — a reorder buffer that turns out-of-order deposits
+//    into strictly canonical-order commits. Workers deposit evaluation
+//    results the moment they finish; the depositing worker drains the commit
+//    frontier as far as consecutive deposits allow, running each commit
+//    inside the sequencer's critical section. Every netlist mutation and
+//    every commit *decision* therefore happens in exactly the order the old
+//    single-threaded commit loop used — which is what makes netlists, stats,
+//    and decision traces byte-identical at 1/2/4/8 threads — while commits
+//    overlap freely with the evaluation of later roots instead of waiting
+//    for the round to drain.
+//
+// Claim-word layout (64 bits):
+//
+//      [ epoch : 32 ][ state : 2 ][ owner : 30 ]
+//
+// `epoch` is bumped once per round by begin_round(); any word carrying a
+// stale epoch reads as Free, so rounds reset every claim in O(1) without
+// touching the table. `state` is Free / Held / Dead; Dead marks cells the
+// sequencer has committed or credited as MFFC-dead — later roots overlapping
+// a Dead cell proceed to deposit (the tombstone never resolves, so waiting
+// would livelock) and the sequencer's deterministic revalidation rejects
+// them. `owner` is the canonical root index holding the claim.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace smartly::rewrite {
+
+class ClaimTable {
+public:
+  /// Result of an acquire attempt over a whole reservation set.
+  enum class Acquire : uint8_t {
+    Won,     ///< every slot is now Held by `owner` (or Dead — see header)
+    Conflict ///< a lower-ordered owner holds a slot; everything was released
+  };
+
+  /// Start a round: bump the epoch (logically freeing every claim) and make
+  /// sure slots [0, cell_bound) exist. Single-threaded (round barrier only).
+  void begin_round(size_t cell_bound);
+
+  /// Claim every slot in `slots` for `owner` (a canonical root index).
+  /// Tie-break: a slot Held by a lower owner is a Conflict — all slots
+  /// already taken in this call are released and the caller should requeue.
+  /// A slot Held by a *higher* owner is stolen (the higher root will detect
+  /// the theft on its next attempt, or simply deposit; claims are advisory).
+  /// Dead slots are skipped. A final verification pass re-checks the whole
+  /// set so a steal that raced in mid-acquire is still reported as Conflict.
+  Acquire acquire(uint32_t owner, const std::vector<uint32_t>& slots);
+
+  /// Release every slot in `slots` still held by `owner` (CAS-guarded: slots
+  /// meanwhile stolen by a lower owner are left alone).
+  void release(uint32_t owner, const std::vector<uint32_t>& slots);
+
+  /// Commit-time settlement, called from inside the sequencer's critical
+  /// section: every slot in `dead` becomes a Dead tombstone for the rest of
+  /// the round (unconditionally — the sequencer is the authority), and every
+  /// slot in `slots` not marked Dead is released as in release().
+  void settle(uint32_t owner, const std::vector<uint32_t>& slots,
+              const std::vector<uint32_t>& dead);
+
+  /// True when `slot` currently reads as a Dead tombstone of this round.
+  bool dead(uint32_t slot) const;
+
+  /// Current round epoch (exposed for the protocol unit tests).
+  uint32_t epoch() const noexcept { return epoch_; }
+
+  size_t size() const noexcept { return size_; }
+
+private:
+  uint64_t load(uint32_t slot) const {
+    return words_[slot].load(std::memory_order_acquire);
+  }
+
+  std::unique_ptr<std::atomic<uint64_t>[]> words_;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+  uint32_t epoch_ = 0;
+};
+
+/// Reorder buffer: deposits arrive in any order, the commit callback runs in
+/// strictly increasing index order, inside the deposit call that completed
+/// the next run of consecutive indices. `commit(i)` runs under the internal
+/// mutex, so everything it touches is single-threaded by construction. If a
+/// commit throws, the sequencer poisons itself: the frontier freezes and
+/// later deposits are recorded but never committed — the exception
+/// propagates out of exactly one deposit call, and which commits ran is a
+/// pure function of the canonical order (everything before the throwing
+/// index), not of the schedule.
+class CommitSequencer {
+public:
+  CommitSequencer(size_t n, std::function<void(size_t)> commit);
+
+  /// Mark index `i` ready and drain the frontier as far as it goes.
+  void deposit(size_t i);
+
+  /// First index not yet committed (n when fully drained).
+  size_t frontier() const;
+
+  bool poisoned() const;
+
+private:
+  mutable std::mutex mutex_;
+  std::vector<uint8_t> ready_;
+  std::function<void(size_t)> commit_;
+  size_t frontier_ = 0;
+  bool poisoned_ = false;
+};
+
+} // namespace smartly::rewrite

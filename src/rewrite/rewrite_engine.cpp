@@ -6,6 +6,7 @@
 #include "opt/muxtree_walker.hpp" // SweepJournal + apply_sweep_journal
 #include "rewrite/cut_enum.hpp"
 #include "rewrite/npn.hpp"
+#include "rewrite/reservation.hpp"
 #include "rewrite/rewrite_lib.hpp"
 #include "rtlil/topo.hpp"
 #include "sim/packed_sim.hpp"
@@ -19,6 +20,7 @@
 #include <cstdlib>
 #include <map>
 #include <stdexcept>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -374,6 +376,9 @@ RewriteStats rewrite_sweep(rtlil::Module& module, const RewriteOptions& options)
   const NpnTable& npn = NpnTable::instance();
   const RewriteLibrary& library = RewriteLibrary::instance();
   std::unordered_set<uint16_t> classes_seen;
+  // Per-cell reservation claims, persistent across rounds: begin_round bumps
+  // the epoch, which logically frees every claim of the previous round.
+  ClaimTable claims;
 
   util::ResourceGuard* guard = options.guard;
   if (guard != nullptr)
@@ -490,15 +495,65 @@ RewriteStats rewrite_sweep(rtlil::Module& module, const RewriteOptions& options)
     }
     stats.roots_evaluated += roots.size();
 
-    // --- parallel root evaluation (slot-per-root, read-only shared state) --
-    std::vector<RootEval> evals(roots.size());
+    // --- barrier-free pipelined evaluation + commit -------------------------
+    //
+    // Workers evaluate roots in parallel exactly as before, but instead of
+    // waiting for every evaluation to finish and then committing behind a
+    // round barrier, each worker reserves its candidate's MFFC (plus the
+    // boundary fanout frontier the replacement keeps reading) in the atomic
+    // claim table and deposits the result into a CommitSequencer that drains
+    // commits in canonical root order the moment the frontier allows. All
+    // commit *decisions* and all module mutation happen inside the
+    // sequencer's critical section, in exactly the order the old sequential
+    // commit loop used — reservations only steer scheduling (losers release
+    // and requeue until the winning root resolves), so netlists, stats, and
+    // decision traces stay byte-identical at every thread count.
+    //
+    // Claim ownership is tie-broken by canonical root order: a root that
+    // finds a cell held by a lower-ordered root releases everything and
+    // requeues (it would lose the commit-time revalidation anyway if that
+    // root commits); a cell held by a higher-ordered root is stolen. Dead
+    // tombstones left by committed roots never force a requeue — the
+    // sequencer's deterministic revalidation is the authority, the claim
+    // table only an early, cheap approximation of it.
+
+    // Structural-key map over the round-start module (the notion shared with
+    // opt_merge and the fraig pre-merge): planned cells fold onto existing
+    // twins instead of duplicating them. Built before the pipeline starts;
+    // the sequencer maintains it as commits materialize cells.
+    std::unordered_map<Hash128, Cell*, Hash128Hasher> struct_map;
+    struct_map.reserve(module.cell_count());
+    for (const auto& cptr : module.cells())
+      if (cptr->type() != CellType::Dff)
+        struct_map.emplace(sweep::cell_structural_key(*cptr, index.sigmap()), cptr.get());
+
+    claims.begin_round(index.topo_position_bound());
+
+    struct RootSlot {
+      RootEval eval;
+      bool evaluated = false;        ///< evaluation ran (it runs exactly once)
+      uint32_t retries = 0;          ///< reservation attempts so far
+      std::vector<uint32_t> reserve; ///< claim slots: root + MFFC + frontier
+    };
+    std::vector<RootSlot> slots(roots.size());
+
+    // Round-scoped commit state, owned by the sequencer's critical section:
+    // only commit_root below touches any of it.
+    std::unordered_set<Cell*> claimed;           // roots committed for removal
+    std::unordered_set<Cell*> counted_dead;      // MFFC cells already credited
+    std::unordered_map<Cell*, int> new_cell_pos; // cells materialized this round
+    opt::SweepJournal journal;
+    size_t positive_commits = 0, total_commits = 0, round_skipped = 0;
+    const bool debug = std::getenv("SMARTLY_REWRITE_DEBUG") != nullptr;
+
     const auto evaluate_root = [&](size_t ri) {
       const RootWork& work = roots[ri];
-      RootEval& eval = evals[ri];
-      // Mid-phase halts come only from deadline/cancel/faults — deterministic
-      // budgets arm the sticky flag at the round barrier above.
-      if ((guard != nullptr && guard->poll()) ||
-          util::fault_unknown("rewrite.eval", root_unit_id(work))) {
+      RootEval& eval = slots[ri].eval;
+      // Mid-phase halts come only from deadline/cancel — deterministic
+      // budgets arm the sticky flag at the round barrier above, and the
+      // "rewrite.eval" fault point fires in the commit sequencer, in
+      // canonical order, so the same roots fault at every thread count.
+      if (guard != nullptr && guard->poll()) {
         eval.skipped = true;
         return;
       }
@@ -624,76 +679,73 @@ RewriteStats rewrite_sweep(rtlil::Module& module, const RewriteOptions& options)
         }
         eval.bits[j] = std::move(best);
       }
-    };
-    bool faulted = false;
-    try {
-      const obs::Span eval_span("rewrite", "rewrite.eval_phase", "roots",
-                                static_cast<uint64_t>(roots.size()));
-      if (pool.size() > 1 && roots.size() > 1)
-        pool.run_batch(roots.size(), [&](int, size_t i) { evaluate_root(i); });
-      else
-        for (size_t i = 0; i < roots.size(); ++i)
-          evaluate_root(i);
-    } catch (const util::FaultInjected& e) {
-      // Evaluation never mutates the module: dropping the round's evals
-      // leaves module and index as the last barrier committed them. Only
-      // injected faults are absorbed; real errors keep propagating.
-      faulted = true;
-      if (guard != nullptr)
-        guard->note_fault(e.site().c_str(), e.unit());
-    }
-    if (faulted) {
-      if (guard != nullptr) {
-        guard->halt(util::BudgetKind::Fault);
-        guard->note_halted_engine();
-      }
-      ++stats.halted;
-      break;
-    }
+      if (!eval.complete)
+        return;
 
-    size_t round_skipped = 0;
-    for (const RootEval& eval : evals) {
+      // Reservation set: the root, its predicted MFFC (approximated against
+      // the round-start netlist — the sequencer recomputes it against the
+      // true commit-time overlays), and the boundary fanout frontier (the
+      // leaf and reuse drivers the replacement keeps reading). Claim slots
+      // are round-start topo positions, dense in [0, topo_position_bound).
+      std::unordered_set<Cell*> boundary;
+      for (const BitCandidate& cand : eval.bits) {
+        for (size_t li = 0; li < cand.nleaves; ++li)
+          if (Cell* d = index.driver(cand.leaves[li].bit))
+            boundary.insert(d);
+        for (const SigBit& bit : cand.op_reuse)
+          if (bit.is_wire())
+            if (Cell* d = index.driver(bit))
+              boundary.insert(d);
+      }
+      std::vector<uint32_t>& reserve = slots[ri].reserve;
+      const auto add_claim = [&](Cell* c) {
+        const int pos = index.topo_position(c);
+        if (pos >= 0)
+          reserve.push_back(static_cast<uint32_t>(pos));
+      };
+      add_claim(work.cell);
+      for (Cell* c : predicted_mffc(index, work.cell, boundary, {}))
+        add_claim(c);
+      for (Cell* c : boundary)
+        add_claim(c);
+      std::sort(reserve.begin(), reserve.end());
+      reserve.erase(std::unique(reserve.begin(), reserve.end()), reserve.end());
+    };
+    // Commit one root inside the sequencer's critical section. Runs for
+    // every deposited root in strictly canonical order; every decision below
+    // reads only sequencer-owned overlays and round-start snapshots, never
+    // claim-table state, so the result is a pure function of the module.
+    const auto commit_root = [&](size_t ri) {
+      const RootWork& work = roots[ri];
+      RootSlot& slot = slots[ri];
+      RootEval& eval = slot.eval;
+      Cell* root = work.cell;
+      const uint32_t owner = static_cast<uint32_t>(ri);
       stats.candidates += eval.candidates;
-      if (eval.skipped)
+      // Deterministic fault point: one "rewrite.eval" event per root, fired
+      // here in canonical order instead of from the parallel evaluation
+      // tasks, so event-counter plans hit the same root — and leave the same
+      // committed prefix — at every thread count. A throw propagates out of
+      // the depositing worker and poisons the sequencer.
+      if (!eval.skipped && util::fault_unknown("rewrite.eval", root_unit_id(work)))
+        eval.skipped = true;
+      if (eval.skipped) {
         ++round_skipped;
+        claims.release(owner, slot.reserve);
+        return;
+      }
       if (eval.complete)
         for (const BitCandidate& c : eval.bits)
           classes_seen.insert(c.npn_class);
-    }
-    stats.skipped_roots += round_skipped;
-    if (guard != nullptr && round_skipped > 0)
-      guard->note_skipped_rewrites(round_skipped);
-
-    // --- sequential selection, gain accounting and commit ------------------
-    // Structural-key map over the current module (the notion shared with
-    // opt_merge and the fraig pre-merge): planned cells fold onto existing
-    // twins instead of duplicating them.
-    std::unordered_map<Hash128, Cell*, Hash128Hasher> struct_map;
-    struct_map.reserve(module.cell_count());
-    for (const auto& cptr : module.cells())
-      if (cptr->type() != CellType::Dff)
-        struct_map.emplace(sweep::cell_structural_key(*cptr, index.sigmap()), cptr.get());
-
-    const obs::Span commit_span("rewrite", "rewrite.commit_phase", "roots",
-                                static_cast<uint64_t>(roots.size()));
-    std::unordered_set<Cell*> claimed;           // roots committed for removal
-    std::unordered_set<Cell*> counted_dead;      // MFFC cells already credited
-    std::unordered_map<Cell*, int> new_cell_pos; // barrier-new cells
-    opt::SweepJournal journal;
-    size_t positive_commits = 0, total_commits = 0;
-
-    const bool debug = std::getenv("SMARTLY_REWRITE_DEBUG") != nullptr;
-    for (size_t ri = 0; ri < roots.size(); ++ri) {
-      const RootWork& work = roots[ri];
-      RootEval& eval = evals[ri];
-      Cell* root = work.cell;
       if (debug)
         std::fprintf(stderr, "root %s (%s): complete=%d claimed=%d dead=%d\n",
                      root->name().c_str(), rtlil::cell_type_name(root->type()),
                      (int)eval.complete, (int)claimed.count(root),
                      (int)counted_dead.count(root));
-      if (!eval.complete || claimed.count(root) || counted_dead.count(root))
-        continue;
+      if (!eval.complete || claimed.count(root) || counted_dead.count(root)) {
+        claims.release(owner, slot.reserve);
+        return;
+      }
       const int root_pos = index.topo_position(root);
 
       // Re-validate against this barrier's claims: a bit whose driver was
@@ -726,8 +778,10 @@ RewriteStats rewrite_sweep(rtlil::Module& module, const RewriteOptions& options)
           }
         }
       }
-      if (rejected)
-        continue; // the next round re-evaluates against the updated netlist
+      if (rejected) {
+        claims.release(owner, slot.reserve);
+        return; // the next round re-evaluates against the updated netlist
+      }
 
       // Group the output bits: members sharing (program, reuse pattern, mux
       // selects) become one wide cell per non-reused op. std::map keys keep
@@ -904,7 +958,8 @@ RewriteStats rewrite_sweep(rtlil::Module& module, const RewriteOptions& options)
       }
       if (abort_plan) {
         ++stats.plans_noop;
-        continue;
+        claims.release(owner, slot.reserve);
+        return;
       }
 
       // Gain in RTLIL cells: the root plus its predicted-dead cone against
@@ -932,13 +987,16 @@ RewriteStats rewrite_sweep(rtlil::Module& module, const RewriteOptions& options)
                      dead.size(), new_cells, plan_gain_est);
       if (gain < 0 || (gain == 0 && !(options.zero_gain && plan_gain_est > 0))) {
         ++stats.plans_rejected;
-        continue;
+        claims.release(owner, slot.reserve);
+        return;
       }
 
       // --- materialize ----------------------------------------------------
       // New cells take the root's topo position; journal append order is
       // program order, which compact_topo's stable sort preserves, so
       // intra-plan dependencies stay topologically valid.
+      const obs::Span commit_span("rewrite", "rewrite.commit", "root",
+                                  root_unit_id(work));
       for (auto& group_entry : groups) {
         GroupPlan& group = group_entry.second;
         const GateProgram& prog = *group.prog;
@@ -977,8 +1035,8 @@ RewriteStats rewrite_sweep(rtlil::Module& module, const RewriteOptions& options)
       journal.removed.push_back(root);
       journal.connects.emplace_back(lhs, rhs);
 
-      // Per-commit gain histogram: fed in the single-threaded commit loop,
-      // in canonical root order, from deterministic plan accounting.
+      // Per-commit gain histogram: fed inside the sequencer's critical
+      // section, in canonical root order, from deterministic plan accounting.
       static obs::Histogram& h_gain = obs::histogram("rewrite.gain");
       h_gain.observe(static_cast<uint64_t>(gain));
       claimed.insert(root);
@@ -993,11 +1051,88 @@ RewriteStats rewrite_sweep(rtlil::Module& module, const RewriteOptions& options)
       stats.gates_reused += reused_ops;
       stats.cells_shared += shared_ops;
       stats.predicted_dead += dead.size();
+
+      // Settle claims: the committed root and its credited-dead cone become
+      // Dead tombstones for the rest of the round; the boundary frontier is
+      // released for later roots to claim.
+      std::vector<uint32_t> dead_slots;
+      const auto add_dead = [&](Cell* c) {
+        const int pos = index.topo_position(c);
+        if (pos >= 0)
+          dead_slots.push_back(static_cast<uint32_t>(pos));
+      };
+      add_dead(root);
+      for (Cell* c : dead)
+        add_dead(c);
+      claims.settle(owner, slot.reserve, dead_slots);
+    };
+
+    CommitSequencer sequencer(roots.size(), commit_root);
+    static obs::Counter& m_conflicts = obs::counter("rewrite.reservation_conflicts");
+    // Past this many lost reservations a task deposits claimless: claims are
+    // advisory and the sequencer revalidates every commit, so correctness
+    // (and byte-identity) never depend on holding them — the cap only bounds
+    // spinning behind a slow-to-resolve lower-ordered root. Kept small: on
+    // dense million-node graphs a contended root can otherwise burn its
+    // whole worker on retries (observed ~30 retries/root on the scale
+    // families with a 256 cap), starving real evaluation work.
+    constexpr uint32_t kMaxReserveRetries = 4;
+
+    bool faulted = false;
+    try {
+      const obs::Span pipe_span("rewrite", "rewrite.pipeline", "roots",
+                                static_cast<uint64_t>(roots.size()));
+      pool.run_requeue_batch(roots.size(), [&](int, size_t ri) {
+        RootSlot& slot = slots[ri];
+        if (!slot.evaluated) {
+          evaluate_root(ri);
+          slot.evaluated = true;
+        }
+        if (slot.eval.complete && !slot.eval.skipped && !slot.reserve.empty() &&
+            slot.retries < kMaxReserveRetries) {
+          if (claims.acquire(static_cast<uint32_t>(ri), slot.reserve) ==
+              ClaimTable::Acquire::Conflict) {
+            // A lower-ordered root holds part of this candidate's cone; it
+            // resolves (commits or releases) strictly earlier in canonical
+            // order, so drain the worker's other local work first and retry.
+            m_conflicts.add();
+            ++slot.retries;
+            std::this_thread::yield();
+            return util::ThreadPool::TaskVerdict::Requeue;
+          }
+        }
+        sequencer.deposit(ri);
+        return util::ThreadPool::TaskVerdict::Done;
+      });
+    } catch (const util::FaultInjected& e) {
+      // The "rewrite.eval" fault point fires inside the sequencer in
+      // canonical order, so the committed prefix — already materialized and
+      // journaled — is identical at every thread count. Injected faults are
+      // absorbed; real errors keep propagating.
+      faulted = true;
+      if (guard != nullptr)
+        guard->note_fault(e.site().c_str(), e.unit());
     }
 
+    if (!faulted) {
+      stats.skipped_roots += round_skipped;
+      if (guard != nullptr && round_skipped > 0)
+        guard->note_skipped_rewrites(round_skipped);
+    }
     if (!journal.empty()) {
+      // Applied even on a faulted round: the committed prefix's cells and
+      // connects are already in the module, and the index must follow them
+      // for the post-halt consistency check.
       opt::apply_sweep_journal(module, index, journal);
       journal.clear();
+    }
+    if (faulted) {
+      if (guard != nullptr) {
+        guard->halt(util::BudgetKind::Fault);
+        guard->note_halted_engine();
+      }
+      ++stats.halted;
+      break;
     }
     if (total_commits == 0 || positive_commits == 0)
       break; // idle round, or a zero-gain-only round (committed once, stop)

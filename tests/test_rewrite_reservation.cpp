@@ -1,0 +1,301 @@
+// Reservation-commit protocol suite (rewrite/reservation.hpp).
+//
+// Covers the pieces the barrier-free rewrite pipeline is built from, then the
+// assembled property the pieces exist for:
+//
+//   * ClaimTable claim-word semantics: canonical-order tie-break (lower root
+//     wins, higher is stolen from), CAS-guarded release, Dead tombstones that
+//     skip rather than block, O(1) epoch reset between rounds;
+//   * CommitSequencer reorder buffer: out-of-order deposits commit in strictly
+//     canonical order, a throwing commit poisons the frontier so the committed
+//     set is a canonical prefix, never a schedule artifact;
+//   * losers requeue and eventually commit: conflicting reservation sets are
+//     run through the real work-stealing pool's requeue protocol and every
+//     root still commits exactly once, in canonical order;
+//   * a many-thread acquire/release/steal hammer with no external
+//     synchronization — the TSan CI job reruns this suite across fault seed
+//     offsets precisely for this test's interleavings;
+//   * the end property: netlists, stats and decision traces of the full
+//     rewrite engine are byte-identical at 1/2/4/8 threads under 10 seeded
+//     fault schedules (SMARTLY_FAULT_SEED_OFFSET shifts them, as in
+//     tests/test_faults.cpp).
+#include "backend/write_rtlil.hpp"
+#include "benchgen/random_circuit.hpp"
+#include "rewrite/reservation.hpp"
+#include "rewrite/rewrite_engine.hpp"
+#include "rtlil/module.hpp"
+#include "util/fault.hpp"
+#include "util/hashing.hpp"
+#include "util/thread_pool.hpp"
+#include "verilog/elaborate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace smartly;
+using rewrite::ClaimTable;
+using rewrite::CommitSequencer;
+
+namespace {
+
+uint64_t seed_offset() {
+  const char* env = std::getenv("SMARTLY_FAULT_SEED_OFFSET");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 0;
+}
+
+std::vector<uint32_t> slots(std::initializer_list<uint32_t> l) { return {l}; }
+
+} // namespace
+
+// --- ClaimTable protocol ----------------------------------------------------
+
+TEST(ClaimTableProtocol, AcquireFreeSlotsWins) {
+  ClaimTable t;
+  t.begin_round(8);
+  EXPECT_EQ(t.size(), 8u);
+  EXPECT_EQ(t.acquire(3, slots({0, 4, 7})), ClaimTable::Acquire::Won);
+}
+
+TEST(ClaimTableProtocol, HigherOwnerConflictsAgainstLowerAndReleasesPrefix) {
+  ClaimTable t;
+  t.begin_round(8);
+  ASSERT_EQ(t.acquire(3, slots({2, 4})), ClaimTable::Acquire::Won);
+  // Owner 5 takes slot 1, then hits 3's claim on slot 2: whole set released.
+  EXPECT_EQ(t.acquire(5, slots({1, 2})), ClaimTable::Acquire::Conflict);
+  // Slot 1 was given back (otherwise owner 7 would conflict on it)...
+  EXPECT_EQ(t.acquire(7, slots({1})), ClaimTable::Acquire::Won);
+  // ...while slot 2 is still 3's.
+  EXPECT_EQ(t.acquire(7, slots({2})), ClaimTable::Acquire::Conflict);
+}
+
+TEST(ClaimTableProtocol, LowerOwnerStealsFromHigher) {
+  ClaimTable t;
+  t.begin_round(8);
+  ASSERT_EQ(t.acquire(5, slots({1, 2, 3})), ClaimTable::Acquire::Won);
+  // Canonically-earlier root 3 takes slot 2 right through 5's claim.
+  EXPECT_EQ(t.acquire(3, slots({2})), ClaimTable::Acquire::Won);
+  // 5's release is CAS-guarded: it must not free the stolen slot.
+  t.release(5, slots({1, 2, 3}));
+  EXPECT_EQ(t.acquire(6, slots({2})), ClaimTable::Acquire::Conflict);
+  EXPECT_EQ(t.acquire(6, slots({1, 3})), ClaimTable::Acquire::Won);
+}
+
+TEST(ClaimTableProtocol, ReleaseByNonOwnerIsANoop) {
+  ClaimTable t;
+  t.begin_round(4);
+  ASSERT_EQ(t.acquire(4, slots({3})), ClaimTable::Acquire::Won);
+  t.release(7, slots({3}));
+  EXPECT_EQ(t.acquire(9, slots({3})), ClaimTable::Acquire::Conflict);
+}
+
+TEST(ClaimTableProtocol, EpochResetsClaimsBetweenRounds) {
+  ClaimTable t;
+  t.begin_round(16);
+  const uint32_t first_epoch = t.epoch();
+  std::vector<uint32_t> all;
+  for (uint32_t i = 0; i < 16; ++i)
+    all.push_back(i);
+  ASSERT_EQ(t.acquire(9, all), ClaimTable::Acquire::Won);
+  // New round: no release ever ran, yet every stale claim must read Free.
+  t.begin_round(16);
+  EXPECT_EQ(t.epoch(), first_epoch + 1);
+  EXPECT_EQ(t.acquire(12, all), ClaimTable::Acquire::Won);
+}
+
+TEST(ClaimTableProtocol, DeadTombstonesSkipAcquireAndExpireWithTheRound) {
+  ClaimTable t;
+  t.begin_round(8);
+  ASSERT_EQ(t.acquire(2, slots({1, 2, 3})), ClaimTable::Acquire::Won);
+  t.settle(2, slots({1, 2, 3}), slots({2}));
+  EXPECT_TRUE(t.dead(2));
+  EXPECT_FALSE(t.dead(1));
+  // A tombstone never resolves, so waiting on it would livelock: overlapping
+  // roots must win right through it (the sequencer's revalidation is what
+  // rejects them later, deterministically).
+  EXPECT_EQ(t.acquire(4, slots({1, 2, 3})), ClaimTable::Acquire::Won);
+  t.release(4, slots({1, 2, 3}));
+  EXPECT_TRUE(t.dead(2)); // release must not clear a tombstone
+  t.begin_round(8);
+  EXPECT_FALSE(t.dead(2));
+}
+
+// --- CommitSequencer --------------------------------------------------------
+
+TEST(CommitSequencerTest, OutOfOrderDepositsCommitInCanonicalOrder) {
+  std::vector<size_t> order;
+  CommitSequencer seq(6, [&](size_t i) { order.push_back(i); });
+  seq.deposit(5);
+  seq.deposit(3);
+  seq.deposit(1);
+  EXPECT_TRUE(order.empty());
+  EXPECT_EQ(seq.frontier(), 0u);
+  seq.deposit(0); // completes the 0..1 run
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1}));
+  seq.deposit(2); // completes 2..3
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3}));
+  seq.deposit(4); // completes 4..5
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(seq.frontier(), 6u);
+  EXPECT_FALSE(seq.poisoned());
+}
+
+TEST(CommitSequencerTest, ThrowingCommitPoisonsAtACanonicalPrefix) {
+  std::vector<size_t> order;
+  CommitSequencer seq(5, [&](size_t i) {
+    if (i == 2)
+      throw std::runtime_error("injected");
+    order.push_back(i);
+  });
+  seq.deposit(0);
+  seq.deposit(1);
+  seq.deposit(3);
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1}));
+  // The deposit that reaches the poisoned index carries the exception.
+  EXPECT_THROW(seq.deposit(2), std::runtime_error);
+  EXPECT_TRUE(seq.poisoned());
+  EXPECT_EQ(seq.frontier(), 2u);
+  // Later deposits are recorded but never committed — and never throw.
+  EXPECT_NO_THROW(seq.deposit(4));
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(seq.frontier(), 2u);
+}
+
+// --- losers requeue and eventually commit -----------------------------------
+
+// The engine's round loop in miniature: overlapping reservation sets run
+// through the real pool requeue protocol. Whatever the schedule, every root
+// must commit exactly once and the commit order must be exactly canonical.
+TEST(ReservationStress, LosersRequeueAndEventuallyCommitInOrder) {
+  constexpr size_t kRoots = 300;
+  constexpr uint32_t kMaxRetries = 4;
+  util::ThreadPool pool(8);
+  ClaimTable claims;
+  claims.begin_round(kRoots + 8);
+
+  // Root i reserves [i, i+4]: every root overlaps its four neighbors both
+  // ways, so under parallel execution conflicts are all but guaranteed.
+  std::vector<std::vector<uint32_t>> sets(kRoots);
+  for (uint32_t i = 0; i < kRoots; ++i)
+    for (uint32_t j = 0; j <= 4; ++j)
+      sets[i].push_back(i + j);
+
+  std::vector<size_t> order;
+  std::vector<int> commits(kRoots, 0);
+  CommitSequencer seq(kRoots, [&](size_t i) {
+    order.push_back(i);
+    ++commits[i];
+    claims.settle(static_cast<uint32_t>(i), sets[i], {});
+  });
+
+  std::vector<uint32_t> retries(kRoots, 0);
+  std::atomic<size_t> requeues{0};
+  pool.run_requeue_batch(kRoots, [&](int, size_t i) {
+    if (retries[i] < kMaxRetries &&
+        claims.acquire(static_cast<uint32_t>(i), sets[i]) ==
+            ClaimTable::Acquire::Conflict) {
+      ++retries[i];
+      requeues.fetch_add(1, std::memory_order_relaxed);
+      return util::ThreadPool::TaskVerdict::Requeue;
+    }
+    seq.deposit(i);
+    return util::ThreadPool::TaskVerdict::Done;
+  });
+
+  EXPECT_EQ(seq.frontier(), kRoots);
+  for (size_t i = 0; i < kRoots; ++i)
+    EXPECT_EQ(commits[i], 1) << "root " << i;
+  ASSERT_EQ(order.size(), kRoots);
+  for (size_t i = 0; i < kRoots; ++i)
+    EXPECT_EQ(order[i], i);
+  // Scheduling fact, not an assertion: on a multi-core run requeues is
+  // almost always nonzero. Byte-identity must hold either way.
+}
+
+// Raw many-thread hammer over one ClaimTable: acquire/steal/release with no
+// external synchronization beyond the table itself. Run under TSan (the CI
+// job reruns this suite over fault-seed offsets) this is the data-race gate
+// for the claim-word CAS protocol.
+TEST(ReservationStress, ConcurrentAcquireReleaseStealHammer) {
+  constexpr size_t kSlots = 64;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 400;
+  ClaimTable claims;
+  claims.begin_round(kSlots);
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(seed_offset() + 1000 + static_cast<uint64_t>(w));
+      for (int it = 0; it < kIters; ++it) {
+        const uint32_t owner = static_cast<uint32_t>(w * kIters + it);
+        std::vector<uint32_t> set;
+        const uint32_t base = static_cast<uint32_t>(rng.below(kSlots - 8));
+        for (uint32_t j = 0; j < 1 + rng.below(7); ++j)
+          set.push_back(base + j);
+        if (claims.acquire(owner, set) == ClaimTable::Acquire::Won)
+          claims.release(owner, set);
+      }
+    });
+  }
+  for (auto& t : threads)
+    t.join();
+
+  // Every Won set was released and every Conflict self-released, so a fresh
+  // owner must be able to claim the whole table (stolen-then-released slots
+  // included).
+  std::vector<uint32_t> all;
+  for (uint32_t i = 0; i < kSlots; ++i)
+    all.push_back(i);
+  EXPECT_EQ(claims.acquire(0, all), ClaimTable::Acquire::Won);
+}
+
+// --- the end property: thread-count byte-identity under fault schedules -----
+
+TEST(ReservationDeterminism, ByteIdenticalAcrossThreadCountsUnderFaultSchedules) {
+  for (uint64_t s = 1; s <= 10; ++s) {
+    const uint64_t seed = seed_offset() + s;
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const std::string src = benchgen::random_verilog(seed, 6);
+
+    std::string first_netlist;
+    rewrite::RewriteStats first_stats;
+    bool have_first = false;
+    for (const int threads : {1, 2, 4, 8}) {
+      SCOPED_TRACE("threads " + std::to_string(threads));
+      auto design = verilog::read_verilog(src);
+      rewrite::RewriteOptions options;
+      options.threads = threads;
+      options.check_index = true; // index must equal a rebuild even after halts
+      rewrite::RewriteStats stats;
+      {
+        // Forced Unknowns skip roots, injected throws poison the sequencer
+        // mid-round; both fire from the canonical commit path, so every
+        // thread count must take the identical schedule.
+        util::FaultPlan plan;
+        plan.seed = seed;
+        plan.unknown_permille = 250;
+        plan.throw_permille = 60;
+        plan.site_filter = "rewrite";
+        util::FaultScope scope(plan);
+        stats = rewrite::rewrite_sweep(*design->top(), options);
+      }
+      const std::string netlist = backend::write_rtlil(*design->top());
+      if (!have_first) {
+        first_netlist = netlist;
+        first_stats = stats;
+        have_first = true;
+      } else {
+        EXPECT_EQ(netlist, first_netlist);
+        EXPECT_TRUE(rewrite::same_work(stats, first_stats));
+        EXPECT_EQ(stats.halted, first_stats.halted);
+        EXPECT_EQ(stats.skipped_roots, first_stats.skipped_roots);
+      }
+    }
+  }
+}
